@@ -1,0 +1,40 @@
+// Ablation D: internal fragmentation vs PRR height - the behaviour behind
+// Eqs. (13)-(17). For each paper PRM, sweep every feasible H on its device
+// and report PRR size, utilization, and predicted bitstream size; the
+// minimum-area row (what Table V picks) is marked. Shows why "oversized
+// PRRs impose longer ... reconfiguration time" (Section I): bitstream
+// bytes track H*W, not the PRM's actual resource usage.
+#include "bench/bench_util.hpp"
+#include "cost/prr_search.hpp"
+#include "device/device_db.hpp"
+#include "paperdata/paper_dataset.hpp"
+
+int main() {
+  using namespace prcost;
+  for (const auto& rec : paperdata::table5()) {
+    const Fabric& fabric = DeviceDb::instance().get(rec.device).fabric;
+    const auto best = find_prr(rec.req, fabric);
+    const auto plans = enumerate_prrs(rec.req, fabric);
+    TextTable table{{"H", "W (CLB/DSP/BRAM)", "PRR size", "RU_CLB", "RU_DSP",
+                     "RU_BRAM", "bitstream bytes", "chosen"}};
+    for (const PrrPlan& plan : plans) {
+      const auto& o = plan.organization;
+      const bool chosen = best && o.h == best->organization.h &&
+                          o.columns.clb_cols ==
+                              best->organization.columns.clb_cols;
+      table.add_row({std::to_string(o.h),
+                     std::to_string(o.columns.clb_cols) + "/" +
+                         std::to_string(o.columns.dsp_cols) + "/" +
+                         std::to_string(o.columns.bram_cols),
+                     std::to_string(o.size()), bench::pct(plan.ru.clb),
+                     bench::pct(plan.ru.dsp), bench::pct(plan.ru.bram),
+                     std::to_string(plan.bitstream.total_bytes),
+                     chosen ? "<== Table V" : ""});
+    }
+    bench::print_table("Ablation D: fragmentation sweep for " +
+                           std::string{rec.prm} + " on " +
+                           std::string{rec.device},
+                       table);
+  }
+  return 0;
+}

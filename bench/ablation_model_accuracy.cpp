@@ -1,0 +1,61 @@
+// Ablation A: bitstream-size model accuracy against the generator across
+// the whole device catalog and every feasible organization of a grid of
+// synthetic requirements - far beyond the paper's six points. The model is
+// exact by construction; this bench proves it stays exact everywhere and
+// reports the aggregate.
+#include "bench/bench_util.hpp"
+#include "bitstream/generator.hpp"
+#include "cost/prr_search.hpp"
+#include "device/device_db.hpp"
+#include "util/parallel.hpp"
+
+int main() {
+  using namespace prcost;
+
+  // Requirement grid.
+  std::vector<PrmRequirements> reqs;
+  for (const u64 pairs : {50u, 300u, 1300u, 2618u, 5000u}) {
+    for (const u64 dsps : {0u, 4u, 27u}) {
+      for (const u64 brams : {0u, 2u, 6u}) {
+        PrmRequirements req;
+        req.lut_ff_pairs = pairs;
+        req.luts = pairs * 7 / 10;
+        req.ffs = pairs / 2;
+        req.dsps = dsps;
+        req.brams = brams;
+        reqs.push_back(req);
+      }
+    }
+  }
+
+  TextTable table{{"device", "plans checked", "exact matches", "mismatches",
+                   "min bytes", "max bytes"}};
+  for (const Device& device : DeviceDb::instance().all()) {
+    u64 checked = 0, exact = 0, mismatch = 0;
+    u64 min_bytes = ~0ull, max_bytes = 0;
+    for (const PrmRequirements& req : reqs) {
+      for (const PrrPlan& plan : enumerate_prrs(req, device.fabric)) {
+        const auto bytes =
+            to_bytes(generate_bitstream(plan, device.fabric.family()),
+                     device.fabric.family());
+        ++checked;
+        if (bytes.size() == plan.bitstream.total_bytes) {
+          ++exact;
+        } else {
+          ++mismatch;
+        }
+        min_bytes = std::min<u64>(min_bytes, bytes.size());
+        max_bytes = std::max<u64>(max_bytes, bytes.size());
+      }
+    }
+    table.add_row({device.name, std::to_string(checked),
+                   std::to_string(exact), std::to_string(mismatch),
+                   checked ? std::to_string(min_bytes) : "-",
+                   checked ? std::to_string(max_bytes) : "-"});
+  }
+  bench::print_table(
+      "Ablation A: Eq. (18)-(23) model vs generated bitstreams over the "
+      "full catalog (expect zero mismatches)",
+      table);
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Ablation C: the Section-I motivation quantified - PR system performance
+// vs the non-PR (full reconfiguration) baseline as a function of PRR
+// sizing. Right-sized PRRs win by a wide margin; deliberately oversized
+// PRRs (larger H*W -> larger partial bitstreams) erode the advantage until
+// a one-PRR, near-full-size design is no better than non-PR.
+#include "bench/bench_util.hpp"
+#include "cost/prr_search.hpp"
+#include "device/device_db.hpp"
+#include "multitask/simulator.hpp"
+#include "paperdata/paper_dataset.hpp"
+#include "reconfig/full_bitstream.hpp"
+
+int main() {
+  using namespace prcost;
+  const Device& device = DeviceDb::instance().get("xc5vlx110t");
+  const u64 full_bytes = full_bitstream_bytes(device.fabric);
+
+  // The three paper PRMs; their right-sized bitstreams come from the model.
+  std::vector<PrmInfo> prms;
+  for (const char* name : {"FIR", "MIPS", "SDRAM"}) {
+    const auto& rec = paperdata::table5_record(name, "xc5vlx110t");
+    const auto plan = find_prr(rec.req, device.fabric);
+    prms.push_back(PrmInfo{name, rec.req, plan->bitstream.total_bytes});
+  }
+
+  WorkloadParams wp;
+  wp.count = 150;
+  wp.mean_interarrival_s = 1.0e-3;
+  wp.mean_exec_s = 2.0e-3;
+  const auto tasks = make_workload(wp);
+
+  TextTable table{{"design", "PRRs", "bitstream/switch", "makespan (ms)",
+                   "reconfig total (ms)", "vs non-PR"}};
+  const SimResult nonpr =
+      simulate_full_reconfig(prms, tasks, full_bytes, StorageMedia::kDdrSdram);
+
+  const auto run = [&](const std::string& label, u32 prrs,
+                       double oversize_factor) {
+    std::vector<PrmInfo> sized = prms;
+    u64 max_bytes = 0;
+    for (auto& prm : sized) {
+      prm.bitstream_bytes = static_cast<u64>(
+          static_cast<double>(prm.bitstream_bytes) * oversize_factor);
+      prm.bitstream_bytes = std::min(prm.bitstream_bytes, full_bytes);
+      max_bytes = std::max(max_bytes, prm.bitstream_bytes);
+    }
+    SimConfig config;
+    config.prr_count = prrs;
+    config.policy = SchedPolicy::kFcfs;  // no scheduler rescue
+    const SimResult pr = simulate(sized, tasks, config);
+    table.add_row({label, std::to_string(prrs),
+                   format_bytes(static_cast<double>(max_bytes)),
+                   format_fixed(pr.makespan_s * 1e3, 2),
+                   format_fixed(pr.total_reconfig_s * 1e3, 2),
+                   format_fixed(nonpr.makespan_s / pr.makespan_s, 2) + "x"});
+  };
+
+  run("right-sized PRRs (cost model)", 3, 1.0);
+  run("right-sized, fewer PRRs", 2, 1.0);
+  run("oversized PRRs (4x bitstream)", 2, 4.0);
+  run("oversized PRRs (16x bitstream)", 1, 16.0);
+  run("pathological: full-size PRR", 1,
+      static_cast<double>(full_bytes));  // clamped to full
+  table.add_separator();
+  table.add_row({"non-PR (full reconfiguration)", "-",
+                 format_bytes(static_cast<double>(full_bytes)),
+                 format_fixed(nonpr.makespan_s * 1e3, 2),
+                 format_fixed(nonpr.total_reconfig_s * 1e3, 2), "1.00x"});
+  bench::print_table(
+      "Ablation C: PR vs non-PR makespan as PRR sizing degrades "
+      "(speedup >1x means PR wins)",
+      table);
+
+  // Scheduler comparison at the right-sized point.
+  TextTable sched{{"policy", "makespan (ms)", "reuse hits",
+                   "reconfig total (ms)"}};
+  for (const SchedPolicy policy : kAllPolicies) {
+    SimConfig config;
+    config.prr_count = 3;
+    config.policy = policy;
+    const SimResult r = simulate(prms, tasks, config);
+    sched.add_row({std::string{sched_policy_name(policy)},
+                   format_fixed(r.makespan_s * 1e3, 2),
+                   std::to_string(r.reuse_hits),
+                   format_fixed(r.total_reconfig_s * 1e3, 2)});
+  }
+  bench::print_table("Ablation C2: scheduling policy at right-sized PRRs",
+                     sched);
+  return 0;
+}

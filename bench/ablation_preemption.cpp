@@ -1,0 +1,67 @@
+// Ablation I: preemptive hardware multitasking with HTR context
+// save/restore (the authors' FCCM'13 use case) vs restart-on-preempt vs no
+// preemption. Save/restore costs come from the real context-cost model
+// (readback/write traffic of the FIR PRR over the ICAP), not assumptions.
+#include "bench/bench_util.hpp"
+#include "cost/prr_search.hpp"
+#include "device/device_db.hpp"
+#include "htr/relocation.hpp"
+#include "multitask/preemptive.hpp"
+#include "paperdata/paper_dataset.hpp"
+
+int main() {
+  using namespace prcost;
+  const Fabric& fabric = DeviceDb::instance().get("xc5vlx110t").fabric;
+
+  // PRM pool with model-derived bitstream and context costs.
+  std::vector<PrmInfo> prms;
+  double save_s = 0, restore_s = 0;
+  for (const char* name : {"FIR", "MIPS", "SDRAM"}) {
+    const auto& rec = paperdata::table5_record(name, "xc5vlx110t");
+    const auto plan = find_prr(rec.req, fabric);
+    prms.push_back(PrmInfo{name, rec.req, plan->bitstream.total_bytes});
+    const ContextCost cost = context_cost(plan->organization, fabric.traits());
+    const IcapModel icap = default_icap(Family::kVirtex5);
+    save_s = std::max(save_s, icap_write_seconds(icap, cost.save_bytes));
+    restore_s = std::max(restore_s,
+                         icap_write_seconds(icap, cost.restore_bytes));
+  }
+
+  // Mixed-priority workload: long batch tasks + short urgent tasks.
+  std::vector<HwTask> tasks;
+  for (int i = 0; i < 20; ++i) {
+    tasks.push_back(HwTask{"batch" + std::to_string(i),
+                           static_cast<u32>(i % 3), i * 1e-3, 20e-3, 1});
+  }
+  for (int i = 0; i < 20; ++i) {
+    tasks.push_back(HwTask{"urgent" + std::to_string(i),
+                           static_cast<u32>(i % 3), 3e-3 + i * 8e-3, 1e-3,
+                           7});
+  }
+
+  TextTable table{{"mode", "makespan (ms)", "preemptions",
+                   "save/restore (ms)", "mean urgent wait (ms)"}};
+  for (const PreemptMode mode :
+       {PreemptMode::kNoPreemption, PreemptMode::kRestart,
+        PreemptMode::kSaveRestore}) {
+    PreemptiveConfig config;
+    config.prr_count = 2;
+    config.mode = mode;
+    config.context_save_s = save_s;
+    config.context_restore_s = restore_s;
+    const PreemptiveResult result =
+        simulate_preemptive(prms, tasks, config);
+    table.add_row({std::string{preempt_mode_name(mode)},
+                   format_fixed(result.makespan_s * 1e3, 2),
+                   std::to_string(result.preemptions),
+                   format_fixed(result.total_save_restore_s * 1e3, 3),
+                   format_fixed(result.mean_high_priority_wait_s * 1e3, 3)});
+  }
+  bench::print_table(
+      "Ablation I: preemption disciplines (context costs from the HTR "
+      "model: save " +
+          format_fixed(save_s * 1e6, 1) + " us, restore " +
+          format_fixed(restore_s * 1e6, 1) + " us)",
+      table);
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Ablation H: routing pressure vs packing density (the paper's caveat that
+// "high RUs lead to densely packed PRRs that may eventually cause routing
+// problems", amplified when static-region nets must cross them). Place the
+// three paper PRRs on the LX110T, sample static nets over the remaining
+// fabric, and score each PRR; then re-run with deliberately relaxed
+// (bigger, lower-RU) PRRs to show the risk/area trade.
+#include "bench/bench_util.hpp"
+#include "device/device_db.hpp"
+#include "paperdata/paper_dataset.hpp"
+#include "par/routability.hpp"
+
+namespace {
+
+using namespace prcost;
+
+void run_scenario(const std::string& title, double inflate) {
+  const Fabric& fabric = DeviceDb::instance().get("xc5vlx110t").fabric;
+  Floorplanner floorplanner{fabric};
+  std::vector<double> densities;
+  for (const char* name : {"MIPS", "FIR", "SDRAM"}) {
+    const auto& rec = paperdata::table5_record(name, "xc5vlx110t");
+    PrmRequirements req = rec.req;
+    // Inflating the requirement produces a bigger, lower-RU PRR.
+    req.lut_ff_pairs =
+        static_cast<u64>(static_cast<double>(req.lut_ff_pairs) * inflate);
+    const auto placed = floorplanner.place(name, req);
+    if (!placed) continue;
+    // Density = the ORIGINAL demand over the (possibly inflated) PRR.
+    densities.push_back(
+        static_cast<double>(clb_req(rec.req, fabric.traits())) /
+        static_cast<double>(placed->plan.available.clbs));
+  }
+  const auto pressures =
+      estimate_route_pressure(floorplanner, fabric, densities);
+  TextTable table{{"PRR", "PRR cells", "CLB density", "crossing nets",
+                   "risk score"}};
+  for (std::size_t p = 0; p < pressures.size(); ++p) {
+    const auto& placed = floorplanner.placements()[p];
+    table.add_row({pressures[p].name,
+                   std::to_string(placed.plan.organization.size()),
+                   format_fixed(pressures[p].packing_density * 100, 1) + "%",
+                   std::to_string(pressures[p].crossing_nets),
+                   format_fixed(pressures[p].risk, 4)});
+  }
+  bench::print_table(title, table);
+}
+
+}  // namespace
+
+int main() {
+  run_scenario(
+      "Ablation H1: routing pressure with minimum-size (high-RU) PRRs",
+      1.0);
+  run_scenario(
+      "Ablation H2: same PRMs with 1.5x-relaxed PRRs (lower density, lower "
+      "risk, more area)",
+      1.5);
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Ablation K: portability sensitivity. The paper claims the models port
+// across families "by simply altering the device-specific characteristics
+// values". The flip side: a wrong constant silently skews every estimate.
+// This bench perturbs each Table IV constant by +/-10% and reports the
+// resulting bitstream-size error for the FIR/LX110T point, ranking which
+// constants a porter must get right first.
+#include "bench/bench_util.hpp"
+#include "cost/prr_search.hpp"
+#include "device/device_db.hpp"
+#include "paperdata/paper_dataset.hpp"
+
+namespace {
+
+using namespace prcost;
+
+u64 size_with(FamilyTraits t, const PrrOrganization& org) {
+  // Re-run Eq. (18)-(23) with perturbed traits.
+  const u64 ncf = u64{org.columns.clb_cols} * t.cf_clb +
+                  u64{org.columns.dsp_cols} * t.cf_dsp +
+                  u64{org.columns.bram_cols} * t.cf_bram;
+  const u64 ncw = t.far_fdri + (ncf + 1) * u64{t.frame_size};
+  const u64 ndw =
+      org.columns.bram_cols > 0
+          ? t.far_fdri +
+                (u64{org.columns.bram_cols} * t.df_bram + 1) * t.frame_size
+          : 0;
+  return (t.iw + u64{org.h} * (ncw + ndw) + t.fw) * t.bytes_word;
+}
+
+}  // namespace
+
+int main() {
+  const auto& rec = paperdata::table5_record("MIPS", "xc5vlx110t");
+  const Fabric& fabric = DeviceDb::instance().get(rec.device).fabric;
+  const auto plan = find_prr(rec.req, fabric);
+  const FamilyTraits& base = fabric.traits();
+  const u64 true_bytes = plan->bitstream.total_bytes;
+
+  struct Knob {
+    const char* name;
+    u32 FamilyTraits::*field;
+  };
+  const Knob knobs[] = {
+      {"CF_CLB", &FamilyTraits::cf_clb},
+      {"CF_DSP", &FamilyTraits::cf_dsp},
+      {"CF_BRAM", &FamilyTraits::cf_bram},
+      {"DF_BRAM", &FamilyTraits::df_bram},
+      {"FR_size", &FamilyTraits::frame_size},
+      {"IW", &FamilyTraits::iw},
+      {"FW", &FamilyTraits::fw},
+      {"FAR_FDRI", &FamilyTraits::far_fdri},
+  };
+
+  TextTable table{{"constant", "baseline", "-10% error", "+10% error"}};
+  for (const Knob& knob : knobs) {
+    const auto error_with = [&](double scale) {
+      FamilyTraits t = base;
+      t.*(knob.field) = static_cast<u32>(
+          std::max(1.0, static_cast<double>(base.*(knob.field)) * scale));
+      const u64 bytes = size_with(t, plan->organization);
+      return 100.0 *
+             (static_cast<double>(bytes) - static_cast<double>(true_bytes)) /
+             static_cast<double>(true_bytes);
+    };
+    table.add_row({knob.name, std::to_string(base.*(knob.field)),
+                   format_fixed(error_with(0.9), 2) + "%",
+                   format_fixed(error_with(1.1), 2) + "%"});
+  }
+  bench::print_table(
+      "Ablation K: bitstream-size error from +/-10% mis-specification of "
+      "each Table IV constant (MIPS/LX110T; FR_size and CF_CLB dominate)",
+      table);
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Ablation E: rectangular vs L-shaped PRRs (the paper's Section IV
+// suggestion that non-rectangular shapes raise RU). For every Table V
+// evaluation point, compare the rectangular optimum against the best
+// two-band L-shape: cells, bitstream bytes and CLB utilization. DSP-heavy
+// PRMs on single-DSP-column devices benefit most (FIR on the LX110T);
+// pure-logic PRMs gain nothing.
+#include "bench/bench_util.hpp"
+#include "cost/shaped_prr.hpp"
+#include "device/device_db.hpp"
+#include "paperdata/paper_dataset.hpp"
+
+int main() {
+  using namespace prcost;
+  TextTable table{{"PRM/device", "rect HxW", "rect cells", "rect bytes",
+                   "rect RU_CLB", "L-shape bands", "L cells", "L bytes",
+                   "L RU_CLB", "cells saved"}};
+  for (const auto& rec : paperdata::table5()) {
+    const Fabric& fabric = DeviceDb::instance().get(rec.device).fabric;
+    const auto rect = find_prr(rec.req, fabric);
+    if (!rect) continue;
+    const auto shaped = find_l_shaped_prr(rec.req, fabric);
+    std::vector<std::string> row{
+        std::string{rec.prm} + "/" + std::string{rec.device},
+        std::to_string(rect->organization.h) + "x" +
+            std::to_string(rect->organization.width()),
+        std::to_string(rect->organization.size()),
+        std::to_string(rect->bitstream.total_bytes),
+        bench::pct(rect->ru.clb)};
+    if (shaped && shaped->shape.size() < rect->organization.size()) {
+      std::string bands;
+      for (const PrrBand& band : shaped->shape.bands) {
+        if (!bands.empty()) bands += " + ";
+        bands += std::to_string(band.organization.h) + "x" +
+                 std::to_string(band.organization.width());
+      }
+      row.push_back(bands);
+      row.push_back(std::to_string(shaped->shape.size()));
+      row.push_back(std::to_string(shaped->bitstream.total_bytes));
+      row.push_back(bench::pct(shaped->ru.clb));
+      row.push_back(std::to_string(rect->organization.size() -
+                                   shaped->shape.size()));
+    } else {
+      row.insert(row.end(), {"- (rectangle optimal)", "-", "-", "-", "0"});
+    }
+    table.add_row(std::move(row));
+  }
+  bench::print_table(
+      "Ablation E: rectangular vs L-shaped PRRs (paper Section IV: "
+      "\"higher RUs may be obtained by selecting non-rectangular PRRs\")",
+      table);
+  return 0;
+}

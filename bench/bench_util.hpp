@@ -1,0 +1,22 @@
+// Shared helpers for the table-reproduction benches.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace prcost::bench {
+
+/// Print a titled section with the rendered table.
+inline void print_table(const std::string& title, const TextTable& table) {
+  std::cout << "=== " << title << " ===\n" << table.to_ascii() << '\n';
+}
+
+/// Integer-rounded percent string like the paper's tables ("82%").
+inline std::string pct(double value) {
+  return format_fixed(value, 0) + "%";
+}
+
+}  // namespace prcost::bench

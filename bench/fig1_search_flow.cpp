@@ -1,0 +1,80 @@
+// Fig. 1: the PRR search flow. The figure itself is a flowchart; what is
+// measurable about it is the cost of executing it, which is the quantity
+// the paper's productivity argument rests on ("take less than 5 minutes in
+// all cases" for model evaluation vs hours for the PR flow). This
+// google-benchmark binary times the search across devices, requirement
+// sizes, and objectives, and the window-search primitive it is built on.
+#include <benchmark/benchmark.h>
+
+#include "cost/prr_search.hpp"
+#include "device/device_db.hpp"
+#include "paperdata/paper_dataset.hpp"
+
+namespace {
+
+using namespace prcost;
+
+const Fabric& fabric_by_index(int index) {
+  const auto& db = DeviceDb::instance();
+  return db.all()[static_cast<std::size_t>(index) % db.all().size()].fabric;
+}
+
+void BM_FindPrr_PaperRecords(benchmark::State& state) {
+  const auto& rec =
+      paperdata::table5()[static_cast<std::size_t>(state.range(0))];
+  const Fabric& fabric = DeviceDb::instance().get(rec.device).fabric;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(find_prr(rec.req, fabric));
+  }
+  state.SetLabel(std::string{rec.prm} + "/" + std::string{rec.device});
+}
+BENCHMARK(BM_FindPrr_PaperRecords)->DenseRange(0, 5);
+
+void BM_FindPrr_ScalingWithDemand(benchmark::State& state) {
+  const Fabric& fabric = DeviceDb::instance().get("xc6vlx240t").fabric;
+  PrmRequirements req;
+  req.lut_ff_pairs = static_cast<u64>(state.range(0));
+  req.dsps = static_cast<u64>(state.range(0)) / 100;
+  req.brams = static_cast<u64>(state.range(0)) / 200;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(find_prr(req, fabric));
+  }
+}
+BENCHMARK(BM_FindPrr_ScalingWithDemand)->RangeMultiplier(4)->Range(64, 16384);
+
+void BM_FindPrr_Objectives(benchmark::State& state) {
+  const auto& rec = paperdata::table5_record("MIPS", "xc5vlx110t");
+  const Fabric& fabric = DeviceDb::instance().get("xc5vlx110t").fabric;
+  SearchOptions options;
+  options.objective = static_cast<SearchObjective>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(find_prr(rec.req, fabric, options));
+  }
+  state.SetLabel(state.range(0) == 0   ? "min-area"
+                 : state.range(0) == 1 ? "first-feasible"
+                                       : "min-bitstream");
+}
+BENCHMARK(BM_FindPrr_Objectives)->DenseRange(0, 2);
+
+void BM_WindowSearch(benchmark::State& state) {
+  const Fabric& fabric = fabric_by_index(static_cast<int>(state.range(0)));
+  const ColumnDemand demand{5, 1, 1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fabric.find_window(demand));
+  }
+  state.SetLabel(DeviceDb::instance()
+                     .all()[static_cast<std::size_t>(state.range(0))]
+                     .name);
+}
+BENCHMARK(BM_WindowSearch)->DenseRange(0, 5);
+
+void BM_EnumerateAllHeights(benchmark::State& state) {
+  const auto& rec = paperdata::table5_record("FIR", "xc5vlx110t");
+  const Fabric& fabric = DeviceDb::instance().get("xc5vlx110t").fabric;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(enumerate_prrs(rec.req, fabric));
+  }
+}
+BENCHMARK(BM_EnumerateAllHeights);
+
+}  // namespace

@@ -1,0 +1,79 @@
+// Fig. 2: the partial bitstream structure for Virtex-5 FPGAs - initial
+// words, per-row configuration words, BRAM initialization words (when the
+// PRR contains BRAM columns), final words. This bench regenerates the
+// figure as a section-by-section breakdown of a real generated bitstream
+// for a 2-row CLB+DSP+BRAM PRR (the shape drawn in the paper) plus the
+// six Table V bitstreams.
+#include "bench/bench_util.hpp"
+#include "bitstream/generator.hpp"
+#include "bitstream/parser.hpp"
+#include "cost/prr_search.hpp"
+#include "device/device_db.hpp"
+#include "paperdata/paper_dataset.hpp"
+
+namespace {
+
+using namespace prcost;
+
+void breakdown(const std::string& title, const PrrPlan& plan, Family family) {
+  const auto words = generate_bitstream(plan, family);
+  const auto layout = parse_bitstream(words, family);
+  TextTable table{{"section", "words", "bytes", "detail"}};
+  const FamilyTraits& t = traits(family);
+  table.add_row({"initial words (IW)", std::to_string(layout.initial_words),
+                 std::to_string(layout.initial_words * t.bytes_word),
+                 "sync + RCRC + IDCODE + WCFG"});
+  for (const FdriBurst& burst : layout.bursts) {
+    const bool bram = burst.far.block == FrameBlock::kBramContent;
+    table.add_row(
+        {bram ? "BRAM init words (NDW_BRAM)" : "config words (NCW_row)",
+         std::to_string(burst.words + t.far_fdri),
+         std::to_string((burst.words + t.far_fdri) * t.bytes_word),
+         far_to_string(burst.far) + ", " + std::to_string(burst.frames) +
+             " frames"});
+  }
+  table.add_row({"final words (FW)", std::to_string(layout.final_words),
+                 std::to_string(layout.final_words * t.bytes_word),
+                 "LFRM + CRC + DESYNC"});
+  table.add_separator();
+  table.add_row({"total", std::to_string(layout.total_words),
+                 std::to_string(layout.total_words * t.bytes_word),
+                 std::string{"crc "} + (layout.crc_ok ? "ok" : "BAD")});
+  bench::print_table(title, table);
+}
+
+}  // namespace
+
+int main() {
+  // The exact shape Fig. 2 draws: two rows containing CLBs, DSPs and BRAMs.
+  {
+    PrrPlan plan;
+    plan.organization.h = 2;
+    plan.organization.columns = ColumnDemand{2, 1, 1};
+    plan.window = ColumnWindow{10, plan.organization.width()};
+    plan.bitstream = estimate_bitstream(plan.organization,
+                                        traits(Family::kVirtex5));
+    breakdown(
+        "Fig. 2: partial bitstream structure, 2-row CLB+DSP+BRAM PRR "
+        "(Virtex-5)",
+        plan, Family::kVirtex5);
+  }
+  // The six Table V bitstreams, summarized.
+  TextTable summary{{"PRM", "device", "IW", "config bursts", "BRAM bursts",
+                     "FW", "total words"}};
+  for (const auto& rec : paperdata::table5()) {
+    const Fabric& fabric = DeviceDb::instance().get(rec.device).fabric;
+    const auto plan = find_prr(rec.req, fabric);
+    if (!plan) continue;
+    const auto layout =
+        parse_bitstream(generate_bitstream(*plan, rec.family), rec.family);
+    summary.add_row({std::string{rec.prm}, std::string{rec.device},
+                     std::to_string(layout.initial_words),
+                     std::to_string(layout.config_burst_count()),
+                     std::to_string(layout.bram_burst_count()),
+                     std::to_string(layout.final_words),
+                     std::to_string(layout.total_words)});
+  }
+  bench::print_table("Fig. 2 summary across the Table V PRMs", summary);
+  return 0;
+}

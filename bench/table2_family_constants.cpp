@@ -1,0 +1,28 @@
+// Table II: device-family constants used by the PRR size/organization
+// cost model (CLB_col, DSP_col, BRAM_col, LUT_CLB, FF_CLB), extended with
+// the 7-series column the paper's portability claim promises.
+#include "bench/bench_util.hpp"
+#include "device/family_traits.hpp"
+
+int main() {
+  using namespace prcost;
+  TextTable table{{"Parameter", "Virtex-4", "Virtex-5", "Virtex-6",
+                   "7-series"}};
+  const auto row = [&](const char* name, auto getter) {
+    std::vector<std::string> cells{name};
+    for (const Family family : kAllFamilies) {
+      cells.push_back(std::to_string(getter(traits(family))));
+    }
+    table.add_row(std::move(cells));
+  };
+  row("CLB_col", [](const FamilyTraits& t) { return t.clb_col; });
+  row("DSP_col", [](const FamilyTraits& t) { return t.dsp_col; });
+  row("BRAM_col", [](const FamilyTraits& t) { return t.bram_col; });
+  row("LUT_CLB", [](const FamilyTraits& t) { return t.lut_clb; });
+  row("FF_CLB", [](const FamilyTraits& t) { return t.ff_clb; });
+  bench::print_table(
+      "Table II: PRR-model device-family constants (paper columns V4/V5/V6; "
+      "7-series = portability extension)",
+      table);
+  return 0;
+}

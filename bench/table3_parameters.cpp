@@ -1,0 +1,30 @@
+// Table III: parameters of the partial bitstream size cost model
+// (definitional legend for Tables IV and VII; implemented by
+// cost/bitstream_model.hpp).
+#include "bench/bench_util.hpp"
+
+int main() {
+  using namespace prcost;
+  TextTable table{{"Parameter", "Description"}};
+  table.add_row({"IW", "Number of initial words"});
+  table.add_row({"FW", "Number of final words"});
+  table.add_row({"FAR_FDRI", "FAR/FDRI initialization words per row"});
+  table.add_row({"NCW_row", "Configuration words in a PRR row"});
+  table.add_row({"NDW_BRAM", "BRAM initialization words in a PRR row"});
+  table.add_row({"NCF_CLB", "CLB configuration frames in a PRR row"});
+  table.add_row({"NCF_DSP", "DSP configuration frames in a PRR row"});
+  table.add_row({"NCF_BRAM", "BRAM configuration frames in a PRR row"});
+  table.add_row({"CF_CLB", "Configuration frames per CLB column"});
+  table.add_row({"CF_DSP", "Configuration frames per DSP column"});
+  table.add_row({"CF_BRAM", "Configuration frames per BRAM column"});
+  table.add_row({"DF_BRAM", "Initialization frames per BRAM column"});
+  table.add_row({"FR_size", "Frame size in words"});
+  table.add_row({"Bytes_word", "Number of bytes per word"});
+  table.add_row({"H", "Number of rows in the PRR"});
+  table.add_row({"S_bitstream", "Size of partial bitstream in bytes"});
+  bench::print_table(
+      "Table III: parameters of the partial bitstream size cost model "
+      "(implemented by cost/bitstream_model.hpp)",
+      table);
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Table VIII: execution times for synthesis and implementation of the
+// PRMs, next to the cost-model evaluation time.
+//
+// The paper's point is the productivity gap: synthesis + cost model takes
+// under five minutes while a full PR implementation takes far longer (and
+// must be repeated per design point). Our substrates are simulators, so
+// the absolute times shrink from minutes to milliseconds, but the *ratio*
+// - model evaluation orders of magnitude cheaper than implementation - is
+// the reproduced shape.
+#include "bench/bench_util.hpp"
+#include "cost/prr_search.hpp"
+#include "device/device_db.hpp"
+#include "netlist/generators.hpp"
+#include "par/par.hpp"
+#include "synth/synthesizer.hpp"
+#include "util/stopwatch.hpp"
+
+int main() {
+  using namespace prcost;
+  TextTable table{{"process", "V5 FIR", "V5 MIPS", "V5 SDRAM", "V6 FIR",
+                   "V6 MIPS", "V6 SDRAM"}};
+  std::vector<std::string> synth_row{"synthesis"};
+  std::vector<std::string> model_row{"cost models (PRR + bitstream)"};
+  std::vector<std::string> impl_row{"implementation (P&R)"};
+  std::vector<std::string> ratio_row{"implementation / model ratio"};
+
+  for (const Family family : {Family::kVirtex5, Family::kVirtex6}) {
+    const Fabric& fabric =
+        DeviceDb::instance()
+            .get(family == Family::kVirtex5 ? "xc5vlx110t" : "xc6vlx75t")
+            .fabric;
+    for (int which = 0; which < 3; ++which) {
+      Stopwatch watch;
+      SynthesisResult synth = synthesize(
+          which == 0   ? make_fir()
+          : which == 1 ? make_mips5()
+                       : make_sdram_ctrl(),
+          SynthOptions{family});
+      const double synth_s = watch.seconds();
+
+      watch.reset();
+      const auto plan =
+          find_prr(PrmRequirements::from_report(synth.report), fabric);
+      const double model_s = watch.seconds();
+
+      watch.reset();
+      if (plan) {
+        ParOptions options;
+        options.place.anneal_moves = 20000;
+        (void)place_and_route(std::move(synth.netlist), *plan, fabric,
+                              options);
+      }
+      const double impl_s = watch.seconds();
+
+      synth_row.push_back(format_minutes_seconds(synth_s));
+      model_row.push_back(format_minutes_seconds(model_s));
+      impl_row.push_back(format_minutes_seconds(impl_s));
+      ratio_row.push_back(
+          model_s > 0 ? format_fixed(impl_s / model_s, 0) + "x" : "-");
+    }
+  }
+  table.add_row(synth_row);
+  table.add_row(model_row);
+  table.add_row(impl_row);
+  table.add_row(ratio_row);
+  bench::print_table(
+      "Table VIII: flow phase runtimes (simulated substrates: absolute "
+      "times are ms-scale, the model-vs-implementation gap is the result)",
+      table);
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Hardware multitasking scenario: a smart-camera video pipeline whose
+// stages (FIR pre-filter, CRC integrity check, AES encryption, soft MIPS
+// post-processing) time-multiplex a pool of PRRs - the class of system the
+// paper's introduction motivates.
+//
+// The example sizes one shared PRR pool with the cost models, floorplans
+// it on an LX110T-class device, and compares scheduling policies and the
+// non-PR (full reconfiguration) baseline.
+#include <iostream>
+
+#include "cost/floorplan.hpp"
+#include "device/device_db.hpp"
+#include "multitask/simulator.hpp"
+#include "netlist/generators.hpp"
+#include "reconfig/full_bitstream.hpp"
+#include "synth/synthesizer.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace prcost;
+  const Device& device = DeviceDb::instance().get("xc5vlx110t");
+  const Family family = device.fabric.family();
+
+  // Synthesize the pipeline stages and floorplan one PRR each.
+  std::vector<PrmInfo> prms;
+  Floorplanner floorplanner{device.fabric};
+  floorplanner.reserve(0, device.fabric.num_columns(), 0, 1);  // static region
+  const auto add_stage = [&](Netlist nl) {
+    SynthesisResult synth = synthesize(std::move(nl), SynthOptions{family});
+    const PrmRequirements req = PrmRequirements::from_report(synth.report);
+    const auto placed = floorplanner.place(synth.report.module_name, req);
+    if (!placed) {
+      std::cerr << "cannot place " << synth.report.module_name << '\n';
+      std::exit(1);
+    }
+    prms.push_back(PrmInfo{synth.report.module_name, req,
+                           placed->plan.bitstream.total_bytes});
+    std::cout << "stage " << synth.report.module_name << ": PRR "
+              << placed->plan.organization.h << "x"
+              << placed->plan.organization.width() << " at column "
+              << placed->first_col << ", bitstream "
+              << format_bytes(static_cast<double>(
+                     placed->plan.bitstream.total_bytes))
+              << '\n';
+  };
+  add_stage(make_mips5());
+  add_stage(make_fir());
+  add_stage(make_aes_round());
+  add_stage(make_crc32());
+  std::cout << "fabric occupancy after floorplanning: "
+            << format_fixed(floorplanner.occupancy() * 100, 1) << "%\n\n";
+
+  // Frame-processing workload: bursts of stage invocations.
+  WorkloadParams wp;
+  wp.count = 200;
+  wp.prm_count = 4;
+  wp.mean_interarrival_s = 0.8e-3;
+  wp.mean_exec_s = 2.0e-3;
+  const auto tasks = make_workload(wp);
+
+  TextTable table{{"scheduler", "PRRs", "makespan (ms)", "reconfig (ms)",
+                   "reuse hits", "mean wait (ms)"}};
+  for (const SchedPolicy policy : kAllPolicies) {
+    for (const u32 prr_count : {2u, 4u}) {
+      SimConfig config;
+      config.prr_count = prr_count;
+      config.policy = policy;
+      const SimResult result = simulate(prms, tasks, config);
+      table.add_row({std::string{sched_policy_name(policy)},
+                     std::to_string(prr_count),
+                     format_fixed(result.makespan_s * 1e3, 2),
+                     format_fixed(result.total_reconfig_s * 1e3, 2),
+                     std::to_string(result.reuse_hits),
+                     format_fixed(result.mean_wait_s * 1e3, 2)});
+    }
+  }
+  // Non-PR baseline: full reconfiguration on every stage change.
+  const SimResult nonpr = simulate_full_reconfig(
+      prms, tasks, full_bitstream_bytes(device.fabric),
+      StorageMedia::kDdrSdram);
+  table.add_separator();
+  table.add_row({"non-PR (full reconfig)", "-",
+                 format_fixed(nonpr.makespan_s * 1e3, 2),
+                 format_fixed(nonpr.total_reconfig_s * 1e3, 2),
+                 std::to_string(nonpr.reuse_hits),
+                 format_fixed(nonpr.mean_wait_s * 1e3, 2)});
+  std::cout << table.to_ascii();
+  return 0;
+}

@@ -1,0 +1,131 @@
+#include "bitstream/bit_file.hpp"
+
+#include "bitstream/generator.hpp"
+#include "util/error.hpp"
+
+namespace prcost {
+namespace {
+
+// 13-byte magic preamble used by the de-facto .bit format.
+constexpr std::uint8_t kMagic[] = {0x00, 0x09, 0x0F, 0xF0, 0x0F, 0xF0, 0x0F,
+                                   0xF0, 0x0F, 0xF0, 0x00, 0x00, 0x01};
+
+void put_u16(std::vector<std::uint8_t>& out, u32 value) {
+  out.push_back(static_cast<std::uint8_t>((value >> 8) & 0xFF));
+  out.push_back(static_cast<std::uint8_t>(value & 0xFF));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, u64 value) {
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    out.push_back(static_cast<std::uint8_t>((value >> shift) & 0xFF));
+  }
+}
+
+void put_string_field(std::vector<std::uint8_t>& out, char tag,
+                      const std::string& value) {
+  out.push_back(static_cast<std::uint8_t>(tag));
+  put_u16(out, narrow<u32>(value.size() + 1));
+  out.insert(out.end(), value.begin(), value.end());
+  out.push_back(0);
+}
+
+struct Reader {
+  std::span<const std::uint8_t> bytes;
+  std::size_t pos = 0;
+
+  std::uint8_t u8() {
+    if (pos >= bytes.size()) throw ParseError{"bit file: truncated"};
+    return bytes[pos++];
+  }
+  u32 u16() {
+    const u32 high = u8();
+    return (high << 8) | u8();
+  }
+  u64 u32be() {
+    u64 value = 0;
+    for (int i = 0; i < 4; ++i) value = (value << 8) | u8();
+    return value;
+  }
+  std::string string_field() {
+    const u32 length = u16();
+    if (length == 0) throw ParseError{"bit file: empty string field"};
+    std::string value;
+    for (u32 i = 0; i + 1 < length; ++i) {
+      value.push_back(static_cast<char>(u8()));
+    }
+    if (u8() != 0) throw ParseError{"bit file: unterminated string"};
+    return value;
+  }
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> write_bit_file(const BitFile& file) {
+  std::vector<std::uint8_t> out;
+  out.reserve(64 + file.payload.size());
+  for (const std::uint8_t magic_byte : kMagic) out.push_back(magic_byte);
+  put_string_field(out, 'a', file.design_name);
+  put_string_field(out, 'b', file.part_name);
+  put_string_field(out, 'c', file.date);
+  put_string_field(out, 'd', file.time);
+  out.push_back('e');
+  put_u32(out, file.payload.size());
+  out.insert(out.end(), file.payload.begin(), file.payload.end());
+  return out;
+}
+
+BitFile read_bit_file(std::span<const std::uint8_t> bytes) {
+  Reader reader{bytes};
+  for (const std::uint8_t magic_byte : kMagic) {
+    if (reader.u8() != magic_byte) {
+      throw ParseError{"bit file: bad magic preamble"};
+    }
+  }
+  BitFile file;
+  // The 'a' tag doubles as the first field marker.
+  if (reader.u8() != 'a') throw ParseError{"bit file: missing 'a' field"};
+  file.design_name = reader.string_field();
+  while (reader.pos < bytes.size()) {
+    const char tag = static_cast<char>(reader.u8());
+    switch (tag) {
+      case 'b': file.part_name = reader.string_field(); break;
+      case 'c': file.date = reader.string_field(); break;
+      case 'd': file.time = reader.string_field(); break;
+      case 'e': {
+        const u64 count = reader.u32be();
+        if (reader.pos + count > bytes.size()) {
+          throw ParseError{"bit file: payload length exceeds file"};
+        }
+        file.payload.reserve(count);
+        for (u64 i = 0; i < count; ++i) {
+          file.payload.push_back(bytes[reader.pos + i]);
+        }
+        return file;
+      }
+      default:
+        throw ParseError{"bit file: unknown field tag"};
+    }
+  }
+  throw ParseError{"bit file: missing 'e' payload field"};
+}
+
+std::vector<std::uint8_t> strip_bit_header(
+    std::span<const std::uint8_t> bytes) {
+  return read_bit_file(bytes).payload;
+}
+
+std::vector<std::uint8_t> package_bit_file(std::span<const u32> words,
+                                           Family family,
+                                           const std::string& design_name,
+                                           const std::string& part_name) {
+  BitFile file;
+  file.design_name = design_name + ".ncd;UserID=0xFFFFFFFF";
+  file.part_name = part_name;
+  file.date = "2015/05/25";  // fixed metadata keeps outputs reproducible
+  file.time = "10:31:07";
+  file.payload = to_bytes(std::vector<u32>{words.begin(), words.end()},
+                          family);
+  return write_bit_file(file);
+}
+
+}  // namespace prcost

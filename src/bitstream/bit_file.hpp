@@ -1,0 +1,57 @@
+// Xilinx-style .bit container format.
+//
+// Section III.C: "From this bitstream, we remove the initial bytes,
+// including the name of the native circuit description file (*.ncd) used
+// to generate the partial bitstream and the bitstream creation date,
+// resulting in a 32-bit word aligned bitstream." This module implements
+// that container so the removal step is a real operation: a .bit file is a
+// small tag-length-value header (design name, part, date, time) followed
+// by the raw configuration words. Sizes reported by the paper's Table VII
+// refer to the aligned payload, not the container.
+//
+// Layout (matches the de-facto public format):
+//   field 0x0F 0x F0...: 13-byte magic + 0x0001
+//   'a' <len> <design name '\0'>      (the *.ncd name)
+//   'b' <len> <part name '\0'>
+//   'c' <len> <date '\0'>
+//   'd' <len> <time '\0'>
+//   'e' <u32 payload byte count> <payload...>
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "device/family_traits.hpp"
+#include "util/ints.hpp"
+
+namespace prcost {
+
+/// Parsed .bit container.
+struct BitFile {
+  std::string design_name;  ///< e.g. "fir_prr0.ncd;UserID=0xFFFFFFFF"
+  std::string part_name;    ///< e.g. "5vlx110tff1136"
+  std::string date;         ///< "2015/05/25"
+  std::string time;         ///< "10:31:07"
+  std::vector<std::uint8_t> payload;  ///< word-aligned configuration bytes
+};
+
+/// Serialize a container around configuration `payload` bytes.
+std::vector<std::uint8_t> write_bit_file(const BitFile& file);
+
+/// Parse a container; throws ParseError on malformed input.
+BitFile read_bit_file(std::span<const std::uint8_t> bytes);
+
+/// The paper's preprocessing step: strip the header, return the aligned
+/// configuration payload (what Eq. 18 predicts the size of).
+std::vector<std::uint8_t> strip_bit_header(std::span<const std::uint8_t> bytes);
+
+/// Convenience: wrap a generated word stream into a .bit container with
+/// metadata derived from the PRM/device names.
+std::vector<std::uint8_t> package_bit_file(std::span<const u32> words,
+                                           Family family,
+                                           const std::string& design_name,
+                                           const std::string& part_name);
+
+}  // namespace prcost

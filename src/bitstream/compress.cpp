@@ -1,0 +1,104 @@
+#include "bitstream/compress.hpp"
+
+#include <string>
+#include <unordered_set>
+
+#include "bitstream/parser.hpp"
+#include "util/error.hpp"
+
+namespace prcost {
+
+std::vector<u32> rle_compress(std::span<const u32> words) {
+  std::vector<u32> out;
+  std::size_t i = 0;
+  while (i < words.size()) {
+    const u32 word = words[i];
+    u32 run = 1;
+    while (i + run < words.size() && words[i + run] == word &&
+           run < 0xFFFFFFFFu) {
+      ++run;
+    }
+    out.push_back(run);
+    out.push_back(word);
+    i += run;
+  }
+  return out;
+}
+
+std::vector<u32> rle_decompress(std::span<const u32> pairs) {
+  if (pairs.size() % 2 != 0) {
+    throw ParseError{"rle_decompress: odd pair stream"};
+  }
+  std::vector<u32> out;
+  for (std::size_t i = 0; i < pairs.size(); i += 2) {
+    out.insert(out.end(), pairs[i], pairs[i + 1]);
+  }
+  return out;
+}
+
+CompressionStats measure_rle(std::span<const u32> words) {
+  CompressionStats stats;
+  stats.original_words = words.size();
+  stats.compressed_words = rle_compress(words).size();
+  return stats;
+}
+
+double FrameRedundancy::mfwr_ratio(u32 frame_size) const {
+  if (total_frames == 0) return 1.0;
+  const double full = static_cast<double>(total_frames) * frame_size;
+  const double compressed =
+      static_cast<double>(unique_frames) * frame_size +
+      3.0 * static_cast<double>(total_frames - unique_frames);
+  return compressed / full;
+}
+
+FrameRedundancy analyze_frames(std::span<const u32> payload, u32 frame_size) {
+  if (frame_size == 0) throw ContractError{"analyze_frames: zero frame size"};
+  if (payload.size() % frame_size != 0) {
+    throw ContractError{"analyze_frames: payload not frame-aligned"};
+  }
+  FrameRedundancy result;
+  std::unordered_set<std::string> seen;
+  for (std::size_t f = 0; f < payload.size() / frame_size; ++f) {
+    const auto frame = payload.subspan(f * frame_size, frame_size);
+    ++result.total_frames;
+    bool zero = true;
+    std::string key;
+    key.reserve(frame_size * 4);
+    for (const u32 word : frame) {
+      if (word != 0) zero = false;
+      key.append(reinterpret_cast<const char*>(&word), 4);
+    }
+    if (zero) ++result.zero_frames;
+    if (seen.insert(std::move(key)).second) ++result.unique_frames;
+  }
+  return result;
+}
+
+FrameRedundancy analyze_bitstream_frames(std::span<const u32> bitstream,
+                                         Family family) {
+  const BitstreamLayout layout = parse_bitstream(bitstream, family);
+  const u32 frame_size = traits(family).frame_size;
+  FrameRedundancy total;
+  std::unordered_set<std::string> seen;
+  for (const FdriBurst& burst : layout.bursts) {
+    const auto payload =
+        bitstream.subspan(burst.offset_words, burst.words);
+    for (std::size_t f = 0; f < burst.frames; ++f) {
+      const auto frame = payload.subspan(f * frame_size, frame_size);
+      ++total.total_frames;
+      bool zero = true;
+      std::string key;
+      key.reserve(frame_size * 4);
+      for (const u32 word : frame) {
+        if (word != 0) zero = false;
+        key.append(reinterpret_cast<const char*>(&word), 4);
+      }
+      if (zero) ++total.zero_frames;
+      if (seen.insert(std::move(key)).second) ++total.unique_frames;
+    }
+  }
+  return total;
+}
+
+}  // namespace prcost

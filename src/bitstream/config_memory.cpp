@@ -1,0 +1,183 @@
+#include "bitstream/config_memory.hpp"
+
+#include "bitstream/words.hpp"
+#include "util/error.hpp"
+
+namespace prcost {
+
+ConfigMemory::ConfigMemory(const Fabric& fabric) : fabric_(&fabric) {}
+
+u32 ConfigMemory::frames_in_column(u32 column, FrameBlock block) const {
+  const ColumnType type = fabric_->column(column);
+  if (block == FrameBlock::kBramContent) {
+    return type == ColumnType::kBram ? fabric_->traits().df_bram : 0;
+  }
+  return config_frames(type, fabric_->traits());
+}
+
+ConfigMemory::Key ConfigMemory::key_of(const FrameAddress& address) {
+  return Key{static_cast<u32>(address.block), address.row, address.major,
+             address.minor};
+}
+
+bool ConfigMemory::advance(FrameAddress& address) const {
+  ++address.minor;
+  if (address.minor < frames_in_column(address.major, address.block)) {
+    return true;
+  }
+  // Next column (to the right) with frames of this block type.
+  for (u32 c = address.major + 1; c < fabric_->num_columns(); ++c) {
+    if (frames_in_column(c, address.block) > 0) {
+      address.major = c;
+      address.minor = 0;
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+/// Snap an address onto the first column at-or-right-of `major` that has
+/// frames of its block type; returns false if none exists.
+bool normalize(const ConfigMemory& cm, const Fabric& fabric,
+               FrameAddress& address) {
+  for (u32 c = address.major; c < fabric.num_columns(); ++c) {
+    if (cm.frames_in_column(c, address.block) > 0) {
+      address.major = c;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+void ConfigMemory::write_burst(const FrameAddress& start,
+                               std::span<const u32> words) {
+  const u32 frame_size = fabric_->traits().frame_size;
+  if (words.size() % frame_size != 0) {
+    throw ContractError{"write_burst: payload not frame-aligned"};
+  }
+  if (start.row >= fabric_->rows()) {
+    throw ContractError{"write_burst: row out of range"};
+  }
+  FrameAddress cursor = start;
+  if (!normalize(*this, *fabric_, cursor)) {
+    throw ContractError{"write_burst: no frames at or after start column"};
+  }
+  cursor.minor = std::min(cursor.minor,
+                          frames_in_column(cursor.major, cursor.block) - 1);
+  const u64 frame_count = words.size() / frame_size;
+  for (u64 f = 0; f < frame_count; ++f) {
+    frames_[key_of(cursor)] =
+        Frame{words.begin() + static_cast<std::ptrdiff_t>(f * frame_size),
+              words.begin() + static_cast<std::ptrdiff_t>((f + 1) * frame_size)};
+    if (f + 1 < frame_count && !advance(cursor)) {
+      throw ContractError{"write_burst: burst runs off the fabric row"};
+    }
+  }
+}
+
+std::vector<u32> ConfigMemory::read_burst(const FrameAddress& start,
+                                          u64 frame_count) const {
+  const u32 frame_size = fabric_->traits().frame_size;
+  std::vector<u32> out;
+  out.reserve(frame_count * frame_size);
+  FrameAddress cursor = start;
+  if (!normalize(*this, *fabric_, cursor)) {
+    throw ContractError{"read_burst: no frames at or after start column"};
+  }
+  for (u64 f = 0; f < frame_count; ++f) {
+    const auto it = frames_.find(key_of(cursor));
+    if (it != frames_.end()) {
+      out.insert(out.end(), it->second.begin(), it->second.end());
+    } else {
+      out.insert(out.end(), frame_size, 0u);
+    }
+    if (f + 1 < frame_count && !advance(cursor)) {
+      throw ContractError{"read_burst: burst runs off the fabric row"};
+    }
+  }
+  return out;
+}
+
+u64 ConfigMemory::apply_bitstream(std::span<const u32> words) {
+  const u32 frame_size = fabric_->traits().frame_size;
+  u64 committed = 0;
+
+  std::size_t pos = 0;
+  while (pos < words.size() && words[pos] != cfg::kSync) ++pos;
+  if (pos == words.size()) throw ParseError{"apply_bitstream: no sync word"};
+  ++pos;
+
+  FrameAddress current_far{};
+  bool far_valid = false;
+  while (pos < words.size()) {
+    const u32 word = words[pos++];
+    if (word == cfg::kNoop || word == cfg::kDummy) continue;
+    if (packet_type(word) == 1) {
+      const ConfigReg reg = packet_reg(word);
+      u32 count = type1_count(word);
+      if (packet_op(word) == PacketOp::kNop) continue;
+      if (reg == ConfigReg::kFdri && count == 0) {
+        if (pos >= words.size() || packet_type(words[pos]) != 2) {
+          throw ParseError{"apply_bitstream: FDRI without type-2 payload"};
+        }
+        count = type2_count(words[pos++]);
+        if (!far_valid) throw ParseError{"apply_bitstream: FDRI before FAR"};
+        if (count % frame_size != 0) {
+          throw ParseError{"apply_bitstream: burst not frame-aligned"};
+        }
+        if (pos + count > words.size()) {
+          throw ParseError{"apply_bitstream: truncated FDRI payload"};
+        }
+        const u64 frame_count = count / frame_size;
+        if (frame_count > 1) {
+          // The final frame of every FDRI burst is the configuration
+          // pipeline flush frame (the "+1" of Eqs. 19/23); it is not
+          // committed to the CM.
+          write_burst(current_far,
+                      std::span<const u32>{words.data() + pos,
+                                           (frame_count - 1) * frame_size});
+          committed += frame_count - 1;
+        }
+        pos += count;
+        continue;
+      }
+      for (u32 i = 0; i < count && pos < words.size(); ++i) {
+        const u32 value = words[pos++];
+        if (reg == ConfigReg::kFar) {
+          current_far = decode_far(value);
+          far_valid = true;
+        }
+        if (reg == ConfigReg::kCmd &&
+            static_cast<ConfigCmd>(value) == ConfigCmd::kDesync) {
+          return committed;
+        }
+      }
+      continue;
+    }
+    throw ParseError{"apply_bitstream: unexpected packet type"};
+  }
+  return committed;
+}
+
+bool ConfigMemory::row_column_touched(u32 column, u32 row,
+                                      FrameBlock block) const {
+  const u32 frame_count = frames_in_column(column, block);
+  for (u32 minor = 0; minor < frame_count; ++minor) {
+    if (frames_.count(Key{static_cast<u32>(block), row, column, minor}) > 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::optional<Frame> ConfigMemory::frame(const FrameAddress& address) const {
+  const auto it = frames_.find(key_of(address));
+  if (it == frames_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace prcost

@@ -1,0 +1,90 @@
+// Device configuration memory (CM) simulator.
+//
+// Section III.A: "A frame is the minimum unit of information used to
+// configure/read the FFs' stored values and BRAMs in the device's
+// configuration memory (CM)." This module models the CM as the addressable
+// frame store behind the ICAP: applying a partial bitstream writes frames
+// at increasing frame addresses (minor within column, then next column of
+// the same block type), and readback returns them. It closes the loop for
+// two things the cost models feed into:
+//
+//  * verification that the generator's FAR/FDRI bursts land exactly on the
+//    frames of the PRR window and nothing else (PRR isolation), and
+//  * context save/restore + hardware task relocation (the authors' HTR
+//    prior work [5][6]) in src/htr, which copies live frames between
+//    compatible PRRs.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "bitstream/frame_address.hpp"
+#include "device/fabric.hpp"
+
+namespace prcost {
+
+/// One frame's payload.
+using Frame = std::vector<u32>;
+
+/// Addressable frame store for one device.
+class ConfigMemory {
+ public:
+  explicit ConfigMemory(const Fabric& fabric);
+
+  const Fabric& fabric() const { return *fabric_; }
+
+  /// Number of configuration frames a column contributes per row for the
+  /// given block type (0 when the column has no frames of that type, e.g.
+  /// BRAM-content frames of a CLB column).
+  u32 frames_in_column(u32 column, FrameBlock block) const;
+
+  /// Write `frames` sequentially starting at `start`: minor advances
+  /// within the column, then the address moves to the next column to the
+  /// right that has frames of the same block type (same row). Throws
+  /// ContractError if the burst runs off the row.
+  void write_burst(const FrameAddress& start, std::span<const u32> words);
+
+  /// Read `frame_count` frames starting at `start` with the same
+  /// traversal; unwritten frames read as zeroes.
+  std::vector<u32> read_burst(const FrameAddress& start,
+                              u64 frame_count) const;
+
+  /// Apply a full partial bitstream (as produced by generate_bitstream):
+  /// every FDRI burst is written at its FAR. Returns the number of frames
+  /// written. Throws ParseError/ContractError on malformed input.
+  u64 apply_bitstream(std::span<const u32> words);
+
+  /// True if any frame of `column`/`row` has been written.
+  bool row_column_touched(u32 column, u32 row, FrameBlock block) const;
+
+  /// Total distinct frames currently stored.
+  u64 frames_written() const { return frames_.size(); }
+
+  /// Direct access to one frame (nullopt if never written).
+  std::optional<Frame> frame(const FrameAddress& address) const;
+
+  /// Zero out every frame (full-device reset).
+  void clear() { frames_.clear(); }
+
+ private:
+  /// Canonical key for one frame.
+  struct Key {
+    u32 block;
+    u32 row;
+    u32 major;
+    u32 minor;
+    auto operator<=>(const Key&) const = default;
+  };
+  static Key key_of(const FrameAddress& address);
+
+  /// Advance `address` by one frame using the column-major traversal.
+  /// Returns false when the row is exhausted.
+  bool advance(FrameAddress& address) const;
+
+  const Fabric* fabric_;
+  std::map<Key, Frame> frames_;
+};
+
+}  // namespace prcost

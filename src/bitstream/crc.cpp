@@ -1,0 +1,29 @@
+#include "bitstream/crc.hpp"
+
+namespace prcost {
+namespace {
+
+constexpr u32 kPolynomial = 0x1EDC6F41;  // CRC-32C (Castagnoli)
+
+constexpr u32 shift_in_bit(u32 crc, bool bit) {
+  const bool msb = (crc & 0x80000000u) != 0;
+  crc <<= 1;
+  if (msb != bit) crc ^= kPolynomial;
+  return crc;
+}
+
+}  // namespace
+
+void ConfigCrc::update(ConfigReg reg, u32 data) {
+  // 37-bit contribution: data bits 0..31 LSB-first, then the 5-bit
+  // register address LSB-first.
+  for (u32 i = 0; i < 32; ++i) {
+    crc_ = shift_in_bit(crc_, ((data >> i) & 1u) != 0);
+  }
+  const u32 addr = static_cast<u32>(reg) & 0x1Fu;
+  for (u32 i = 0; i < 5; ++i) {
+    crc_ = shift_in_bit(crc_, ((addr >> i) & 1u) != 0);
+  }
+}
+
+}  // namespace prcost

@@ -1,0 +1,33 @@
+// Configuration CRC.
+//
+// Virtex configuration logic accumulates a CRC over every (register
+// address, data word) pair written through the configuration interface and
+// compares it against the value written to the CRC register before
+// startup. We implement the documented 32-bit scheme: each written word
+// contributes 37 bits (5-bit register address above the 32 data bits) fed
+// LSB-first into a CRC-32C (Castagnoli, 0x1EDC6F41) register, per the
+// Virtex-5 configuration user guide.
+#pragma once
+
+#include "bitstream/words.hpp"
+#include "util/ints.hpp"
+
+namespace prcost {
+
+/// Streaming configuration-CRC accumulator.
+class ConfigCrc {
+ public:
+  /// Absorb one register write.
+  void update(ConfigReg reg, u32 data);
+
+  /// Current CRC value.
+  u32 value() const { return crc_; }
+
+  /// Reset (the RCRC command).
+  void reset() { crc_ = 0; }
+
+ private:
+  u32 crc_ = 0;
+};
+
+}  // namespace prcost

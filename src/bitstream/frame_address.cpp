@@ -1,0 +1,33 @@
+#include "bitstream/frame_address.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace prcost {
+
+u32 encode_far(const FrameAddress& far) {
+  if (far.row > 0x1F || far.major > 0xFF || far.minor > 0xFF) {
+    throw ContractError{"encode_far: field out of range"};
+  }
+  return (static_cast<u32>(far.block) << 21) | (far.row << 16) |
+         (far.major << 8) | far.minor;
+}
+
+FrameAddress decode_far(u32 word) {
+  FrameAddress far;
+  far.block = static_cast<FrameBlock>((word >> 21) & 0x7u);
+  far.row = (word >> 16) & 0x1Fu;
+  far.major = (word >> 8) & 0xFFu;
+  far.minor = word & 0xFFu;
+  return far;
+}
+
+std::string far_to_string(const FrameAddress& far) {
+  std::ostringstream os;
+  os << (far.block == FrameBlock::kInterconnect ? "CFG" : "BRAM") << " row "
+     << far.row << " major " << far.major << " minor " << far.minor;
+  return os.str();
+}
+
+}  // namespace prcost

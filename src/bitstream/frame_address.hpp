@@ -1,0 +1,43 @@
+// Frame address register (FAR) encoding.
+//
+// The FAR names the first configuration frame of a burst in terms of block
+// type (logic interconnect/configuration vs. BRAM content), fabric row,
+// major column and minor frame index. Exact field widths differ per
+// family; this layout follows the Virtex-5 arrangement (UG191 table 6-9,
+// with the top/bottom bit folded into the row index for our single-ordinate
+// row model).
+#pragma once
+
+#include <string>
+
+#include "util/ints.hpp"
+
+namespace prcost {
+
+/// Frame block type.
+enum class FrameBlock : u32 {
+  kInterconnect = 0,  ///< CLB/DSP/BRAM-interconnect configuration frames
+  kBramContent = 1,   ///< BRAM data initialization frames
+};
+
+/// Decoded frame address.
+struct FrameAddress {
+  FrameBlock block = FrameBlock::kInterconnect;
+  u32 row = 0;    ///< fabric row (0-based, bottom-up)
+  u32 major = 0;  ///< column index within the row
+  u32 minor = 0;  ///< frame index within the column
+
+  friend bool operator==(const FrameAddress&, const FrameAddress&) = default;
+};
+
+/// Pack to the 32-bit FAR word: [23:21] block, [20:16] row (5 bits),
+/// [15:8] major (8 bits), [7:0] minor (8 bits).
+u32 encode_far(const FrameAddress& far);
+
+/// Unpack; inverse of encode_far.
+FrameAddress decode_far(u32 word);
+
+/// "BLOCK row/major/minor" string for the disassembler.
+std::string far_to_string(const FrameAddress& far);
+
+}  // namespace prcost

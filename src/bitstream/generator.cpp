@@ -1,0 +1,310 @@
+#include "bitstream/generator.hpp"
+
+#include "bitstream/crc.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace prcost {
+namespace {
+
+void push_cmd(std::vector<u32>& out, ConfigCrc& crc, ConfigCmd cmd) {
+  out.push_back(type1(PacketOp::kWrite, ConfigReg::kCmd, 1));
+  out.push_back(static_cast<u32>(cmd));
+  crc.update(ConfigReg::kCmd, static_cast<u32>(cmd));
+}
+
+void push_reg(std::vector<u32>& out, ConfigCrc& crc, ConfigReg reg,
+              u32 value) {
+  out.push_back(type1(PacketOp::kWrite, reg, 1));
+  out.push_back(value);
+  crc.update(reg, value);
+}
+
+}  // namespace
+
+u32 default_idcode(Family family) {
+  switch (family) {
+    case Family::kVirtex4: return 0x0167C093;  // XC4VLX60-like
+    case Family::kVirtex5: return 0x02AD6093;  // XC5VLX110T-like
+    case Family::kVirtex6: return 0x04244093;  // XC6VLX75T-like
+    case Family::kSeries7: return 0x03651093;  // XC7K325T-like
+    case Family::kSpartan6: return 0x04004093;  // XC6SLX45-like
+  }
+  throw ContractError{"default_idcode: unknown family"};
+}
+
+std::vector<u32> header_words(Family family, u32 idcode) {
+  std::vector<u32> out;
+  ConfigCrc crc;  // header CRC contribution is discarded (RCRC resets it)
+  if (family == Family::kSeries7) {
+    out.push_back(cfg::kDummy);
+    out.push_back(cfg::kDummy);
+  }
+  out.insert(out.end(), 4, cfg::kDummy);
+  out.push_back(cfg::kBusWidthSync);
+  out.push_back(cfg::kBusWidthDetect);
+  out.insert(out.end(), 2, cfg::kDummy);
+  out.push_back(cfg::kSync);
+  out.push_back(cfg::kNoop);
+  push_cmd(out, crc, ConfigCmd::kRcrc);
+  out.push_back(cfg::kNoop);
+  const bool short_format =
+      family == Family::kVirtex4 || family == Family::kSpartan6;
+  if (!short_format) out.push_back(cfg::kNoop);
+  push_reg(out, crc, ConfigReg::kIdcode, idcode);
+  push_cmd(out, crc, ConfigCmd::kWcfg);
+  out.push_back(cfg::kNoop);
+  push_reg(out, crc, ConfigReg::kMask, 0);
+  if (family == Family::kVirtex6 || family == Family::kSeries7) {
+    push_reg(out, crc, ConfigReg::kCtl0, 0);
+    out.push_back(cfg::kNoop);
+  }
+  return out;
+}
+
+std::vector<u32> trailer_words(Family family, u32 crc_value) {
+  std::vector<u32> out;
+  ConfigCrc crc;  // local; trailer writes no longer affect the check value
+  push_cmd(out, crc, ConfigCmd::kLfrm);
+  const bool short_format =
+      family == Family::kVirtex4 || family == Family::kSpartan6;
+  out.insert(out.end(), short_format ? 2 : 3, cfg::kNoop);
+  out.push_back(type1(PacketOp::kWrite, ConfigReg::kCrc, 1));
+  out.push_back(crc_value);
+  push_cmd(out, crc, ConfigCmd::kDesync);
+  const u32 pad_noops =
+      (family == Family::kVirtex6 || family == Family::kSeries7) ? 5 : 4;
+  out.insert(out.end(), pad_noops, cfg::kNoop);
+  out.push_back(cfg::kDummy);
+  out.push_back(cfg::kDummy);
+  return out;
+}
+
+std::vector<u32> generate_bitstream(const PrrPlan& plan, Family family,
+                                    const GeneratorOptions& options) {
+  const FamilyTraits& t = traits(family);
+  const PrrOrganization& org = plan.organization;
+  if (org.h == 0 || org.width() == 0) {
+    throw ContractError{"generate_bitstream: empty PRR plan"};
+  }
+  const u32 idcode =
+      options.idcode != 0 ? options.idcode : default_idcode(family);
+
+  std::vector<u32> out = header_words(family, idcode);
+  if (out.size() != t.iw) {
+    throw ContractError{"generate_bitstream: header/IW mismatch"};
+  }
+
+  // Mirror the register writes the header just emitted (everything after
+  // the RCRC reset), in stream order, so the parser's recomputation lands
+  // on the same check value.
+  ConfigCrc crc;
+  crc.update(ConfigReg::kIdcode, idcode);
+  crc.update(ConfigReg::kCmd, static_cast<u32>(ConfigCmd::kWcfg));
+  crc.update(ConfigReg::kMask, 0);
+  if (family == Family::kVirtex6 || family == Family::kSeries7) {
+    crc.update(ConfigReg::kCtl0, 0);
+  }
+
+  Rng payload{options.payload_seed};
+  const auto next_payload_word = [&]() -> u32 {
+    switch (options.payload) {
+      case PayloadKind::kRandom: return static_cast<u32>(payload());
+      case PayloadKind::kZeros: return 0;
+      case PayloadKind::kSparse:
+        return payload.chance(options.sparse_density)
+                   ? static_cast<u32>(payload())
+                   : 0u;
+    }
+    return 0;
+  };
+
+  // Configuration frame words per row: (NCF_CLB + NCF_DSP + NCF_BRAM + 1)
+  // frames - Eq. (19)'s data component.
+  const u64 cfg_frames = checked_mul(org.columns.clb_cols, t.cf_clb) +
+                         checked_mul(org.columns.dsp_cols, t.cf_dsp) +
+                         checked_mul(org.columns.bram_cols, t.cf_bram) + 1;
+  const u64 cfg_words = checked_mul(cfg_frames, t.frame_size);
+  const u64 bram_frames =
+      org.columns.bram_cols > 0
+          ? checked_mul(org.columns.bram_cols, t.df_bram) + 1
+          : 0;
+  const u64 bram_words = checked_mul(bram_frames, t.frame_size);
+
+  const auto emit_burst = [&](FrameBlock block, u32 row, u64 word_count) {
+    // FAR_FDRI = 5 words: NOOP, FAR write (2), FDRI type-1 header with
+    // zero count, type-2 header carrying the real count.
+    out.push_back(cfg::kNoop);
+    const FrameAddress far{block, row, plan.window.first_col, 0};
+    push_reg(out, crc, ConfigReg::kFar, encode_far(far));
+    out.push_back(type1(PacketOp::kWrite, ConfigReg::kFdri, 0));
+    out.push_back(type2(PacketOp::kWrite, narrow<u32>(word_count)));
+    for (u64 w = 0; w < word_count; ++w) {
+      const u32 word = next_payload_word();
+      out.push_back(word);
+      crc.update(ConfigReg::kFdri, word);
+    }
+  };
+
+  for (u32 row = 0; row < org.h; ++row) {
+    emit_burst(FrameBlock::kInterconnect, plan.first_row + row, cfg_words);
+    if (org.columns.bram_cols > 0) {
+      emit_burst(FrameBlock::kBramContent, plan.first_row + row, bram_words);
+    }
+  }
+
+  // The LFRM command is written before the CRC register, so it is part of
+  // the checked prefix.
+  crc.update(ConfigReg::kCmd, static_cast<u32>(ConfigCmd::kLfrm));
+  const std::vector<u32> trailer = trailer_words(family, crc.value());
+  if (trailer.size() != t.fw) {
+    throw ContractError{"generate_bitstream: trailer/FW mismatch"};
+  }
+  out.insert(out.end(), trailer.begin(), trailer.end());
+  return out;
+}
+
+std::vector<u32> generate_shaped_bitstream(const ShapedPrr& shape,
+                                           Family family,
+                                           const GeneratorOptions& options) {
+  const FamilyTraits& t = traits(family);
+  if (shape.bands.empty()) {
+    throw ContractError{"generate_shaped_bitstream: no bands"};
+  }
+  const u32 idcode =
+      options.idcode != 0 ? options.idcode : default_idcode(family);
+  std::vector<u32> out = header_words(family, idcode);
+
+  ConfigCrc crc;
+  crc.update(ConfigReg::kIdcode, idcode);
+  crc.update(ConfigReg::kCmd, static_cast<u32>(ConfigCmd::kWcfg));
+  crc.update(ConfigReg::kMask, 0);
+  if (family == Family::kVirtex6 || family == Family::kSeries7) {
+    crc.update(ConfigReg::kCtl0, 0);
+  }
+
+  Rng payload{options.payload_seed};
+  const auto next_payload_word = [&]() -> u32 {
+    switch (options.payload) {
+      case PayloadKind::kRandom: return static_cast<u32>(payload());
+      case PayloadKind::kZeros: return 0;
+      case PayloadKind::kSparse:
+        return payload.chance(options.sparse_density)
+                   ? static_cast<u32>(payload())
+                   : 0u;
+    }
+    return 0;
+  };
+
+  for (const PrrBand& band : shape.bands) {
+    const auto& columns = band.organization.columns;
+    const u64 cfg_frames = checked_mul(columns.clb_cols, t.cf_clb) +
+                           checked_mul(columns.dsp_cols, t.cf_dsp) +
+                           checked_mul(columns.bram_cols, t.cf_bram) + 1;
+    const u64 bram_frames =
+        columns.bram_cols > 0 ? checked_mul(columns.bram_cols, t.df_bram) + 1
+                              : 0;
+    const auto emit_burst = [&](FrameBlock block, u32 row, u64 frame_count) {
+      out.push_back(cfg::kNoop);
+      const FrameAddress far{block, row, band.window.first_col, 0};
+      push_reg(out, crc, ConfigReg::kFar, encode_far(far));
+      out.push_back(type1(PacketOp::kWrite, ConfigReg::kFdri, 0));
+      const u64 word_count = checked_mul(frame_count, t.frame_size);
+      out.push_back(type2(PacketOp::kWrite, narrow<u32>(word_count)));
+      for (u64 w = 0; w < word_count; ++w) {
+        const u32 word = next_payload_word();
+        out.push_back(word);
+        crc.update(ConfigReg::kFdri, word);
+      }
+    };
+    for (u32 row = 0; row < band.organization.h; ++row) {
+      emit_burst(FrameBlock::kInterconnect, band.first_row + row, cfg_frames);
+      if (columns.bram_cols > 0) {
+        emit_burst(FrameBlock::kBramContent, band.first_row + row,
+                   bram_frames);
+      }
+    }
+  }
+
+  crc.update(ConfigReg::kCmd, static_cast<u32>(ConfigCmd::kLfrm));
+  const std::vector<u32> trailer = trailer_words(family, crc.value());
+  out.insert(out.end(), trailer.begin(), trailer.end());
+  return out;
+}
+
+std::vector<u32> generate_full_bitstream(const Fabric& fabric,
+                                         const GeneratorOptions& options) {
+  const Family family = fabric.family();
+  const FamilyTraits& t = traits(family);
+  const u32 idcode =
+      options.idcode != 0 ? options.idcode : default_idcode(family);
+  std::vector<u32> out = header_words(family, idcode);
+
+  ConfigCrc crc;
+  crc.update(ConfigReg::kIdcode, idcode);
+  crc.update(ConfigReg::kCmd, static_cast<u32>(ConfigCmd::kWcfg));
+  crc.update(ConfigReg::kMask, 0);
+  if (family == Family::kVirtex6 || family == Family::kSeries7) {
+    crc.update(ConfigReg::kCtl0, 0);
+  }
+
+  Rng payload{options.payload_seed};
+  const auto next_payload_word = [&]() -> u32 {
+    switch (options.payload) {
+      case PayloadKind::kRandom: return static_cast<u32>(payload());
+      case PayloadKind::kZeros: return 0;
+      case PayloadKind::kSparse:
+        return payload.chance(options.sparse_density)
+                   ? static_cast<u32>(payload())
+                   : 0u;
+    }
+    return 0;
+  };
+
+  // Every column of a row participates (IOB and CLK included), then one
+  // flush frame - the same accounting as full_bitstream_bytes().
+  const u64 cfg_frames =
+      fabric.window_config_frames(ColumnWindow{0, fabric.num_columns()}) + 1;
+  const u64 bram_cols = fabric.column_count(ColumnType::kBram);
+  const u64 bram_frames =
+      bram_cols > 0 ? checked_mul(bram_cols, t.df_bram) + 1 : 0;
+
+  const auto emit_burst = [&](FrameBlock block, u32 row, u64 frame_count) {
+    out.push_back(cfg::kNoop);
+    const FrameAddress far{block, row, 0, 0};
+    push_reg(out, crc, ConfigReg::kFar, encode_far(far));
+    out.push_back(type1(PacketOp::kWrite, ConfigReg::kFdri, 0));
+    const u64 word_count = checked_mul(frame_count, t.frame_size);
+    out.push_back(type2(PacketOp::kWrite, narrow<u32>(word_count)));
+    for (u64 w = 0; w < word_count; ++w) {
+      const u32 word = next_payload_word();
+      out.push_back(word);
+      crc.update(ConfigReg::kFdri, word);
+    }
+  };
+  for (u32 row = 0; row < fabric.rows(); ++row) {
+    emit_burst(FrameBlock::kInterconnect, row, cfg_frames);
+    if (bram_cols > 0) emit_burst(FrameBlock::kBramContent, row, bram_frames);
+  }
+
+  crc.update(ConfigReg::kCmd, static_cast<u32>(ConfigCmd::kLfrm));
+  const std::vector<u32> trailer = trailer_words(family, crc.value());
+  out.insert(out.end(), trailer.begin(), trailer.end());
+  return out;
+}
+
+std::vector<std::uint8_t> to_bytes(const std::vector<u32>& words,
+                                   Family family) {
+  const FamilyTraits& t = traits(family);
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(words.size() * t.bytes_word);
+  for (const u32 word : words) {
+    for (u32 b = 0; b < t.bytes_word; ++b) {
+      const u32 shift = 8 * (t.bytes_word - 1 - b);
+      bytes.push_back(static_cast<std::uint8_t>((word >> shift) & 0xFFu));
+    }
+  }
+  return bytes;
+}
+
+}  // namespace prcost

@@ -1,0 +1,163 @@
+#include "bitstream/parser.hpp"
+
+#include <sstream>
+
+#include "bitstream/crc.hpp"
+#include "util/error.hpp"
+
+namespace prcost {
+
+u64 BitstreamLayout::bram_burst_count() const {
+  u64 n = 0;
+  for (const auto& b : bursts) {
+    if (b.far.block == FrameBlock::kBramContent) ++n;
+  }
+  return n;
+}
+
+u64 BitstreamLayout::config_burst_count() const {
+  u64 n = 0;
+  for (const auto& b : bursts) {
+    if (b.far.block == FrameBlock::kInterconnect) ++n;
+  }
+  return n;
+}
+
+namespace {
+
+struct Cursor {
+  std::span<const u32> words;
+  u64 pos = 0;
+
+  bool done() const { return pos >= words.size(); }
+  u32 peek() const {
+    if (done()) throw ParseError{"bitstream: truncated stream"};
+    return words[pos];
+  }
+  u32 take() {
+    const u32 w = peek();
+    ++pos;
+    return w;
+  }
+};
+
+}  // namespace
+
+BitstreamLayout parse_bitstream(std::span<const u32> words, Family family) {
+  const FamilyTraits& t = traits(family);
+  BitstreamLayout layout;
+  layout.total_words = words.size();
+
+  Cursor cur{words};
+  // --- pre-sync: dummies / bus-width detection -------------------------
+  while (!cur.done() && cur.peek() != cfg::kSync) cur.take();
+  if (cur.done()) throw ParseError{"bitstream: sync word not found"};
+  cur.take();  // SYNC
+
+  ConfigCrc crc;
+  FrameAddress current_far{};
+  bool far_valid = false;
+  bool in_body = false;  // set once the first FAR write is seen
+  u64 body_start = 0;
+  u64 final_start = words.size();
+
+  while (!cur.done()) {
+    const u32 word = cur.take();
+    if (word == cfg::kNoop || word == cfg::kDummy) continue;
+    if (packet_type(word) == 1) {
+      const ConfigReg reg = packet_reg(word);
+      const PacketOp op = packet_op(word);
+      u32 count = type1_count(word);
+      if (op == PacketOp::kNop) continue;
+      if (reg == ConfigReg::kFdri && count == 0) {
+        // Big burst follows as a type-2 packet.
+        const u32 t2 = cur.take();
+        if (packet_type(t2) != 2) {
+          throw ParseError{"bitstream: FDRI type-1 not followed by type-2"};
+        }
+        count = type2_count(t2);
+        if (!far_valid) throw ParseError{"bitstream: FDRI before FAR"};
+        FdriBurst burst;
+        burst.far = current_far;
+        burst.words = count;
+        if (count % t.frame_size != 0) {
+          throw ParseError{"bitstream: FDRI burst not frame-aligned"};
+        }
+        burst.frames = count / t.frame_size;
+        burst.offset_words = cur.pos;
+        for (u32 i = 0; i < count; ++i) {
+          crc.update(ConfigReg::kFdri, cur.take());
+        }
+        layout.bursts.push_back(burst);
+        continue;
+      }
+      // Plain type-1 payload.
+      for (u32 i = 0; i < count; ++i) {
+        const u32 value = cur.take();
+        switch (reg) {
+          case ConfigReg::kFar:
+            current_far = decode_far(value);
+            far_valid = true;
+            if (!in_body) {
+              in_body = true;
+              body_start = cur.pos - 3;  // NOOP + FAR header precede value
+            }
+            crc.update(reg, value);
+            break;
+          case ConfigReg::kIdcode:
+            layout.idcode = value;
+            crc.update(reg, value);
+            break;
+          case ConfigReg::kCmd: {
+            const auto cmd = static_cast<ConfigCmd>(value);
+            if (cmd == ConfigCmd::kRcrc) {
+              crc.reset();
+            } else {
+              crc.update(reg, value);
+            }
+            if (cmd == ConfigCmd::kLfrm && final_start == words.size()) {
+              final_start = cur.pos - 2;
+            }
+            if (cmd == ConfigCmd::kDesync) layout.desync_seen = true;
+            break;
+          }
+          case ConfigReg::kCrc:
+            layout.crc_written = value;
+            layout.crc_computed = crc.value();
+            break;
+          default:
+            crc.update(reg, value);
+            break;
+        }
+      }
+      continue;
+    }
+    throw ParseError{"bitstream: unexpected packet type"};
+  }
+
+  if (!in_body) throw ParseError{"bitstream: no FAR/FDRI body found"};
+  layout.initial_words = body_start;
+  layout.final_words = words.size() - final_start;
+  layout.crc_ok = layout.crc_written == layout.crc_computed;
+  return layout;
+}
+
+std::string disassemble(std::span<const u32> words, Family family) {
+  const BitstreamLayout layout = parse_bitstream(words, family);
+  std::ostringstream os;
+  os << "partial bitstream: " << layout.total_words << " words ("
+     << layout.total_words * traits(family).bytes_word << " bytes)\n"
+     << "  initial words : " << layout.initial_words << "\n";
+  for (const auto& burst : layout.bursts) {
+    os << "  burst @" << burst.offset_words << "  "
+       << far_to_string(burst.far) << "  " << burst.frames << " frames, "
+       << burst.words << " words\n";
+  }
+  os << "  final words   : " << layout.final_words << "\n"
+     << "  idcode        : 0x" << std::hex << layout.idcode << std::dec << "\n"
+     << "  crc           : " << (layout.crc_ok ? "ok" : "MISMATCH") << "\n"
+     << "  desync        : " << (layout.desync_seen ? "yes" : "NO") << "\n";
+  return os.str();
+}
+
+}  // namespace prcost

@@ -1,0 +1,55 @@
+// Partial bitstream parser / disassembler.
+//
+// Walks a word stream produced by generate_bitstream (or any stream with
+// the same packet grammar), recovers the Fig. 2 structure - initial words,
+// per-row FDRI bursts with their frame addresses, final words - and
+// re-checks the configuration CRC. The Fig. 2 bench uses this to print the
+// structure of each PRM's bitstream; round-trip tests use it to prove the
+// generator emits what the model predicts section by section.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bitstream/frame_address.hpp"
+#include "bitstream/words.hpp"
+#include "device/family_traits.hpp"
+
+namespace prcost {
+
+/// One FDRI write burst.
+struct FdriBurst {
+  FrameAddress far;     ///< frame address the burst starts at
+  u64 words = 0;        ///< payload configuration words
+  u64 frames = 0;       ///< words / frame_size
+  u64 offset_words = 0; ///< position of the burst payload in the stream
+};
+
+/// Parsed bitstream structure.
+struct BitstreamLayout {
+  u64 total_words = 0;
+  u64 initial_words = 0;  ///< words before the first per-row NOOP/FAR group
+  u64 final_words = 0;    ///< words from the LFRM command onward
+  std::vector<FdriBurst> bursts;
+  u32 idcode = 0;
+  u32 crc_written = 0;    ///< CRC value carried in the trailer
+  u32 crc_computed = 0;   ///< CRC recomputed over the register writes
+  bool crc_ok = false;
+  bool desync_seen = false;
+
+  /// Bursts writing BRAM content frames.
+  u64 bram_burst_count() const;
+  /// Bursts writing interconnect/configuration frames.
+  u64 config_burst_count() const;
+};
+
+/// Parse `words` for `family`. Throws ParseError on grammar violations
+/// (missing sync, truncated packet, unknown packet type).
+BitstreamLayout parse_bitstream(std::span<const u32> words, Family family);
+
+/// Human-readable disassembly (one line per packet; frame payloads are
+/// summarized, not dumped).
+std::string disassemble(std::span<const u32> words, Family family);
+
+}  // namespace prcost

@@ -1,0 +1,45 @@
+#include "bitstream/words.hpp"
+
+namespace prcost {
+
+std::string_view config_reg_name(ConfigReg reg) {
+  switch (reg) {
+    case ConfigReg::kCrc: return "CRC";
+    case ConfigReg::kFar: return "FAR";
+    case ConfigReg::kFdri: return "FDRI";
+    case ConfigReg::kFdro: return "FDRO";
+    case ConfigReg::kCmd: return "CMD";
+    case ConfigReg::kCtl0: return "CTL0";
+    case ConfigReg::kMask: return "MASK";
+    case ConfigReg::kStat: return "STAT";
+    case ConfigReg::kLout: return "LOUT";
+    case ConfigReg::kCout: return "COUT";
+    case ConfigReg::kMfwr: return "MFWR";
+    case ConfigReg::kCbc: return "CBC";
+    case ConfigReg::kIdcode: return "IDCODE";
+    case ConfigReg::kAxss: return "AXSS";
+  }
+  return "?";
+}
+
+std::string_view config_cmd_name(ConfigCmd cmd) {
+  switch (cmd) {
+    case ConfigCmd::kNull: return "NULL";
+    case ConfigCmd::kWcfg: return "WCFG";
+    case ConfigCmd::kMfw: return "MFW";
+    case ConfigCmd::kLfrm: return "LFRM";
+    case ConfigCmd::kRcfg: return "RCFG";
+    case ConfigCmd::kStart: return "START";
+    case ConfigCmd::kRcap: return "RCAP";
+    case ConfigCmd::kRcrc: return "RCRC";
+    case ConfigCmd::kAghigh: return "AGHIGH";
+    case ConfigCmd::kSwitch: return "SWITCH";
+    case ConfigCmd::kGrestore: return "GRESTORE";
+    case ConfigCmd::kShutdown: return "SHUTDOWN";
+    case ConfigCmd::kGcapture: return "GCAPTURE";
+    case ConfigCmd::kDesync: return "DESYNC";
+  }
+  return "?";
+}
+
+}  // namespace prcost

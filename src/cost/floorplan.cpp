@@ -1,0 +1,192 @@
+#include "cost/floorplan.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace prcost {
+
+Floorplanner::Floorplanner(const Fabric& fabric)
+    : fabric_(&fabric),
+      occupied_(static_cast<std::size_t>(fabric.rows()) * fabric.num_columns(),
+                false) {}
+
+bool Floorplanner::rect_free(u32 first_col, u32 width, u32 first_row,
+                             u32 height) const {
+  if (first_col + width > fabric_->num_columns() ||
+      first_row + height > fabric_->rows()) {
+    return false;
+  }
+  for (u32 r = first_row; r < first_row + height; ++r) {
+    for (u32 c = first_col; c < first_col + width; ++c) {
+      if (occupied_[static_cast<std::size_t>(r) * fabric_->num_columns() + c]) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void Floorplanner::mark(u32 first_col, u32 width, u32 first_row, u32 height) {
+  for (u32 r = first_row; r < first_row + height; ++r) {
+    for (u32 c = first_col; c < first_col + width; ++c) {
+      occupied_[static_cast<std::size_t>(r) * fabric_->num_columns() + c] =
+          true;
+    }
+  }
+}
+
+void Floorplanner::reserve(u32 first_col, u32 width, u32 first_row,
+                           u32 height) {
+  if (first_col + width > fabric_->num_columns() ||
+      first_row + height > fabric_->rows()) {
+    throw ContractError{"Floorplanner::reserve: rectangle exceeds fabric"};
+  }
+  mark(first_col, width, first_row, height);
+}
+
+std::optional<PlacedPrr> Floorplanner::place(const std::string& name,
+                                             const PrmRequirements& req,
+                                             SearchObjective objective) {
+  // Candidate organizations over all heights, sorted by the objective.
+  // Unlike enumerate_prrs this does NOT pre-filter on exact-window
+  // existence: a candidate with no exact span can still be placed by the
+  // superset pass below.
+  std::vector<PrrPlan> candidates;
+  const bool single_dsp = fabric_->column_count(ColumnType::kDsp) == 1;
+  for (u32 h = 1; h <= fabric_->rows(); ++h) {
+    const auto org =
+        organization_for_height(req, fabric_->traits(), h, single_dsp);
+    if (!org) continue;
+    PrrPlan plan;
+    plan.organization = *org;
+    plan.available = availability(*org, fabric_->traits());
+    plan.ru = utilization(req, plan.available, fabric_->traits());
+    plan.bitstream = estimate_bitstream(*org, fabric_->traits());
+    candidates.push_back(std::move(plan));
+  }
+  const auto key = [&](const PrrPlan& p) {
+    switch (objective) {
+      case SearchObjective::kMinArea:
+        return std::pair<u64, u64>{p.organization.size(), p.organization.h};
+      case SearchObjective::kFirstFeasible:
+        return std::pair<u64, u64>{p.organization.h, 0};
+      case SearchObjective::kMinBitstream:
+        return std::pair<u64, u64>{p.bitstream.total_bytes, p.organization.h};
+    }
+    throw ContractError{"Floorplanner::place: unknown objective"};
+  };
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [&](const PrrPlan& a, const PrrPlan& b) {
+                     return key(a) < key(b);
+                   });
+
+  const auto try_place = [&](const PrrPlan& plan,
+                             const ColumnWindow& window)
+      -> std::optional<PlacedPrr> {
+    for (u32 row = 0; row + plan.organization.h <= fabric_->rows(); ++row) {
+      if (!rect_free(window.first_col, window.width, row,
+                     plan.organization.h)) {
+        continue;
+      }
+      mark(window.first_col, window.width, row, plan.organization.h);
+      PlacedPrr placed;
+      placed.name = name;
+      placed.plan = plan;
+      placed.plan.window = window;
+      placed.plan.first_row = row;
+      placed.first_col = window.first_col;
+      placed.first_row = row;
+      placements_.push_back(placed);
+      return placed;
+    }
+    return std::nullopt;
+  };
+
+  // Pass 1: exact column composition (the paper's Fig. 1 semantics).
+  for (const PrrPlan& candidate : candidates) {
+    for (const ColumnWindow& window :
+         fabric_->find_all_windows(candidate.organization.columns)) {
+      if (auto placed = try_place(candidate, window)) return placed;
+    }
+  }
+
+  // Pass 2: superset windows - accept surplus PR-capable columns when no
+  // exact span exists (or is free). The effective organization is the
+  // window's real composition, so availability, utilization and bitstream
+  // size all account for the surplus columns the PRR now drags along.
+  for (const PrrPlan& candidate : candidates) {
+    for (u32 width = candidate.organization.width();
+         width <= fabric_->num_columns(); ++width) {
+      for (const ColumnWindow& window : fabric_->find_all_windows_superset(
+               candidate.organization.columns, width)) {
+        PrrPlan widened = candidate;
+        widened.organization.columns = fabric_->window_composition(window);
+        widened.available =
+            availability(widened.organization, fabric_->traits());
+        widened.bitstream =
+            estimate_bitstream(widened.organization, fabric_->traits());
+        widened.ru = utilization(req, widened.available, fabric_->traits());
+        if (auto placed = try_place(widened, window)) return placed;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+bool Floorplanner::remove(const std::string& name) {
+  for (std::size_t i = 0; i < placements_.size(); ++i) {
+    if (placements_[i].name != name) continue;
+    const PlacedPrr& placed = placements_[i];
+    for (u32 r = placed.first_row;
+         r < placed.first_row + placed.plan.organization.h; ++r) {
+      for (u32 c = placed.first_col;
+           c < placed.first_col + placed.plan.window.width; ++c) {
+        occupied_[static_cast<std::size_t>(r) * fabric_->num_columns() + c] =
+            false;
+      }
+    }
+    placements_.erase(placements_.begin() +
+                      static_cast<std::ptrdiff_t>(i));
+    return true;
+  }
+  return false;
+}
+
+void Floorplanner::move_placement(std::size_t index,
+                                  const ColumnWindow& window, u32 first_row) {
+  if (index >= placements_.size()) {
+    throw ContractError{"move_placement: index out of range"};
+  }
+  PlacedPrr& placed = placements_[index];
+  const u32 h = placed.plan.organization.h;
+  // Unmark the current rectangle, verify the target, then re-mark.
+  const auto set_rect = [&](u32 col0, u32 width, u32 row0, bool value) {
+    for (u32 r = row0; r < row0 + h; ++r) {
+      for (u32 c = col0; c < col0 + width; ++c) {
+        occupied_[static_cast<std::size_t>(r) * fabric_->num_columns() + c] =
+            value;
+      }
+    }
+  };
+  set_rect(placed.first_col, placed.plan.window.width, placed.first_row,
+           false);
+  if (!rect_free(window.first_col, window.width, first_row, h)) {
+    set_rect(placed.first_col, placed.plan.window.width, placed.first_row,
+             true);
+    throw ContractError{"move_placement: target rectangle is not free"};
+  }
+  set_rect(window.first_col, window.width, first_row, true);
+  placed.plan.window = window;
+  placed.plan.first_row = first_row;
+  placed.first_col = window.first_col;
+  placed.first_row = first_row;
+}
+
+double Floorplanner::occupancy() const {
+  const auto used = static_cast<double>(
+      std::count(occupied_.begin(), occupied_.end(), true));
+  return occupied_.empty() ? 0.0 : used / static_cast<double>(occupied_.size());
+}
+
+}  // namespace prcost

@@ -1,0 +1,76 @@
+// Multi-PRR floorplanning on a device fabric.
+//
+// The paper's flow (Fig. 1) searches for one PRR "starting at the bottom
+// of the device fabric (row = 1)". In a real PR system the fabric also
+// hosts a static region and other PRRs, so later searches must skip
+// occupied rectangles. This module adds that occupancy-aware placement on
+// top of the Fig. 1 search - it is the "floorplanning stage" the paper's
+// future-work section points at.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cost/prr_search.hpp"
+#include "device/fabric.hpp"
+
+namespace prcost {
+
+/// One placed PRR: the plan plus its concrete rectangle.
+struct PlacedPrr {
+  std::string name;
+  PrrPlan plan;
+  u32 first_col = 0;  ///< left-most fabric column (0-based)
+  u32 first_row = 0;  ///< bottom fabric row (0-based)
+};
+
+/// Occupancy-aware sequential floorplanner. Placement is greedy in call
+/// order: callers place the largest/most-constrained PRMs first for best
+/// packing (the classic offline strategy; the DSE module automates
+/// orderings).
+class Floorplanner {
+ public:
+  explicit Floorplanner(const Fabric& fabric);
+
+  /// Mark a rectangle as used by the static region. Throws ContractError
+  /// if it exceeds the fabric.
+  void reserve(u32 first_col, u32 width, u32 first_row, u32 height);
+
+  /// Place the best PRR for `req` (by `objective`) in free space. Tries
+  /// candidate organizations in objective order, every matching column
+  /// window, and every row offset bottom-up. Returns nullopt when nothing
+  /// fits.
+  std::optional<PlacedPrr> place(const std::string& name,
+                                 const PrmRequirements& req,
+                                 SearchObjective objective =
+                                     SearchObjective::kMinArea);
+
+  const std::vector<PlacedPrr>& placements() const { return placements_; }
+
+  /// Free a previously placed PRR by name (first match). Returns false if
+  /// no placement has that name. Reserved rectangles are never released.
+  bool remove(const std::string& name);
+
+  /// Relocate placement `index` to a new rectangle (marks/unmarks cells
+  /// and rewrites the stored placement). The target must be free after
+  /// removing the placement itself; throws ContractError otherwise. Used
+  /// by the HTR defragmenter.
+  void move_placement(std::size_t index, const ColumnWindow& window,
+                      u32 first_row);
+
+  /// Fraction of fabric cells (rows x columns) currently occupied.
+  double occupancy() const;
+
+  /// True if the rectangle is fully free and inside the fabric.
+  bool rect_free(u32 first_col, u32 width, u32 first_row, u32 height) const;
+
+ private:
+  void mark(u32 first_col, u32 width, u32 first_row, u32 height);
+
+  const Fabric* fabric_;
+  std::vector<bool> occupied_;  ///< row-major rows() x num_columns()
+  std::vector<PlacedPrr> placements_;
+};
+
+}  // namespace prcost

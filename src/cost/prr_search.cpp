@@ -1,0 +1,109 @@
+#include "cost/prr_search.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace prcost {
+namespace {
+
+PrrPlan make_plan(const PrmRequirements& req, const Fabric& fabric,
+                  const PrrOrganization& org, const ColumnWindow& window) {
+  PrrPlan plan;
+  plan.organization = org;
+  plan.window = window;
+  plan.first_row = 0;  // fabric rows are uniform; Fig. 1 starts at row 1
+  plan.available = availability(org, fabric.traits());
+  plan.ru = utilization(req, plan.available, fabric.traits());
+  plan.bitstream = estimate_bitstream(org, fabric.traits());
+  return plan;
+}
+
+/// True if `a` beats `b` under `objective` (ties prefer smaller H).
+bool better(const PrrPlan& a, const PrrPlan& b, SearchObjective objective) {
+  switch (objective) {
+    case SearchObjective::kMinArea:
+      if (a.organization.size() != b.organization.size()) {
+        return a.organization.size() < b.organization.size();
+      }
+      return a.organization.h < b.organization.h;
+    case SearchObjective::kFirstFeasible:
+      return a.organization.h < b.organization.h;
+    case SearchObjective::kMinBitstream:
+      if (a.bitstream.total_bytes != b.bitstream.total_bytes) {
+        return a.bitstream.total_bytes < b.bitstream.total_bytes;
+      }
+      return a.organization.h < b.organization.h;
+  }
+  throw ContractError{"better: unknown objective"};
+}
+
+std::optional<PrrPlan> search(const PrmRequirements& req, const Fabric& fabric,
+                              const SearchOptions& options) {
+  const bool single_dsp = fabric.column_count(ColumnType::kDsp) == 1;
+  const u32 max_h = options.max_height == 0
+                        ? fabric.rows()
+                        : std::min(options.max_height, fabric.rows());
+  std::optional<PrrPlan> best;
+  for (u32 h = 1; h <= max_h; ++h) {
+    const auto org =
+        organization_for_height(req, fabric.traits(), h, single_dsp);
+    if (!org) continue;
+    const auto window = fabric.find_window(org->columns);
+    if (!window) continue;  // internal fragmentation: no contiguous span
+    PrrPlan plan = make_plan(req, fabric, *org, *window);
+    if (!best || better(plan, *best, options.objective)) {
+      best = std::move(plan);
+      if (options.objective == SearchObjective::kFirstFeasible) break;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::optional<PrrPlan> find_prr(const PrmRequirements& req,
+                                const Fabric& fabric,
+                                const SearchOptions& options) {
+  if (req.lut_ff_pairs == 0 && req.dsps == 0 && req.brams == 0) {
+    return std::nullopt;  // empty PRM: nothing to place
+  }
+  return search(req, fabric, options);
+}
+
+std::optional<PrrPlan> find_shared_prr(std::span<const PrmRequirements> reqs,
+                                       const Fabric& fabric,
+                                       const SearchOptions& options) {
+  if (reqs.empty()) return std::nullopt;
+  // Element-wise maximum requirement: the PRR must host the largest
+  // per-resource demand across its associated PRMs.
+  PrmRequirements merged;
+  for (const PrmRequirements& r : reqs) {
+    merged.lut_ff_pairs = std::max(merged.lut_ff_pairs, r.lut_ff_pairs);
+    merged.luts = std::max(merged.luts, r.luts);
+    merged.ffs = std::max(merged.ffs, r.ffs);
+    merged.dsps = std::max(merged.dsps, r.dsps);
+    merged.brams = std::max(merged.brams, r.brams);
+  }
+  return find_prr(merged, fabric, options);
+}
+
+std::vector<PrrPlan> enumerate_prrs(const PrmRequirements& req,
+                                    const Fabric& fabric, u32 max_height) {
+  std::vector<PrrPlan> plans;
+  const bool single_dsp = fabric.column_count(ColumnType::kDsp) == 1;
+  const u32 max_h = max_height == 0 ? fabric.rows()
+                                    : std::min(max_height, fabric.rows());
+  for (u32 h = 1; h <= max_h; ++h) {
+    const auto org =
+        organization_for_height(req, fabric.traits(), h, single_dsp);
+    if (!org) continue;
+    const auto window = fabric.find_window(org->columns);
+    if (!window) continue;
+    plans.push_back(make_plan(req, fabric, *org, *window));
+  }
+  return plans;
+}
+
+}  // namespace prcost

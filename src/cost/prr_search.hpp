@@ -1,0 +1,69 @@
+// Fig. 1 search flow: find the PRR size/organization on a concrete device
+// fabric that satisfies a PRM's (or a set of PRMs') requirements.
+//
+// The paper's flow iterates H starting at 1, derives W_CLB/W_DSP/W_BRAM
+// via Eqs. (2)-(5), and checks whether W contiguous PR-capable columns
+// with that composition exist on the fabric; Table V's results show the
+// flow keeps searching past the first feasible height and returns the
+// organization minimizing PRR_size = H*W (FIR on the LX110T lands at
+// H=5, W=3 although H=4, W=4 is feasible). SearchObjective selects that
+// criterion, the first-feasible variant, or minimum predicted bitstream.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "cost/bitstream_model.hpp"
+#include "cost/prr_model.hpp"
+#include "device/fabric.hpp"
+
+namespace prcost {
+
+/// What the search minimizes across feasible heights.
+enum class SearchObjective {
+  kMinArea,       ///< smallest PRR_size = H*W (ties: smaller H) - Table V
+  kFirstFeasible, ///< smallest feasible H (the literal Fig. 1 loop)
+  kMinBitstream,  ///< smallest predicted partial bitstream (Eq. 18)
+};
+
+struct SearchOptions {
+  SearchObjective objective = SearchObjective::kMinArea;
+  /// Cap on candidate heights; 0 means the device row count R.
+  u32 max_height = 0;
+};
+
+/// A fully resolved PRR: organization + concrete fabric placement +
+/// derived availability/utilization/bitstream predictions.
+struct PrrPlan {
+  PrrOrganization organization;
+  ColumnWindow window;       ///< leftmost matching column window
+  u32 first_row = 0;         ///< bottom row r (0-based; paper counts from 1)
+  PrrAvailability available;
+  ResourceUtilization ru;
+  BitstreamEstimate bitstream;
+};
+
+/// Search one PRM. Returns nullopt when no feasible PRR exists on the
+/// fabric at any height. The Eq. (4) single-DSP-column rule is applied
+/// automatically when the fabric has exactly one DSP column.
+std::optional<PrrPlan> find_prr(const PrmRequirements& req,
+                                const Fabric& fabric,
+                                const SearchOptions& options = {});
+
+/// Search a PRR shared by several time-multiplexed PRMs. Per the paper:
+/// "the largest W_CLB, W_DSP, and W_BRAM across all of the PRR's
+/// associated PRMs dictates the number of CLB, DSP, and BRAM columns in
+/// the PRR." Utilization in the returned plan is computed against the
+/// element-wise maximum requirement. Returns nullopt if any PRM cannot fit
+/// at any height.
+std::optional<PrrPlan> find_shared_prr(std::span<const PrmRequirements> reqs,
+                                       const Fabric& fabric,
+                                       const SearchOptions& options = {});
+
+/// All feasible (H, organization) candidates for a PRM on a fabric, in
+/// ascending H order - the raw material for fragmentation sweeps and DSE.
+std::vector<PrrPlan> enumerate_prrs(const PrmRequirements& req,
+                                    const Fabric& fabric, u32 max_height = 0);
+
+}  // namespace prcost

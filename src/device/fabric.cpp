@@ -1,0 +1,167 @@
+#include "device/fabric.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace prcost {
+
+Fabric::Fabric(Family family, std::string_view column_pattern, u32 rows)
+    : family_(family), traits_(&prcost::traits(family)), rows_(rows) {
+  if (column_pattern.empty()) {
+    throw ContractError{"Fabric: empty column pattern"};
+  }
+  if (rows == 0) throw ContractError{"Fabric: zero rows"};
+  columns_.reserve(column_pattern.size());
+  for (const char code : column_pattern) {
+    columns_.push_back(parse_column_code(code));
+  }
+}
+
+std::string Fabric::pattern() const {
+  std::string out;
+  out.reserve(columns_.size());
+  for (const auto type : columns_) out += column_code(type);
+  return out;
+}
+
+u32 Fabric::column_count(ColumnType type) const {
+  return narrow<u32>(std::count(columns_.begin(), columns_.end(), type));
+}
+
+u64 Fabric::total_resources(ColumnType type) const {
+  return checked_mul(checked_mul(column_count(type), rows_),
+                     resources_per_row(type, *traits_));
+}
+
+u64 Fabric::total_luts() const {
+  return checked_mul(total_resources(ColumnType::kClb), traits_->lut_clb);
+}
+
+u64 Fabric::total_ffs() const {
+  return checked_mul(total_resources(ColumnType::kClb), traits_->ff_clb);
+}
+
+namespace {
+
+struct WindowCounts {
+  u32 clb = 0;
+  u32 dsp = 0;
+  u32 bram = 0;
+  u32 blocked = 0;  // IOB/CLK columns in the window
+
+  void adjust(ColumnType type, int delta) {
+    const auto d = static_cast<u32>(delta);
+    switch (type) {
+      case ColumnType::kClb: clb += d; break;
+      case ColumnType::kDsp: dsp += d; break;
+      case ColumnType::kBram: bram += d; break;
+      case ColumnType::kIob:
+      case ColumnType::kClk: blocked += d; break;
+    }
+  }
+
+  bool matches(const ColumnDemand& demand) const {
+    return blocked == 0 && clb == demand.clb_cols && dsp == demand.dsp_cols &&
+           bram == demand.bram_cols;
+  }
+};
+
+}  // namespace
+
+std::vector<ColumnWindow> Fabric::find_all_windows(
+    const ColumnDemand& demand) const {
+  std::vector<ColumnWindow> out;
+  const u32 width = demand.width();
+  if (width == 0 || width > num_columns()) return out;
+
+  WindowCounts counts;
+  for (u32 c = 0; c < width; ++c) counts.adjust(columns_[c], +1);
+  for (u32 start = 0;; ++start) {
+    if (counts.matches(demand)) out.push_back(ColumnWindow{start, width});
+    if (start + width >= num_columns()) break;
+    counts.adjust(columns_[start], -1);
+    counts.adjust(columns_[start + width], +1);
+  }
+  return out;
+}
+
+std::optional<ColumnWindow> Fabric::find_window(
+    const ColumnDemand& demand) const {
+  const u32 width = demand.width();
+  if (width == 0 || width > num_columns()) return std::nullopt;
+
+  WindowCounts counts;
+  for (u32 c = 0; c < width; ++c) counts.adjust(columns_[c], +1);
+  for (u32 start = 0;; ++start) {
+    if (counts.matches(demand)) return ColumnWindow{start, width};
+    if (start + width >= num_columns()) break;
+    counts.adjust(columns_[start], -1);
+    counts.adjust(columns_[start + width], +1);
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+bool covers(const WindowCounts& counts, const ColumnDemand& demand) {
+  return counts.blocked == 0 && counts.clb >= demand.clb_cols &&
+         counts.dsp >= demand.dsp_cols && counts.bram >= demand.bram_cols;
+}
+
+}  // namespace
+
+std::vector<ColumnWindow> Fabric::find_all_windows_superset(
+    const ColumnDemand& demand, u32 width) const {
+  std::vector<ColumnWindow> out;
+  if (width < demand.width() || width == 0 || width > num_columns()) {
+    return out;
+  }
+  WindowCounts counts;
+  for (u32 c = 0; c < width; ++c) counts.adjust(columns_[c], +1);
+  for (u32 start = 0;; ++start) {
+    if (covers(counts, demand)) out.push_back(ColumnWindow{start, width});
+    if (start + width >= num_columns()) break;
+    counts.adjust(columns_[start], -1);
+    counts.adjust(columns_[start + width], +1);
+  }
+  return out;
+}
+
+std::optional<ColumnWindow> Fabric::find_window_superset(
+    const ColumnDemand& demand) const {
+  for (u32 width = demand.width(); width <= num_columns(); ++width) {
+    const auto windows = find_all_windows_superset(demand, width);
+    if (!windows.empty()) return windows.front();
+  }
+  return std::nullopt;
+}
+
+ColumnDemand Fabric::window_composition(const ColumnWindow& window) const {
+  if (window.first_col + window.width > num_columns()) {
+    throw ContractError{"window_composition: window out of range"};
+  }
+  ColumnDemand demand;
+  for (u32 c = window.first_col; c < window.first_col + window.width; ++c) {
+    switch (columns_[c]) {
+      case ColumnType::kClb: ++demand.clb_cols; break;
+      case ColumnType::kDsp: ++demand.dsp_cols; break;
+      case ColumnType::kBram: ++demand.bram_cols; break;
+      default: break;
+    }
+  }
+  return demand;
+}
+
+u64 Fabric::window_config_frames(const ColumnWindow& window) const {
+  if (window.first_col + window.width > num_columns()) {
+    throw ContractError{"window_config_frames: window out of range"};
+  }
+  u64 frames = 0;
+  for (u32 c = window.first_col; c < window.first_col + window.width; ++c) {
+    frames = checked_add(frames, config_frames(columns_[c], *traits_));
+  }
+  return frames;
+}
+
+}  // namespace prcost

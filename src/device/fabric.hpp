@@ -1,0 +1,108 @@
+// Two-dimensional FPGA fabric model.
+//
+// Following the Virtex-5-and-newer layout described in Section III.A of the
+// paper, the fabric is a grid of `rows` clock-region rows by a left-to-right
+// sequence of resource columns; every column spans the full device height
+// and contributes `resources_per_row(type)` primitives in each row. PRRs
+// are rectangles: H contiguous rows by W contiguous columns, with no
+// IOB/CLK column inside.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "device/column.hpp"
+#include "device/family_traits.hpp"
+
+namespace prcost {
+
+/// Count of columns a window needs per PRR-capable type; the "organization"
+/// half of the paper's PRR size/organization (W_CLB, W_DSP, W_BRAM).
+struct ColumnDemand {
+  u32 clb_cols = 0;   ///< W_CLB
+  u32 dsp_cols = 0;   ///< W_DSP
+  u32 bram_cols = 0;  ///< W_BRAM
+
+  /// Total window width W = W_CLB + W_DSP + W_BRAM (Eq. 6).
+  constexpr u32 width() const { return clb_cols + dsp_cols + bram_cols; }
+};
+
+/// A placed column window: `first_col` is the left-most fabric column index
+/// (0-based) of a W-wide window satisfying some ColumnDemand.
+struct ColumnWindow {
+  u32 first_col = 0;
+  u32 width = 0;
+};
+
+/// Immutable device fabric: family traits + column sequence + row count.
+class Fabric {
+ public:
+  /// Build from a pattern string of column codes, e.g. "CCBCCDCC...".
+  /// Throws ContractError on empty pattern, zero rows, or unknown codes.
+  Fabric(Family family, std::string_view column_pattern, u32 rows);
+
+  Family family() const { return family_; }
+  const FamilyTraits& traits() const { return *traits_; }
+
+  /// Number of clock-region rows R (the paper: "the target device has R
+  /// rows"; LX110T has 8, LX75T has 3).
+  u32 rows() const { return rows_; }
+  u32 num_columns() const { return narrow<u32>(columns_.size()); }
+  ColumnType column(u32 index) const { return columns_.at(index); }
+  const std::vector<ColumnType>& columns() const { return columns_; }
+
+  /// Column pattern as a code string (round-trips the constructor input).
+  std::string pattern() const;
+
+  /// Number of columns of `type` on the whole device.
+  u32 column_count(ColumnType type) const;
+
+  /// Total primitives of a resource column type on the device
+  /// (columns x rows x per-row density).
+  u64 total_resources(ColumnType type) const;
+
+  /// Total LUTs / FFs on the device (via CLB count and family traits).
+  u64 total_luts() const;
+  u64 total_ffs() const;
+
+  /// Find the left-most W-wide contiguous window whose column-type
+  /// composition EXACTLY matches `demand` (the paper's Fig. 1: "distribute
+  /// the CLB, DSP, and BRAM columns in any order", no IOB/CLK columns).
+  /// Windows of width 0 are rejected. Returns nullopt when no such window
+  /// exists anywhere on the fabric.
+  std::optional<ColumnWindow> find_window(const ColumnDemand& demand) const;
+
+  /// All windows matching `demand` (left-most first); used by the
+  /// multi-PRR floorplanner to try alternatives.
+  std::vector<ColumnWindow> find_all_windows(const ColumnDemand& demand) const;
+
+  /// Relaxed search: the smallest (then left-most) window containing AT
+  /// LEAST the demanded number of columns per type and no IOB/CLK columns;
+  /// surplus PR-capable columns are allowed (they become internal
+  /// fragmentation the PRM never uses but the bitstream must still carry).
+  /// Real PR floorplans accept this when no exact-composition span exists.
+  std::optional<ColumnWindow> find_window_superset(
+      const ColumnDemand& demand) const;
+
+  /// All superset windows of exactly `width` (left-most first).
+  std::vector<ColumnWindow> find_all_windows_superset(
+      const ColumnDemand& demand, u32 width) const;
+
+  /// The column-type composition of a window as a ColumnDemand.
+  ColumnDemand window_composition(const ColumnWindow& window) const;
+
+  /// Configuration frames covered by one row of the given window
+  /// (sum of config_frames over its columns) - the quantity behind
+  /// Eqs. (19)-(22).
+  u64 window_config_frames(const ColumnWindow& window) const;
+
+ private:
+  Family family_;
+  const FamilyTraits* traits_;
+  std::vector<ColumnType> columns_;
+  u32 rows_;
+};
+
+}  // namespace prcost

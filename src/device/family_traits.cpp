@@ -1,0 +1,163 @@
+#include "device/family_traits.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace prcost {
+namespace {
+
+// Virtex-4 (UG071): 16 CLBs per column-row, frame = 41 x 32-bit words,
+// CLB/DSP/BRAM-interconnect columns have 22/21/20 frames, 64 BRAM content
+// frames per column.
+constexpr FamilyTraits kVirtex4{
+    .clb_col = 16,
+    .dsp_col = 8,
+    .bram_col = 4,
+    .lut_clb = 8,
+    .ff_clb = 8,
+    .cf_clb = 22,
+    .cf_dsp = 21,
+    .cf_bram = 20,
+    .df_bram = 64,
+    .cf_iob = 30,
+    .cf_clk = 3,
+    .frame_size = 41,
+    .iw = 20,
+    .fw = 14,
+    .far_fdri = 5,
+    .bytes_word = 4,
+};
+
+// Virtex-5 (paper Section III.A, UG191/UG190): frame = 41 words; CLB, DSP,
+// BRAM, IOB, CLK columns have 36, 28, 30, 54, 4 frames; 128 BRAM data
+// frames per column; 20 CLBs / 8 DSPs / 4 BRAMs per column-row; CLB = 2
+// slices x (4 LUTs + 4 FFs).
+constexpr FamilyTraits kVirtex5{
+    .clb_col = 20,
+    .dsp_col = 8,
+    .bram_col = 4,
+    .lut_clb = 8,
+    .ff_clb = 8,
+    .cf_clb = 36,
+    .cf_dsp = 28,
+    .cf_bram = 30,
+    .df_bram = 128,
+    .cf_iob = 54,
+    .cf_clk = 4,
+    .frame_size = 41,
+    .iw = 21,
+    .fw = 15,
+    .far_fdri = 5,
+    .bytes_word = 4,
+};
+
+// Virtex-6 (UG360): frame = 81 words; 40 CLBs / 16 DSPs / 8 BRAMs per
+// column-row; CLB = 2 slices x (4 LUTs + 8 FFs) => FF_CLB = 16.
+constexpr FamilyTraits kVirtex6{
+    .clb_col = 40,
+    .dsp_col = 16,
+    .bram_col = 8,
+    .lut_clb = 8,
+    .ff_clb = 16,
+    .cf_clb = 36,
+    .cf_dsp = 28,
+    .cf_bram = 28,
+    .df_bram = 128,
+    .cf_iob = 44,
+    .cf_clk = 4,
+    .frame_size = 81,
+    .iw = 24,
+    .fw = 16,
+    .far_fdri = 5,
+    .bytes_word = 4,
+};
+
+// 7-series (UG470): frame = 101 words; 50 CLBs / 20 DSPs / 10 BRAMs per
+// column-row; CLB = 2 slices x (4 LUTs + 8 FFs).
+constexpr FamilyTraits kSeries7{
+    .clb_col = 50,
+    .dsp_col = 20,
+    .bram_col = 10,
+    .lut_clb = 8,
+    .ff_clb = 16,
+    .cf_clb = 36,
+    .cf_dsp = 28,
+    .cf_bram = 28,
+    .df_bram = 128,
+    .cf_iob = 42,
+    .cf_clk = 30,
+    .frame_size = 101,
+    .iw = 26,
+    .fw = 16,
+    .far_fdri = 5,
+    .bytes_word = 4,
+};
+
+// Spartan-6 (UG380): 16-bit configuration words (Bytes_word = 2!), frame =
+// 65 words of 16 bits; 16 CLBs / 4 DSP48A1s / 2 BRAMs per column-row.
+constexpr FamilyTraits kSpartan6{
+    .clb_col = 16,
+    .dsp_col = 4,
+    .bram_col = 2,
+    .lut_clb = 8,
+    .ff_clb = 16,
+    .cf_clb = 31,
+    .cf_dsp = 25,
+    .cf_bram = 25,
+    .df_bram = 144,
+    .cf_iob = 30,
+    .cf_clk = 4,
+    .frame_size = 65,
+    .iw = 20,
+    .fw = 14,
+    .far_fdri = 5,
+    .bytes_word = 2,
+};
+
+}  // namespace
+
+std::string_view family_name(Family family) {
+  switch (family) {
+    case Family::kVirtex4: return "Virtex-4";
+    case Family::kVirtex5: return "Virtex-5";
+    case Family::kVirtex6: return "Virtex-6";
+    case Family::kSeries7: return "7-series";
+    case Family::kSpartan6: return "Spartan-6";
+  }
+  throw ContractError{"family_name: unknown family"};
+}
+
+Family parse_family(std::string_view name) {
+  const std::string lower = to_lower(name);
+  if (lower == "virtex4" || lower == "virtex-4" || lower == "v4") {
+    return Family::kVirtex4;
+  }
+  if (lower == "virtex5" || lower == "virtex-5" || lower == "v5") {
+    return Family::kVirtex5;
+  }
+  if (lower == "virtex6" || lower == "virtex-6" || lower == "v6") {
+    return Family::kVirtex6;
+  }
+  if (lower == "series7" || lower == "7series" || lower == "7-series" ||
+      lower == "s7") {
+    return Family::kSeries7;
+  }
+  if (lower == "spartan6" || lower == "spartan-6" || lower == "s6") {
+    return Family::kSpartan6;
+  }
+  throw ContractError{"parse_family: unknown family '" + std::string{name} +
+                      "'"};
+}
+
+const FamilyTraits& traits(Family family) {
+  switch (family) {
+    case Family::kVirtex4: return kVirtex4;
+    case Family::kVirtex5: return kVirtex5;
+    case Family::kVirtex6: return kVirtex6;
+    case Family::kSeries7: return kSeries7;
+    case Family::kSpartan6: return kSpartan6;
+  }
+  throw ContractError{"traits: unknown family"};
+}
+
+}  // namespace prcost

@@ -1,0 +1,62 @@
+#include "dse/device_select.hpp"
+
+#include <algorithm>
+
+#include "cost/floorplan.hpp"
+#include "device/device_db.hpp"
+
+namespace prcost {
+
+std::vector<DeviceChoice> rank_devices(const std::vector<PrmInfo>& prms,
+                                       const std::vector<HwTask>& workload,
+                                       const DeviceSelectOptions& options) {
+  std::vector<DeviceChoice> choices;
+  for (const Device& device : DeviceDb::instance().all()) {
+    DeviceChoice choice;
+    choice.device = device.name;
+
+    Floorplanner floorplanner{device.fabric};
+    if (options.reserve_static_row) {
+      floorplanner.reserve(0, device.fabric.num_columns(), 0, 1);
+    }
+    std::vector<PrmInfo> sized = prms;
+    bool feasible = true;
+    for (std::size_t p = 0; p < prms.size(); ++p) {
+      const auto placed = floorplanner.place(prms[p].name, prms[p].req);
+      if (!placed) {
+        choice.reason = "cannot place " + prms[p].name;
+        feasible = false;
+        break;
+      }
+      sized[p].bitstream_bytes = placed->plan.bitstream.total_bytes;
+      choice.total_prr_cells += placed->plan.organization.size();
+      choice.total_bitstream_bytes += placed->plan.bitstream.total_bytes;
+    }
+    if (feasible) {
+      choice.feasible = true;
+      choice.fabric_fraction =
+          static_cast<double>(choice.total_prr_cells) /
+          static_cast<double>(u64{device.fabric.rows()} *
+                              device.fabric.num_columns());
+      SimConfig config;
+      config.prr_count = narrow<u32>(prms.size());
+      config.policy = options.policy;
+      config.media = options.media;
+      choice.makespan_s = simulate(sized, workload, config).makespan_s;
+    }
+    choices.push_back(std::move(choice));
+  }
+
+  std::stable_sort(choices.begin(), choices.end(),
+                   [](const DeviceChoice& a, const DeviceChoice& b) {
+                     if (a.feasible != b.feasible) return a.feasible;
+                     if (!a.feasible) return false;  // keep catalog order
+                     if (a.fabric_fraction != b.fabric_fraction) {
+                       return a.fabric_fraction < b.fabric_fraction;
+                     }
+                     return a.makespan_s < b.makespan_s;
+                   });
+  return choices;
+}
+
+}  // namespace prcost

@@ -1,0 +1,44 @@
+// Device selection - the earliest of the paper's "early design decisions".
+//
+// Before PRR sizing even starts, a designer must pick a part. Because the
+// cost models evaluate in microseconds, the whole catalog can be ranked in
+// one call: for each device, floorplan one PRR per PRM, total the fabric
+// cells and bitstream bytes, and simulate the workload; infeasible parts
+// report why. The ranking prefers feasible parts with the smallest fabric
+// footprint (cheapest adequate device), breaking ties on makespan.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "multitask/simulator.hpp"
+
+namespace prcost {
+
+/// One catalog candidate, evaluated.
+struct DeviceChoice {
+  std::string device;
+  bool feasible = false;
+  std::string reason;              ///< set when infeasible
+  u64 total_prr_cells = 0;         ///< sum of placed PRR sizes
+  double fabric_fraction = 0.0;    ///< PRR cells / fabric cells
+  u64 total_bitstream_bytes = 0;   ///< sum over PRMs
+  double makespan_s = 0.0;         ///< workload makespan on this part
+};
+
+/// Selection options.
+struct DeviceSelectOptions {
+  SchedPolicy policy = SchedPolicy::kReuseAware;
+  StorageMedia media = StorageMedia::kDdrSdram;
+  /// Reserve the bottom fabric row for the static region before placing.
+  bool reserve_static_row = true;
+};
+
+/// Evaluate every catalog device for `prms` under `workload`. The result
+/// is sorted: feasible parts first (ascending fabric_fraction, then
+/// makespan), then infeasible parts in catalog order.
+std::vector<DeviceChoice> rank_devices(const std::vector<PrmInfo>& prms,
+                                       const std::vector<HwTask>& workload,
+                                       const DeviceSelectOptions& options = {});
+
+}  // namespace prcost

@@ -1,0 +1,114 @@
+#include "dse/explorer.hpp"
+
+#include <algorithm>
+
+#include "util/parallel.hpp"
+
+namespace prcost {
+namespace {
+
+DesignPoint evaluate_partition(const Partition& partition,
+                               const std::vector<PrmInfo>& prms,
+                               const Fabric& fabric,
+                               const std::vector<HwTask>& workload,
+                               const ExploreOptions& options) {
+  DesignPoint point;
+  point.partition = partition;
+
+  // Size and floorplan one shared PRR per group.
+  Floorplanner floorplanner{fabric};
+  for (const auto& group : partition) {
+    std::vector<PrmRequirements> reqs;
+    reqs.reserve(group.size());
+    for (const u32 prm : group) reqs.push_back(prms[prm].req);
+    // Shared PRR demand: element-wise max (find_shared_prr semantics), but
+    // placed through the occupancy-aware floorplanner.
+    PrmRequirements merged;
+    for (const PrmRequirements& r : reqs) {
+      merged.lut_ff_pairs = std::max(merged.lut_ff_pairs, r.lut_ff_pairs);
+      merged.luts = std::max(merged.luts, r.luts);
+      merged.ffs = std::max(merged.ffs, r.ffs);
+      merged.dsps = std::max(merged.dsps, r.dsps);
+      merged.brams = std::max(merged.brams, r.brams);
+    }
+    const auto placed = floorplanner.place("group", merged);
+    if (!placed) {
+      point.infeasible_reason = "no room for a PRR group on the fabric";
+      return point;
+    }
+    point.prr_plans.push_back(placed->plan);
+    point.total_prr_area += placed->plan.organization.size();
+  }
+
+  // Per-PRM bitstream size = its group's PRR organization through
+  // Eqs. (18)-(23) (every PRM of a group reconfigures the whole PRR).
+  std::vector<PrmInfo> sized = prms;
+  for (std::size_t g = 0; g < partition.size(); ++g) {
+    const u64 bytes = point.prr_plans[g].bitstream.total_bytes;
+    for (const u32 prm : partition[g]) {
+      sized[prm].bitstream_bytes = bytes;
+      point.total_bitstream_bytes += bytes;
+    }
+  }
+
+  // Schedule the workload: each group is a PRR; tasks of a PRM dispatch to
+  // their group's PRR. The pool simulator models the pool as symmetric
+  // PRRs, which matches when groups are similar; we approximate
+  // group-affinity by running the pool with one PRR per group.
+  SimConfig sim_config;
+  sim_config.prr_count = narrow<u32>(partition.size());
+  sim_config.policy = options.policy;
+  sim_config.media = options.media;
+  sim_config.controller = options.controller;
+  const SimResult sim = simulate(sized, workload, sim_config);
+  point.makespan_s = sim.makespan_s;
+  point.total_reconfig_s = sim.total_reconfig_s;
+  point.feasible = true;
+  return point;
+}
+
+}  // namespace
+
+std::vector<DesignPoint> explore(const std::vector<PrmInfo>& prms,
+                                 const Fabric& fabric,
+                                 const std::vector<HwTask>& workload,
+                                 const ExploreOptions& options) {
+  const auto partitions =
+      enumerate_partitions(narrow<u32>(prms.size()), options.max_groups);
+  std::vector<DesignPoint> points(partitions.size());
+  parallel_for(
+      partitions.size(),
+      [&](std::size_t i) {
+        points[i] =
+            evaluate_partition(partitions[i], prms, fabric, workload, options);
+      },
+      options.workers);
+  return points;
+}
+
+std::vector<DesignPoint> pareto_front(const std::vector<DesignPoint>& points) {
+  std::vector<DesignPoint> feasible;
+  for (const DesignPoint& p : points) {
+    if (p.feasible) feasible.push_back(p);
+  }
+  std::vector<DesignPoint> front;
+  for (const DesignPoint& candidate : feasible) {
+    const bool dominated = std::any_of(
+        feasible.begin(), feasible.end(), [&](const DesignPoint& other) {
+          const bool no_worse = other.total_prr_area <= candidate.total_prr_area &&
+                                other.makespan_s <= candidate.makespan_s;
+          const bool strictly_better =
+              other.total_prr_area < candidate.total_prr_area ||
+              other.makespan_s < candidate.makespan_s;
+          return no_worse && strictly_better;
+        });
+    if (!dominated) front.push_back(candidate);
+  }
+  std::sort(front.begin(), front.end(),
+            [](const DesignPoint& a, const DesignPoint& b) {
+              return a.total_prr_area < b.total_prr_area;
+            });
+  return front;
+}
+
+}  // namespace prcost

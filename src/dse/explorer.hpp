@@ -1,0 +1,55 @@
+// PR design-space exploration.
+//
+// Ties every piece of the library together the way the paper's
+// introduction says designers should: for each candidate partitioning of
+// the PRMs into PRR groups, size each group's shared PRR with the Eq.
+// (1)-(7) model, floorplan all PRRs together on the device, predict each
+// PRM's partial bitstream with Eqs. (18)-(23), and evaluate the resulting
+// hardware-multitasking schedule. The Pareto front over (fabric area,
+// makespan) is what a designer would actually pick from - produced in
+// seconds instead of one full PR implementation per point.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cost/floorplan.hpp"
+#include "dse/partition.hpp"
+#include "multitask/simulator.hpp"
+#include "multitask/workload.hpp"
+
+namespace prcost {
+
+/// Exploration options.
+struct ExploreOptions {
+  u32 max_groups = 0;            ///< cap PRR count (0 = #PRMs)
+  SchedPolicy policy = SchedPolicy::kReuseAware;
+  StorageMedia media = StorageMedia::kDdrSdram;
+  std::shared_ptr<const ReconfigController> controller;  ///< null = DMA
+  std::size_t workers = 0;       ///< parallel_for workers (0 = auto)
+};
+
+/// One evaluated partitioning.
+struct DesignPoint {
+  Partition partition;               ///< PRM indices per PRR group
+  bool feasible = false;
+  std::string infeasible_reason;
+  std::vector<PrrPlan> prr_plans;    ///< one per group
+  u64 total_prr_area = 0;            ///< sum of H*W over groups
+  u64 total_bitstream_bytes = 0;     ///< sum of per-PRM bitstream sizes
+  double makespan_s = 0;
+  double total_reconfig_s = 0;
+};
+
+/// Evaluate every partitioning of `prms` on `fabric` under `workload`.
+/// Points come back in enumeration order; infeasible ones carry a reason.
+std::vector<DesignPoint> explore(const std::vector<PrmInfo>& prms,
+                                 const Fabric& fabric,
+                                 const std::vector<HwTask>& workload,
+                                 const ExploreOptions& options = {});
+
+/// Pareto-minimal feasible points over (total_prr_area, makespan_s).
+std::vector<DesignPoint> pareto_front(const std::vector<DesignPoint>& points);
+
+}  // namespace prcost

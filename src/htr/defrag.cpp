@@ -1,0 +1,83 @@
+#include "htr/defrag.hpp"
+
+#include <algorithm>
+
+#include "htr/relocation.hpp"
+
+namespace prcost {
+
+u64 largest_free_rect(const Floorplanner& floorplanner,
+                      const Fabric& fabric) {
+  // Brute force over all rectangles; fabrics are at most ~80 x 8 cells.
+  u64 best = 0;
+  for (u32 col = 0; col < fabric.num_columns(); ++col) {
+    for (u32 row = 0; row < fabric.rows(); ++row) {
+      for (u32 width = 1; col + width <= fabric.num_columns(); ++width) {
+        if (!floorplanner.rect_free(col, width, row, 1)) break;
+        u32 height = 1;
+        while (row + height + 1 <= fabric.rows() &&
+               floorplanner.rect_free(col, width, row + height, 1)) {
+          ++height;
+        }
+        best = std::max(best, u64{width} * height);
+      }
+    }
+  }
+  return best;
+}
+
+DefragReport compact(Floorplanner& floorplanner, const Fabric& fabric,
+                     ConfigMemory* cm) {
+  DefragReport report;
+  report.largest_free_before = largest_free_rect(floorplanner, fabric);
+
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (std::size_t i = 0; i < floorplanner.placements().size(); ++i) {
+      const PlacedPrr placed = floorplanner.placements()[i];
+      const ColumnDemand composition =
+          fabric.window_composition(placed.plan.window);
+      // Candidate targets: identical-sequence windows, left-to-right,
+      // bottom-up; take the first strictly "earlier" free one.
+      bool moved = false;
+      for (const ColumnWindow& window :
+           fabric.find_all_windows_superset(composition,
+                                            placed.plan.window.width)) {
+        if (!windows_compatible(fabric, placed.plan.window, window)) continue;
+        for (u32 row = 0;
+             row + placed.plan.organization.h <= fabric.rows(); ++row) {
+          const bool earlier =
+              window.first_col < placed.first_col ||
+              (window.first_col == placed.first_col &&
+               row < placed.first_row);
+          if (!earlier) break;  // rows ascend; later windows only get worse
+          // Free after discounting the placement itself? The mover checks;
+          // pre-filter cheaply for full freeness to skip obvious clashes
+          // (self-overlapping slides are rejected by move_placement).
+          if (!floorplanner.rect_free(window.first_col, window.width, row,
+                                      placed.plan.organization.h)) {
+            continue;
+          }
+          if (cm != nullptr) {
+            const RelocationResult moved_frames = relocate_region(
+                *cm, placed.plan.window, placed.first_row, window, row,
+                placed.plan.organization.h);
+            if (!moved_frames.ok) continue;
+            report.frames_copied += moved_frames.frames_copied;
+          }
+          floorplanner.move_placement(i, window, row);
+          ++report.moves;
+          moved = true;
+          progress = true;
+          break;
+        }
+        if (moved) break;
+      }
+    }
+  }
+  report.largest_free_after = largest_free_rect(floorplanner, fabric);
+  return report;
+}
+
+}  // namespace prcost

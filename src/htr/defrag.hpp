@@ -1,0 +1,36 @@
+// Fabric defragmentation via hardware task relocation.
+//
+// An online PR system allocates and frees PRRs as tasks come and go; the
+// free space fragments until a large PRM cannot be placed even though the
+// total free area would fit it. Because HTR can move a *live* PRR (its
+// frames relocate through the ICAP, src/htr/relocation), the pool can be
+// compacted at runtime - the systems payoff of the authors' HTR line of
+// work, built here on the cost models' floorplanner.
+#pragma once
+
+#include "bitstream/config_memory.hpp"
+#include "cost/floorplan.hpp"
+
+namespace prcost {
+
+/// Largest fully free rectangle (in fabric cells) - the defragmentation
+/// quality metric: it bounds the biggest PRM placeable next.
+u64 largest_free_rect(const Floorplanner& floorplanner, const Fabric& fabric);
+
+/// One compaction run's outcome.
+struct DefragReport {
+  u64 moves = 0;                  ///< placements relocated
+  u64 frames_copied = 0;          ///< CM frames moved (0 without a CM)
+  u64 largest_free_before = 0;    ///< metric before compaction
+  u64 largest_free_after = 0;     ///< metric after compaction
+};
+
+/// Compact `floorplanner` by sliding each placement to the left-most,
+/// bottom-most compatible free rectangle (column windows must have the
+/// identical type sequence so frames relocate one-to-one). Repeats until
+/// no placement can move. When `cm` is non-null, the placements' live
+/// frames are relocated too.
+DefragReport compact(Floorplanner& floorplanner, const Fabric& fabric,
+                     ConfigMemory* cm = nullptr);
+
+}  // namespace prcost

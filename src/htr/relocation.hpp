@@ -1,0 +1,72 @@
+// Hardware task relocation (HTR) and on-chip context save/restore.
+//
+// The authors' prior work, which these cost models originally served:
+//  [5] Morales-Villanueva & Gordon-Ross, "On-chip context save and restore
+//      of hardware tasks on partially reconfigurable FPGAs", FCCM'13.
+//  [6] Morales-Villanueva & Gordon-Ross, "HTR: on-chip hardware task
+//      relocation for partially reconfigurable FPGAs", ARC'13.
+//
+// Relocating a running PRM from one PRR to another means: capture its
+// flip-flop state into the configuration memory (GCAPTURE), read the
+// source PRR's frames back through the ICAP, retarget the frame addresses
+// to the destination PRR, write them, and restore the captured state
+// (GRESTORE). Two PRRs are relocation-compatible iff their column windows
+// have the same width and the same left-to-right column-type sequence (the
+// frames then map one-to-one).
+//
+// This module provides both the frame-level mechanism (on a ConfigMemory)
+// and the time cost model that extends the paper's Eq. (18) accounting to
+// the save/readback/restore path.
+#pragma once
+
+#include <string>
+
+#include "bitstream/config_memory.hpp"
+#include "cost/prr_search.hpp"
+#include "reconfig/icap.hpp"
+
+namespace prcost {
+
+/// True iff the two windows have identical column-type sequences (frames
+/// map one-to-one under a constant major-column offset).
+bool windows_compatible(const Fabric& fabric, const ColumnWindow& a,
+                        const ColumnWindow& b);
+
+/// Outcome of a frame-level relocation.
+struct RelocationResult {
+  bool ok = false;
+  std::string reason;        ///< set when !ok
+  u64 frames_copied = 0;
+  u64 words_copied = 0;
+};
+
+/// Copy every configuration (and BRAM-content) frame of the source region
+/// to the destination region inside `cm`. Regions are `h` rows tall; their
+/// windows must be compatible and both must fit the fabric rows.
+RelocationResult relocate_region(ConfigMemory& cm, const ColumnWindow& src,
+                                 u32 src_first_row, const ColumnWindow& dst,
+                                 u32 dst_first_row, u32 h);
+
+/// Context-size model: bytes that must cross the ICAP to save (read back)
+/// or restore (write) one PRR's state. Same frame accounting as the
+/// partial-bitstream model, with FAR/FDRO command overhead per row instead
+/// of the full sync header.
+struct ContextCost {
+  u64 save_bytes = 0;      ///< readback traffic
+  u64 restore_bytes = 0;   ///< write-back traffic
+};
+ContextCost context_cost(const PrrOrganization& org, const FamilyTraits& t);
+
+/// Time model for one relocation: capture + readback + retarget (host
+/// memory copy) + write + restore, serialized on the ICAP.
+struct RelocationTime {
+  double capture_s = 0;   ///< GCAPTURE command latency
+  double readback_s = 0;  ///< save_bytes over the ICAP read path
+  double rewrite_s = 0;   ///< restore_bytes over the ICAP write path
+  double restore_s = 0;   ///< GRESTORE command latency
+  double total_s = 0;
+};
+RelocationTime relocation_time(const PrrOrganization& org,
+                               const FamilyTraits& t, const IcapModel& icap);
+
+}  // namespace prcost

@@ -1,0 +1,89 @@
+// Event-driven hardware-multitasking simulator.
+//
+// Models the system the paper's title names: PRMs time-multiplexing a pool
+// of PRRs. Each context switch on a PRR loads the incoming PRM's partial
+// bitstream through the (single, shared) ICAP; the static region and other
+// PRRs keep running meanwhile. The simulator quantifies how PRR
+// sizing/organization decisions - via partial bitstream size and hence
+// reconfiguration time - turn into schedule-level makespan, which is the
+// motivation argument of Section I.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "multitask/workload.hpp"
+#include "reconfig/controllers.hpp"
+
+namespace prcost {
+
+/// Task-to-PRR dispatch policy.
+enum class SchedPolicy {
+  kFcfs,       ///< arrival order
+  kSjf,        ///< shortest service first
+  kPriority,   ///< highest priority first (FCFS tie-break)
+  kReuseAware, ///< prefer tasks whose PRM is already loaded in an idle PRR
+};
+
+inline constexpr SchedPolicy kAllPolicies[] = {
+    SchedPolicy::kFcfs, SchedPolicy::kSjf, SchedPolicy::kPriority,
+    SchedPolicy::kReuseAware};
+
+std::string_view sched_policy_name(SchedPolicy policy);
+
+/// Simulation configuration.
+struct SimConfig {
+  u32 prr_count = 2;         ///< PRRs in the pool
+  SchedPolicy policy = SchedPolicy::kReuseAware;
+  StorageMedia media = StorageMedia::kDdrSdram;
+  /// Reconfiguration controller; nullptr selects a DMA-ICAP default.
+  std::shared_ptr<const ReconfigController> controller;
+  /// HTR option: when the incoming PRM is already configured in some other
+  /// PRR, copy it on-chip (capture/readback/rewrite, see src/htr) instead
+  /// of fetching the bitstream from storage - taken whenever
+  /// `relocation_s` beats the storage path. 0 disables relocation.
+  bool allow_relocation = false;
+  double relocation_s = 0.0;  ///< on-chip copy time per context switch
+};
+
+/// Per-task outcome.
+struct TaskOutcome {
+  u32 task_index = 0;
+  u32 prr = 0;
+  bool reconfigured = false;  ///< context switch was needed
+  double start_s = 0;         ///< execution start (post-reconfig)
+  double finish_s = 0;
+  double wait_s = 0;          ///< finish - arrival - exec - reconfig
+};
+
+/// Aggregate results.
+struct SimResult {
+  double makespan_s = 0;
+  double total_reconfig_s = 0;
+  u64 reconfig_count = 0;
+  u64 reuse_hits = 0;        ///< dispatches that skipped reconfiguration
+  u64 relocation_count = 0;  ///< context switches served by on-chip copy
+  double total_relocation_s = 0;
+  double mean_wait_s = 0;
+  double prr_busy_fraction = 0;  ///< mean execution utilization of PRRs
+  std::vector<TaskOutcome> tasks;
+};
+
+/// Simulate `tasks` over `prms` with `config`. Tasks may arrive in any
+/// order; the simulator sorts by arrival. All PRRs are assumed large
+/// enough for every PRM (size the pool with find_shared_prr first).
+SimResult simulate(const std::vector<PrmInfo>& prms,
+                   std::vector<HwTask> tasks, const SimConfig& config);
+
+/// Non-PR baseline: a single full-device context; every switch between
+/// different PRMs reloads the full bitstream and halts execution (no
+/// overlap, no parallel PRRs).
+SimResult simulate_full_reconfig(const std::vector<PrmInfo>& prms,
+                                 std::vector<HwTask> tasks,
+                                 u64 full_bitstream_bytes,
+                                 StorageMedia media,
+                                 std::shared_ptr<const ReconfigController>
+                                     controller = nullptr);
+
+}  // namespace prcost

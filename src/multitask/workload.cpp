@@ -1,0 +1,29 @@
+#include "multitask/workload.hpp"
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace prcost {
+
+std::vector<HwTask> make_workload(const WorkloadParams& params) {
+  if (params.prm_count == 0) {
+    throw ContractError{"make_workload: zero PRMs"};
+  }
+  Rng rng{params.seed};
+  std::vector<HwTask> tasks;
+  tasks.reserve(params.count);
+  double clock = 0.0;
+  for (u32 i = 0; i < params.count; ++i) {
+    clock += rng.exponential(params.mean_interarrival_s);
+    HwTask task;
+    task.name = "task" + std::to_string(i);
+    task.prm = narrow<u32>(rng.below(params.prm_count));
+    task.arrival_s = clock;
+    task.exec_s = rng.exponential(params.mean_exec_s);
+    task.priority = narrow<u32>(rng.below(8));
+    tasks.push_back(std::move(task));
+  }
+  return tasks;
+}
+
+}  // namespace prcost

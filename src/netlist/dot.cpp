@@ -1,0 +1,39 @@
+#include "netlist/dot.hpp"
+
+#include <sstream>
+
+namespace prcost {
+
+std::string to_dot(const Netlist& nl, std::size_t max_cells) {
+  std::ostringstream os;
+  os << "digraph \"" << nl.name() << "\" {\n  rankdir=LR;\n"
+     << "  node [shape=box, fontsize=9];\n";
+  const auto cells = nl.live_cells();
+  const std::size_t limit =
+      max_cells == 0 ? cells.size() : std::min(max_cells, cells.size());
+  for (std::size_t i = 0; i < limit; ++i) {
+    const Cell& cell = nl.cell(cells[i]);
+    os << "  c" << index(cells[i]) << " [label=\"" << cell.name << "\\n"
+       << cell_kind_name(cell.kind) << "\"];\n";
+  }
+  // Edges: driver cell -> sink cell for each net, restricted to the
+  // emitted cell range.
+  for (std::size_t i = 0; i < limit; ++i) {
+    const Cell& cell = nl.cell(cells[i]);
+    for (const NetId out : cell.outputs) {
+      for (const CellId sink : nl.net(out).sinks) {
+        if (index(sink) <= index(cells[limit - 1])) {
+          os << "  c" << index(cells[i]) << " -> c" << index(sink) << ";\n";
+        }
+      }
+    }
+  }
+  if (limit < cells.size()) {
+    os << "  truncated [shape=note, label=\"" << (cells.size() - limit)
+       << " more cells omitted\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace prcost

@@ -1,0 +1,15 @@
+// Graphviz DOT export for netlists (debugging / documentation aid).
+#pragma once
+
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace prcost {
+
+/// Render the live cells of `nl` as a DOT digraph. `max_cells` truncates
+/// very large netlists (0 = no limit); truncation is noted in a comment
+/// node so a truncated graph is never mistaken for the whole design.
+std::string to_dot(const Netlist& nl, std::size_t max_cells = 0);
+
+}  // namespace prcost

@@ -1,0 +1,92 @@
+// Parametric PR-module (PRM) generators.
+//
+// The paper evaluates three PRMs chosen to be "of similar complexity and
+// resource usage to the PRMs used in prior research": a 32-coefficient FIR
+// filter, a 5-stage pipelined MIPS R3000-style 32-bit processor, and a
+// 32-bit SDRAM controller. We cannot ship the authors' RTL, so each PRM is
+// regenerated here as a structural netlist whose post-synthesis resource
+// profile lands in the same regime (hundreds-to-thousands of LUT-FF pairs,
+// tens of DSPs for FIR, a handful of BRAMs for MIPS). Additional PRMs
+// (AES round, CRC32, UART, matrix multiplier) extend the evaluation beyond
+// the paper's set.
+//
+// All generators are deterministic: the same parameters always produce the
+// same netlist.
+#pragma once
+
+#include "netlist/netlist.hpp"
+
+namespace prcost {
+
+/// Parameters for the FIR filter PRM.
+struct FirParams {
+  u32 taps = 32;          ///< number of coefficients (paper: 32)
+  u32 data_width = 12;    ///< input sample width in bits
+  u32 coeff_width = 12;   ///< coefficient width in bits
+  /// Number of outer tap pairs that share one coefficient input bus
+  /// (symmetric impulse response). Mappers for families with a DSP
+  /// pre-adder (Virtex-6, 7-series) fuse each such pair into one DSP,
+  /// which is how the paper's FIR needs 32 DSPs on Virtex-5 but only 27 on
+  /// Virtex-6.
+  u32 symmetric_pairs = 5;
+};
+
+/// Transposed-form FIR: tap delay line, one multiplier per (unfused) tap,
+/// LUT/carry adder tree, output rounding/saturation and a small control
+/// counter.
+Netlist make_fir(const FirParams& params = {});
+
+/// Parameters for the MIPS processor PRM.
+struct MipsParams {
+  u32 xlen = 32;            ///< register/datapath width
+  u32 icache_depth = 2048;  ///< instruction memory words (2048x32 = 2 BRAM36)
+  u32 dcache_depth = 4096;  ///< data memory words (4096x32 = 4 BRAM36)
+};
+
+/// 5-stage pipeline (IF/ID/EX/MEM/WB): FF register file (32 x xlen),
+/// read-port mux trees, ALU (add/sub/logic/barrel shift), forwarding
+/// muxes, pipeline registers, and BRAM-mapped instruction/data memories.
+Netlist make_mips5(const MipsParams& params = {});
+
+/// Parameters for the SDRAM controller PRM.
+struct SdramParams {
+  u32 data_width = 32;  ///< external data bus width
+  u32 row_bits = 13;    ///< row address width
+  u32 col_bits = 10;    ///< column address width
+  u32 banks = 4;        ///< bank count (log2 -> bank address bits)
+};
+
+/// SDRAM controller: one-hot command FSM, init/refresh/timing counters,
+/// address multiplexing, and registered data path. FF-dominated, no
+/// DSP/BRAM - matching the paper's SDRAM PRM profile.
+Netlist make_sdram_ctrl(const SdramParams& params = {});
+
+/// One AES-128 round: 16 S-boxes as 256x8 RAM macros (maps to BRAMs),
+/// MixColumns XOR network, AddRoundKey, state registers. A LUT+BRAM-heavy
+/// PRM used by the extension benches.
+Netlist make_aes_round();
+
+/// Parallel CRC-32 over a `data_width`-bit input per cycle: XOR trees plus
+/// a 32-bit state register. Pure-LUT PRM.
+Netlist make_crc32(u32 data_width = 32);
+
+/// 8N1 UART transceiver with configurable divisor counter width. A tiny
+/// PRM useful for exercising the H=1 / small-W corner of the PRR model.
+Netlist make_uart(u32 divisor_bits = 16);
+
+/// Blocked matrix multiplier: `mac_units` multiply-accumulate units plus
+/// two operand RAM macros - a DSP+BRAM-balanced PRM.
+Netlist make_matmul(u32 mac_units = 16, u32 data_width = 16);
+
+/// Sobel 3x3 edge detector for `line_width`-pixel rows of `pixel_bits`
+/// pixels: two BRAM line buffers, 3x3 window registers, |Gx|+|Gy| gradient
+/// datapath and threshold compare - the video-processing PRM class the
+/// Related-Work platforms (Liu'09, Papadimitriou'11) evaluate.
+Netlist make_sobel(u32 line_width = 640, u32 pixel_bits = 8);
+
+/// One radix-2 FFT butterfly stage over `points` complex samples of
+/// `sample_bits` bits: twiddle ROM (BRAM), complex multiplier (4 real
+/// multipliers -> DSPs) and add/sub datapath.
+Netlist make_fft_stage(u32 points = 256, u32 sample_bits = 16);
+
+}  // namespace prcost

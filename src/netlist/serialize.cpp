@@ -1,0 +1,118 @@
+#include "netlist/serialize.hpp"
+
+#include <map>
+#include <optional>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace prcost {
+namespace {
+
+CellKind parse_cell_kind(std::string_view name) {
+  for (const CellKind kind :
+       {CellKind::kConst0, CellKind::kConst1, CellKind::kInput,
+        CellKind::kOutput, CellKind::kLut, CellKind::kFf, CellKind::kCarry,
+        CellKind::kMul, CellKind::kMulAcc, CellKind::kRam, CellKind::kDsp48,
+        CellKind::kBram36, CellKind::kBram18}) {
+    if (cell_kind_name(kind) == name) return kind;
+  }
+  throw ParseError{"netlist: unknown cell kind '" + std::string{name} + "'"};
+}
+
+}  // namespace
+
+std::string netlist_to_text(const Netlist& nl) {
+  std::ostringstream os;
+  os << "netlist " << nl.name() << "\n";
+  for (const CellId id : nl.live_cells()) {
+    const Cell& cell = nl.cell(id);
+    os << "cell " << cell_kind_name(cell.kind) << ' ' << cell.name << ' '
+       << cell.param0 << ' ' << cell.param1 << " |";
+    for (const NetId in : cell.inputs) {
+      os << ' ' << (in == kNoNet ? std::string{"-"} : nl.net(in).name);
+    }
+    os << " |";
+    for (const NetId out : cell.outputs) os << ' ' << nl.net(out).name;
+    os << '\n';
+  }
+  return os.str();
+}
+
+Netlist netlist_from_text(std::string_view text) {
+  std::optional<Netlist> nl;
+  std::map<std::string, NetId> nets;  // name -> net in the new netlist
+
+  const auto net_for = [&](const std::string& name) {
+    if (name == "-") return kNoNet;
+    const auto it = nets.find(name);
+    if (it != nets.end()) return it->second;
+    const NetId id = nl->add_net(name);
+    nets.emplace(name, id);
+    return id;
+  };
+
+  for (const auto& raw_line : split(text, '\n')) {
+    const std::string_view line = trim(raw_line);
+    if (line.empty() || line.front() == '#') continue;
+    std::istringstream in{std::string{line}};
+    std::string keyword;
+    in >> keyword;
+    if (keyword == "netlist") {
+      std::string name;
+      in >> name;
+      if (name.empty()) throw ParseError{"netlist: missing design name"};
+      nl.emplace(name);
+      continue;
+    }
+    if (keyword != "cell") {
+      throw ParseError{"netlist: unexpected keyword '" + keyword + "'"};
+    }
+    if (!nl) throw ParseError{"netlist: cell before header"};
+    std::string kind_name, cell_name;
+    u64 param0 = 0, param1 = 0;
+    in >> kind_name >> cell_name >> param0 >> param1;
+    if (in.fail()) throw ParseError{"netlist: malformed cell line"};
+    std::string bar;
+    in >> bar;
+    if (bar != "|") throw ParseError{"netlist: expected '|' before inputs"};
+    std::vector<NetId> inputs;
+    std::vector<std::string> output_names;
+    std::string token;
+    bool in_outputs = false;
+    while (in >> token) {
+      if (token == "|") {
+        in_outputs = true;
+        continue;
+      }
+      if (in_outputs) {
+        output_names.push_back(token);
+      } else {
+        inputs.push_back(net_for(token));
+      }
+    }
+    const CellKind kind = parse_cell_kind(kind_name);
+    const CellId id =
+        nl->add_cell(kind, cell_name, inputs,
+                     narrow<u32>(output_names.size()), param0, param1);
+    // Bind the freshly created output nets to the serialized names so
+    // later cells can reference them.
+    const Cell& cell = nl->cell(id);
+    for (std::size_t o = 0; o < output_names.size(); ++o) {
+      const auto [it, inserted] =
+          nets.emplace(output_names[o], cell.outputs[o]);
+      if (!inserted) {
+        // The name was referenced (or declared) before its driver: merge
+        // the placeholder net into the real output.
+        nl->replace_net(it->second, cell.outputs[o]);
+        it->second = cell.outputs[o];
+      }
+    }
+  }
+  if (!nl) throw ParseError{"netlist: empty input"};
+  nl->validate();
+  return std::move(*nl);
+}
+
+}  // namespace prcost

@@ -1,0 +1,27 @@
+// Plain-text netlist serialization (a minimal EDIF-like interchange
+// format) so designs can be saved, diffed and reloaded - e.g. by the CLI
+// or by users bringing their own PRMs instead of the built-in generators.
+//
+// Format (line oriented, '#' comments):
+//   netlist <name>
+//   cell <kind> <name> <param0> <param1> | <in-net>... | <out-net>...
+//
+// Nets are referenced by stable string names; pin order is positional.
+// Dead cells are dropped on save; net identities are regenerated on load,
+// so the round trip is an isomorphism, not an identity (tested as such).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "netlist/netlist.hpp"
+
+namespace prcost {
+
+/// Render the live cells of `nl`.
+std::string netlist_to_text(const Netlist& nl);
+
+/// Parse a netlist back; throws ParseError on malformed input.
+Netlist netlist_from_text(std::string_view text);
+
+}  // namespace prcost

@@ -1,0 +1,87 @@
+#include "paperdata/paper_dataset.hpp"
+
+#include <array>
+
+#include "util/error.hpp"
+
+namespace prcost::paperdata {
+namespace {
+
+// Reconstruction notes (see header): requirements follow from the Table VI
+// absolute values and deltas; organizations follow from the RU
+// percentages via Eqs. (8)-(17). Every record is re-checked by
+// tests/paperdata_test.cpp against the model equations.
+constexpr std::array<TableVRecord, 6> kTable5{{
+    // --- Virtex-5 LX110T --------------------------------------------------
+    {"FIR", "xc5vlx110t", Family::kVirtex5,
+     PrmRequirements{1300, 1150, 394, 32, 0}, 163,
+     /*h=*/5, /*w_clb=*/2, /*w_dsp=*/1, /*w_bram=*/0,
+     /*avail*/ 200, 1600, 1600, 40, 0,
+     /*ru*/ 82, 25, 72, 80, 0},
+    {"MIPS", "xc5vlx110t", Family::kVirtex5,
+     PrmRequirements{2618, 1526, 1592, 4, 6}, 328,
+     1, 17, 1, 2,
+     340, 2720, 2720, 8, 8,
+     97, 59, 56, 50, 75},
+    {"SDRAM", "xc5vlx110t", Family::kVirtex5,
+     PrmRequirements{332, 157, 292, 0, 0}, 42,
+     1, 3, 0, 0,
+     60, 480, 480, 0, 0,
+     70, 61, 33, 0, 0},
+    // --- Virtex-6 LX75T ---------------------------------------------------
+    {"FIR", "xc6vlx75t", Family::kVirtex6,
+     PrmRequirements{1467, 1316, 394, 27, 0}, 184,
+     1, 5, 2, 0,
+     200, 3200, 1600, 32, 0,
+     92, 12, 82, 84, 0},
+    {"MIPS", "xc6vlx75t", Family::kVirtex6,
+     PrmRequirements{3239, 2095, 1860, 4, 6}, 405,
+     1, 11, 1, 1,
+     440, 7040, 3520, 16, 8,
+     92, 26, 60, 25, 75},
+    {"SDRAM", "xc6vlx75t", Family::kVirtex6,
+     PrmRequirements{385, 181, 324, 0, 0}, 49,
+     1, 2, 0, 0,
+     80, 1280, 640, 0, 0,
+     61, 25, 28, 0, 0},
+}};
+
+// Table VI: post-place-and-route values as printed in the paper, with the
+// parenthesized deltas (positive = resource saving vs Table V).
+constexpr std::array<TableVIRecord, 6> kTable6{{
+    {"FIR", "xc5vlx110t", Family::kVirtex5,
+     PrmRequirements{1082, 1015, 410, 32, 0}, 136,
+     /*d_lut_ff=*/16.8, /*d_lut=*/11.7, /*d_ff=*/-4.1, /*d_clb=*/16.6},
+    {"MIPS", "xc5vlx110t", Family::kVirtex5,
+     PrmRequirements{2183, 1528, 1592, 4, 6}, 273,
+     16.6, -0.1, 0.0, 16.8},
+    {"SDRAM", "xc5vlx110t", Family::kVirtex5,
+     PrmRequirements{324, 191, 292, 0, 0}, 41,
+     2.4, -21.7, 0.0, 2.4},
+    {"FIR", "xc6vlx75t", Family::kVirtex6,
+     PrmRequirements{999, 999, 394, 27, 0}, 125,
+     31.9, 24.1, 0.0, 32.1},
+    {"MIPS", "xc6vlx75t", Family::kVirtex6,
+     PrmRequirements{2630, 1932, 1860, 4, 6}, 329,
+     18.8, 7.8, 0.0, 18.8},
+    {"SDRAM", "xc6vlx75t", Family::kVirtex6,
+     PrmRequirements{370, 215, 324, 0, 0}, 47,
+     3.9, -18.8, 0.0, 4.1},
+}};
+
+}  // namespace
+
+std::span<const TableVRecord> table5() { return kTable5; }
+
+std::span<const TableVIRecord> table6() { return kTable6; }
+
+const TableVRecord& table5_record(std::string_view prm,
+                                  std::string_view device) {
+  for (const TableVRecord& record : kTable5) {
+    if (record.prm == prm && record.device == device) return record;
+  }
+  throw ContractError{"table5_record: no record for " + std::string{prm} +
+                      " on " + std::string{device}};
+}
+
+}  // namespace prcost::paperdata

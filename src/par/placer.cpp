@@ -1,0 +1,330 @@
+#include "par/placer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace prcost {
+namespace {
+
+/// Which site class a cell occupies. LUTs, FFs and carry chains live in
+/// distinct slot planes of the same CLB columns (a slice offers LUT
+/// positions, FF positions and one carry chain independently).
+enum class SiteClass { kLut, kFf, kCarry, kDsp, kBram, kNone };
+inline constexpr int kPlaceableClasses = 5;
+
+SiteClass site_class(const Cell& cell) {
+  switch (cell.kind) {
+    case CellKind::kLut: return SiteClass::kLut;
+    case CellKind::kFf: return SiteClass::kFf;
+    case CellKind::kCarry: return SiteClass::kCarry;
+    case CellKind::kDsp48: return SiteClass::kDsp;
+    case CellKind::kBram36:
+    case CellKind::kBram18: return SiteClass::kBram;
+    default:
+      return SiteClass::kNone;  // ports/constants/macros are not placed
+  }
+}
+
+/// Columns of one class inside the PRR window, with per-column capacity.
+struct ClassColumns {
+  std::vector<u32> xs;  ///< window-relative x of each column
+  u64 per_column = 0;   ///< sites per column (over the whole PRR height)
+};
+
+struct Grid {
+  ClassColumns lut;
+  ClassColumns ff;
+  ClassColumns carry;
+  ClassColumns dsp;
+  ClassColumns bram;
+
+  const ClassColumns& of(SiteClass cls) const {
+    switch (cls) {
+      case SiteClass::kLut: return lut;
+      case SiteClass::kFf: return ff;
+      case SiteClass::kCarry: return carry;
+      case SiteClass::kDsp: return dsp;
+      case SiteClass::kBram: return bram;
+      case SiteClass::kNone: break;
+    }
+    throw ContractError{"Grid::of: unplaceable class"};
+  }
+};
+
+Grid make_grid(const PrrPlan& plan, const Fabric& fabric) {
+  const FamilyTraits& t = fabric.traits();
+  Grid grid;
+  const u64 clbs_per_col = checked_mul(plan.organization.h, t.clb_col);
+  grid.lut.per_column = checked_mul(clbs_per_col, t.lut_clb);
+  grid.ff.per_column = checked_mul(clbs_per_col, t.ff_clb);
+  grid.carry.per_column = checked_mul(clbs_per_col, 2);  // 1 CARRY4/slice
+  grid.dsp.per_column = checked_mul(plan.organization.h, t.dsp_col);
+  // BRAM slots at 18Kb granularity: each 36Kb site holds two 18Kb halves,
+  // so BRAM18 cells do not overflow a PRR sized in 36Kb equivalents.
+  grid.bram.per_column =
+      checked_mul(checked_mul(plan.organization.h, t.bram_col), 2);
+  for (u32 c = 0; c < plan.window.width; ++c) {
+    switch (fabric.column(plan.window.first_col + c)) {
+      case ColumnType::kClb:
+        grid.lut.xs.push_back(c);
+        grid.ff.xs.push_back(c);
+        grid.carry.xs.push_back(c);
+        break;
+      case ColumnType::kDsp: grid.dsp.xs.push_back(c); break;
+      case ColumnType::kBram: grid.bram.xs.push_back(c); break;
+      default:
+        throw ContractError{"make_grid: PRR window contains IOB/CLK column"};
+    }
+  }
+  return grid;
+}
+
+/// Flattened site index <-> Site for one class.
+Site site_at(const ClassColumns& cols, u64 flat) {
+  const u64 col = flat / cols.per_column;
+  const u64 y = flat % cols.per_column;
+  return Site{cols.xs.at(col), narrow<u32>(y)};
+}
+
+u64 hpwl_of_net(const Net& net,
+                const std::unordered_map<u32, Site>& sites) {
+  u32 min_x = ~0u, max_x = 0, min_y = ~0u, max_y = 0;
+  u32 pins = 0;
+  const auto visit = [&](CellId id) {
+    const auto it = sites.find(index(id));
+    if (it == sites.end()) return;
+    min_x = std::min(min_x, it->second.x);
+    max_x = std::max(max_x, it->second.x);
+    min_y = std::min(min_y, it->second.y);
+    max_y = std::max(max_y, it->second.y);
+    ++pins;
+  };
+  if (net.driver != kNoCell) visit(net.driver);
+  for (const CellId sink : net.sinks) visit(sink);
+  if (pins < 2) return 0;
+  // Columns are ~16 sites wide in routing terms; weight x accordingly so a
+  // one-column hop costs what ~16 vertical site hops cost.
+  return 16ull * (max_x - min_x) + (max_y - min_y);
+}
+
+/// Combinational logic depth (LUT/carry levels) - FFs, DSPs and BRAMs are
+/// timing endpoints.
+u64 logic_depth(const Netlist& nl) {
+  std::vector<u64> depth(nl.cell_count(), 0);
+  // Cells are created in topological-ish order by the builders, but
+  // feedback via replace_net means we need a relaxation; two sweeps are
+  // enough in practice and we cap to avoid pathological loops.
+  u64 max_depth = 0;
+  for (int sweep = 0; sweep < 2; ++sweep) {
+    for (const CellId id : nl.live_cells()) {
+      const Cell& cell = nl.cell(id);
+      if (cell.kind != CellKind::kLut && cell.kind != CellKind::kCarry) {
+        continue;
+      }
+      u64 d = 0;
+      for (const NetId in : cell.inputs) {
+        if (in == kNoNet) continue;
+        const CellId drv = nl.net(in).driver;
+        if (drv == kNoCell) continue;
+        const Cell& drv_cell = nl.cell(drv);
+        if (drv_cell.kind == CellKind::kLut ||
+            drv_cell.kind == CellKind::kCarry) {
+          d = std::max(d, depth[index(drv)] + 1);
+        }
+      }
+      depth[index(id)] = std::max(depth[index(id)], d);
+      max_depth = std::max(max_depth, depth[index(id)]);
+    }
+  }
+  return max_depth;
+}
+
+}  // namespace
+
+PlaceResult place_into_prr(const Netlist& nl, const PrrPlan& plan,
+                           const Fabric& fabric, const PlaceOptions& options) {
+  PlaceResult result;
+  const Grid grid = make_grid(plan, fabric);
+
+  // --- demand vs capacity ------------------------------------------------
+  const PackResult packed = pack_slices(nl);
+  const NetlistStats stats = nl.stats();
+  result.pair_sites = grid.lut.per_column * grid.lut.xs.size();
+  result.pairs_needed = packed.lut_ff_pairs;
+  result.dsp_sites = grid.dsp.per_column * grid.dsp.xs.size();
+  result.dsps_needed = stats.dsp48s;
+  // bram_sites is reported in 36Kb equivalents (half the 18Kb slot count).
+  result.bram_sites = grid.bram.per_column * grid.bram.xs.size() / 2;
+  result.brams_needed = stats.bram36s + ceil_div(stats.bram18s, 2);
+
+  const u64 ff_capacity = grid.ff.per_column * grid.ff.xs.size();
+  if (result.pairs_needed > result.pair_sites) {
+    result.failure_reason = "not enough slice LUT-FF pair sites";
+    return result;
+  }
+  if (stats.ffs > ff_capacity) {
+    result.failure_reason = "not enough slice FF sites";
+    return result;
+  }
+  if (result.dsps_needed > result.dsp_sites) {
+    result.failure_reason = "not enough DSP sites";
+    return result;
+  }
+  if (result.brams_needed > result.bram_sites) {
+    result.failure_reason = "not enough BRAM sites";
+    return result;
+  }
+  if (stats.luts > result.pair_sites) {
+    result.failure_reason = "not enough LUT sites";
+    return result;
+  }
+  if (stats.carries > grid.carry.per_column * grid.carry.xs.size()) {
+    result.failure_reason = "not enough carry-chain sites";
+    return result;
+  }
+
+  // --- greedy initial placement ------------------------------------------
+  // Round-robin across the class's columns so early cells spread out.
+  struct Cursor {
+    u64 next = 0;
+  };
+  Cursor cursors[kPlaceableClasses];
+  const auto place_next = [&](SiteClass cls) {
+    const ClassColumns& cols = grid.of(cls);
+    Cursor& cursor = cursors[static_cast<int>(cls)];
+    const u64 total = cols.per_column * cols.xs.size();
+    if (cursor.next >= total) {
+      throw ContractError{"place_into_prr: site overflow after checks"};
+    }
+    // Interleave: site i goes to column (i % #cols), slot (i / #cols).
+    const u64 i = cursor.next++;
+    const u64 col = i % cols.xs.size();
+    const u64 y = i / cols.xs.size();
+    return Site{cols.xs.at(col), narrow<u32>(y)};
+  };
+
+  std::vector<CellId> placeable;
+  for (const CellId id : nl.live_cells()) {
+    if (site_class(nl.cell(id)) != SiteClass::kNone) placeable.push_back(id);
+  }
+  for (const CellId id : placeable) {
+    result.sites.emplace(index(id),
+                         place_next(site_class(nl.cell(id))));
+  }
+  result.placed_cells = placeable.size();
+
+  // --- wirelength ---------------------------------------------------------
+  const auto total_hpwl = [&] {
+    u64 sum = 0;
+    for (u32 n = 0; n < nl.net_count(); ++n) {
+      sum += hpwl_of_net(nl.net(NetId{n}), result.sites);
+    }
+    return sum;
+  };
+  result.hpwl_initial = total_hpwl();
+  result.hpwl_final = result.hpwl_initial;
+
+  // --- simulated annealing -------------------------------------------------
+  if (!options.skip_anneal && !placeable.empty()) {
+    Rng rng{options.seed};
+    const u64 moves = options.anneal_moves != 0
+                          ? options.anneal_moves
+                          : placeable.size() * 32;
+    double temp = options.initial_temp;
+    const double cooling = moves > 1
+        ? std::pow(0.005 / options.initial_temp, 1.0 / static_cast<double>(moves))
+        : 1.0;
+    u64 current = result.hpwl_initial;
+
+    // Occupancy per class keyed by flattened site -> cell.
+    // Rebuild from result.sites.
+    const auto flat = [&](SiteClass cls, const Site& s) {
+      const ClassColumns& cols = grid.of(cls);
+      const auto col_it = std::find(cols.xs.begin(), cols.xs.end(), s.x);
+      const u64 col = static_cast<u64>(col_it - cols.xs.begin());
+      return col * cols.per_column + s.y;
+    };
+    std::unordered_map<u64, u32> occupancy[kPlaceableClasses];
+    for (const CellId id : placeable) {
+      const SiteClass cls = site_class(nl.cell(id));
+      occupancy[static_cast<int>(cls)].emplace(
+          flat(cls, result.sites.at(index(id))), index(id));
+    }
+
+    const auto cell_nets_hpwl = [&](CellId id) {
+      u64 sum = 0;
+      const Cell& cell = nl.cell(id);
+      for (const NetId in : cell.inputs) {
+        if (in != kNoNet) sum += hpwl_of_net(nl.net(in), result.sites);
+      }
+      for (const NetId out : cell.outputs) {
+        sum += hpwl_of_net(nl.net(out), result.sites);
+      }
+      return sum;
+    };
+
+    for (u64 m = 0; m < moves; ++m, temp *= cooling) {
+      const CellId id = placeable[rng.below(placeable.size())];
+      const SiteClass cls = site_class(nl.cell(id));
+      const ClassColumns& cols = grid.of(cls);
+      const u64 total_sites = cols.per_column * cols.xs.size();
+      const u64 target_flat = rng.below(total_sites);
+      const Site target = site_at(cols, target_flat);
+      const Site origin = result.sites.at(index(id));
+      if (target == origin) continue;
+
+      auto& occ = occupancy[static_cast<int>(cls)];
+      const auto occupant_it = occ.find(target_flat);
+      const bool swap = occupant_it != occ.end();
+      const CellId other =
+          swap ? CellId{occupant_it->second} : kNoCell;
+
+      u64 before = cell_nets_hpwl(id);
+      if (swap) before += cell_nets_hpwl(other);
+
+      result.sites[index(id)] = target;
+      if (swap) result.sites[index(other)] = origin;
+
+      u64 after = cell_nets_hpwl(id);
+      if (swap) after += cell_nets_hpwl(other);
+
+      const double delta = static_cast<double>(after) -
+                           static_cast<double>(before);
+      const bool accept =
+          delta <= 0 || rng.uniform01() < std::exp(-delta / std::max(temp, 1e-9));
+      if (accept) {
+        const u64 origin_flat = flat(cls, origin);
+        occ.erase(target_flat);
+        occ.erase(origin_flat);
+        occ.emplace(target_flat, index(id));
+        if (swap) occ.emplace(origin_flat, index(other));
+        current = current - before + after;
+      } else {
+        result.sites[index(id)] = origin;
+        if (swap) result.sites[index(other)] = target;
+      }
+    }
+    result.hpwl_final = total_hpwl();
+  }
+
+  // --- timing estimate -----------------------------------------------------
+  const u64 depth = logic_depth(nl);
+  const double avg_net =
+      result.placed_cells > 0
+          ? static_cast<double>(result.hpwl_final) /
+                static_cast<double>(std::max<u64>(1, nl.net_count()))
+          : 0.0;
+  constexpr double kLutDelayNs = 0.4;
+  constexpr double kUnitRouteNs = 0.03;
+  result.critical_path_ns =
+      static_cast<double>(depth) * kLutDelayNs + avg_net * kUnitRouteNs * 4.0;
+
+  result.feasible = true;
+  return result;
+}
+
+}  // namespace prcost

@@ -1,0 +1,66 @@
+// PRR-constrained placement with simulated-annealing refinement.
+//
+// Models the ISE PAR step the paper runs with the AREA_GROUP constraint:
+// every mapped primitive must land on a site inside the PRR rectangle.
+// Quality is measured by half-perimeter wirelength (HPWL); an annealer
+// refines a greedy initial placement. A placement that cannot seat every
+// primitive reports failure - the mechanism behind the paper's note that
+// "MIPS failed place and route on the Virtex-6" when the PRR was shrunk to
+// the post-PAR requirements.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "cost/prr_search.hpp"
+#include "device/family_traits.hpp"
+#include "netlist/netlist.hpp"
+#include "par/packer.hpp"
+
+namespace prcost {
+
+/// A physical site inside the PRR, in abstract grid coordinates: x is the
+/// column index within the PRR window, y the resource index within the
+/// column (0 = bottom).
+struct Site {
+  u32 x = 0;
+  u32 y = 0;
+  friend bool operator==(const Site&, const Site&) = default;
+};
+
+/// Placement options.
+struct PlaceOptions {
+  u64 seed = 1;           ///< annealer RNG seed
+  u32 anneal_moves = 0;   ///< 0 = auto (#cells * 32)
+  double initial_temp = 4.0;
+  bool skip_anneal = false;  ///< greedy-only (fast, for big sweeps)
+};
+
+/// Placement result.
+struct PlaceResult {
+  bool feasible = false;        ///< every primitive seated
+  std::string failure_reason;   ///< set when !feasible
+  u64 hpwl_initial = 0;         ///< greedy placement wirelength
+  u64 hpwl_final = 0;           ///< post-anneal wirelength
+  u64 placed_cells = 0;
+  /// Site capacity and demand per resource class - the utilization PAR saw.
+  u64 pair_sites = 0;           ///< slice LUT-FF pair sites in the PRR
+  u64 pairs_needed = 0;
+  u64 dsp_sites = 0;
+  u64 dsps_needed = 0;
+  u64 bram_sites = 0;
+  u64 brams_needed = 0;
+  /// Estimated critical-path delay (ns): logic depth * per-level delay +
+  /// average net span * per-unit routing delay.
+  double critical_path_ns = 0.0;
+  std::unordered_map<u32, Site> sites;  ///< cell index -> site
+};
+
+/// Place mapped netlist `nl` into the PRR described by `plan` (window
+/// columns and height define the site grid) on `family`.
+PlaceResult place_into_prr(const Netlist& nl, const PrrPlan& plan,
+                           const Fabric& fabric,
+                           const PlaceOptions& options = {});
+
+}  // namespace prcost

@@ -1,0 +1,84 @@
+#include "par/routability.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace prcost {
+namespace {
+
+bool bbox_crosses(const StaticNet& net, const PlacedPrr& placed) {
+  const u32 min_col = std::min(net.col_a, net.col_b);
+  const u32 max_col = std::max(net.col_a, net.col_b);
+  const u32 min_row = std::min(net.row_a, net.row_b);
+  const u32 max_row = std::max(net.row_a, net.row_b);
+  const bool col_overlap =
+      min_col < placed.first_col + placed.plan.window.width &&
+      placed.first_col <= max_col;
+  const bool row_overlap =
+      min_row < placed.first_row + placed.plan.organization.h &&
+      placed.first_row <= max_row;
+  return col_overlap && row_overlap;
+}
+
+}  // namespace
+
+std::vector<StaticNet> sample_static_nets(
+    const Floorplanner& floorplanner, const Fabric& fabric,
+    const RoutePressureOptions& options) {
+  // Collect free cells from the occupancy grid, which covers both placed
+  // PRRs and reserved static-region rectangles.
+  std::vector<std::pair<u32, u32>> free_cells;
+  for (u32 col = 0; col < fabric.num_columns(); ++col) {
+    for (u32 row = 0; row < fabric.rows(); ++row) {
+      if (floorplanner.rect_free(col, 1, row, 1)) {
+        free_cells.emplace_back(col, row);
+      }
+    }
+  }
+  if (free_cells.size() < 2) {
+    throw ContractError{"sample_static_nets: fabric has no free space"};
+  }
+  Rng rng{options.seed};
+  std::vector<StaticNet> nets;
+  nets.reserve(options.net_count);
+  for (u32 n = 0; n < options.net_count; ++n) {
+    const auto& a = free_cells[rng.below(free_cells.size())];
+    const auto& b = free_cells[rng.below(free_cells.size())];
+    nets.push_back(StaticNet{a.first, a.second, b.first, b.second});
+  }
+  return nets;
+}
+
+std::vector<PrrRoutePressure> estimate_route_pressure(
+    const Floorplanner& floorplanner, const Fabric& fabric,
+    const std::vector<double>& densities,
+    const RoutePressureOptions& options) {
+  const auto& placements = floorplanner.placements();
+  if (densities.size() != placements.size()) {
+    throw ContractError{
+        "estimate_route_pressure: one density per placement required"};
+  }
+  const auto nets = sample_static_nets(floorplanner, fabric, options);
+  std::vector<PrrRoutePressure> out;
+  out.reserve(placements.size());
+  for (std::size_t p = 0; p < placements.size(); ++p) {
+    PrrRoutePressure pressure;
+    pressure.name = placements[p].name;
+    pressure.packing_density = densities[p];
+    for (const StaticNet& net : nets) {
+      if (bbox_crosses(net, placements[p])) ++pressure.crossing_nets;
+    }
+    const double crossing_fraction =
+        nets.empty() ? 0.0
+                     : static_cast<double>(pressure.crossing_nets) /
+                           static_cast<double>(nets.size());
+    pressure.risk =
+        crossing_fraction * densities[p] * densities[p];
+    out.push_back(std::move(pressure));
+  }
+  return out;
+}
+
+}  // namespace prcost

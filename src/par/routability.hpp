@@ -1,0 +1,61 @@
+// Static-region routing pressure on PRRs.
+//
+// Section IV: "high RUs lead to densely packed PRRs that may eventually
+// cause routing problems ... since the Xilinx tools allow the static
+// region's nets to cross the PRRs, routing problems may arise if nets from
+// the static region try to cross a densely packed PRR." This model
+// quantifies that risk: synthesize a population of static-region nets
+// (random endpoint pairs over the non-PRR fabric), count how many of each
+// net's bounding boxes cross each placed PRR, and score the PRR by
+// crossings weighted with its packing density. A designer choosing between
+// a 95%-RU PRR and a 75%-RU PRR can now see the routing-risk price of the
+// denser one.
+#pragma once
+
+#include <vector>
+
+#include "cost/floorplan.hpp"
+#include "util/ints.hpp"
+
+namespace prcost {
+
+/// One synthetic static-region net: two endpoints in fabric coordinates.
+struct StaticNet {
+  u32 col_a = 0;
+  u32 row_a = 0;
+  u32 col_b = 0;
+  u32 row_b = 0;
+};
+
+/// Routing-pressure options.
+struct RoutePressureOptions {
+  u32 net_count = 2000;  ///< synthetic static nets to sample
+  u64 seed = 7;
+};
+
+/// Per-PRR result.
+struct PrrRoutePressure {
+  std::string name;
+  u64 crossing_nets = 0;      ///< static nets whose bbox crosses the PRR
+  double packing_density = 0; ///< the PRR's CLB utilization in [0,1+]
+  /// Risk score: fraction of sampled nets crossing, scaled by how little
+  /// spare routing the packed PRR leaves (density^2 emphasises the
+  /// congestion cliff near full packing).
+  double risk = 0;
+};
+
+/// Sample static nets over the free fabric and score every placement in
+/// `floorplanner`. `densities` supplies each placement's CLB utilization
+/// in [0,1] (same order as floorplanner.placements()).
+std::vector<PrrRoutePressure> estimate_route_pressure(
+    const Floorplanner& floorplanner, const Fabric& fabric,
+    const std::vector<double>& densities,
+    const RoutePressureOptions& options = {});
+
+/// Generate the synthetic static nets (exposed for testing): endpoints
+/// uniform over fabric cells NOT covered by any placement.
+std::vector<StaticNet> sample_static_nets(const Floorplanner& floorplanner,
+                                          const Fabric& fabric,
+                                          const RoutePressureOptions& options);
+
+}  // namespace prcost

@@ -1,0 +1,37 @@
+#include "reconfig/baselines.hpp"
+
+#include "reconfig/icap.hpp"
+#include "util/error.hpp"
+
+namespace prcost {
+
+PapadimitriouEstimate papadimitriou_model(u64 bytes, StorageMedia media) {
+  PapadimitriouEstimate e;
+  e.nominal_s = fetch_seconds(media, bytes);
+  e.low_s = e.nominal_s * 0.7;
+  e.high_s = e.nominal_s * 1.6;
+  return e;
+}
+
+ClausEstimate claus_model(u64 bytes, Family family, double busy_factor,
+                          StorageMedia media) {
+  const IcapModel icap = default_icap(family);
+  ClausEstimate e;
+  e.seconds = icap_write_seconds(icap, bytes, busy_factor);
+  // Precondition: media must feed the ICAP at least as fast as it drains.
+  e.icap_is_bottleneck = media_model(media).bandwidth_bytes_per_s >=
+                         icap.peak_bytes_per_s() * (1.0 - busy_factor);
+  return e;
+}
+
+double duhem_model(u64 bytes, Family family, double compression_ratio,
+                   double overclock) {
+  if (compression_ratio <= 0.0 || compression_ratio > 1.0) {
+    throw ContractError{"duhem_model: compression ratio out of (0,1]"};
+  }
+  const IcapModel icap = default_icap(family);
+  const double throughput = icap.peak_bytes_per_s() * overclock;
+  return static_cast<double>(bytes) * compression_ratio / throughput;
+}
+
+}  // namespace prcost

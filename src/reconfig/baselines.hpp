@@ -1,0 +1,42 @@
+// Prior-work reconfiguration-time cost models (Related Work, Section II).
+//
+// These are the *published models*, distinct from the controller
+// simulators in controllers.hpp: the ablation bench compares what each
+// paper's formula predicts for the same partial bitstream, reproducing the
+// Related-Work argument that none of them connected PRR organization to
+// bitstream size.
+#pragma once
+
+#include <string>
+
+#include "device/family_traits.hpp"
+#include "reconfig/media.hpp"
+#include "util/ints.hpp"
+
+namespace prcost {
+
+/// Papadimitriou et al. [7]: reconfiguration time as bitstream size over
+/// media-class throughput, with the survey's reported 30-60% error band.
+struct PapadimitriouEstimate {
+  double nominal_s = 0.0;
+  double low_s = 0.0;   ///< nominal * (1 - 0.3)
+  double high_s = 0.0;  ///< nominal * (1 + 0.6)
+};
+PapadimitriouEstimate papadimitriou_model(u64 bytes, StorageMedia media);
+
+/// Claus et al. [1]: ICAP-centric formula T = size / (width * f * (1-busy)).
+/// Only valid when the ICAP is the bottleneck - the function also reports
+/// whether that precondition holds for the given media.
+struct ClausEstimate {
+  double seconds = 0.0;
+  bool icap_is_bottleneck = false;
+};
+ClausEstimate claus_model(u64 bytes, Family family, double busy_factor,
+                          StorageMedia media);
+
+/// Duhem et al. [2] FaRM read-back-free formula: T = size / throughput with
+/// throughput = icap peak * overclock, scaled by compression.
+double duhem_model(u64 bytes, Family family, double compression_ratio = 0.75,
+                   double overclock = 1.25);
+
+}  // namespace prcost

@@ -1,0 +1,93 @@
+#include "reconfig/controllers.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace prcost {
+
+ReconfigEstimate CpuIcapController::estimate(u64 bytes,
+                                             StorageMedia media) const {
+  ReconfigEstimate e;
+  e.fetch_s = fetch_seconds(media, bytes);
+  e.write_s = icap_write_seconds(icap_, bytes);
+  e.overhead_s =
+      per_word_overhead_s_ * static_cast<double>(bytes / icap_.port_bytes);
+  e.total_s = e.fetch_s + e.write_s + e.overhead_s;  // fully serialized
+  return e;
+}
+
+ReconfigEstimate DmaIcapController::estimate(u64 bytes,
+                                             StorageMedia media) const {
+  ReconfigEstimate e;
+  e.fetch_s = fetch_seconds(media, bytes);
+  e.write_s = icap_write_seconds(icap_, bytes);
+  e.overhead_s = setup_s_;
+  // Streaming DMA overlaps fetch and write: the pipeline drains at the
+  // slower stage.
+  e.total_s = std::max(e.fetch_s, e.write_s) + e.overhead_s;
+  return e;
+}
+
+FarmController::FarmController(IcapModel icap, double compression_ratio,
+                               double overclock, double setup_s)
+    : icap_(icap),
+      compression_ratio_(compression_ratio),
+      overclock_(overclock),
+      setup_s_(setup_s) {
+  if (compression_ratio <= 0.0 || compression_ratio > 1.0) {
+    throw ContractError{"FarmController: compression ratio out of (0,1]"};
+  }
+  if (overclock < 1.0) {
+    throw ContractError{"FarmController: overclock below 1.0"};
+  }
+}
+
+ReconfigEstimate FarmController::estimate(u64 bytes,
+                                          StorageMedia media) const {
+  ReconfigEstimate e;
+  const auto compressed =
+      static_cast<u64>(static_cast<double>(bytes) * compression_ratio_);
+  e.fetch_s = fetch_seconds(media, compressed);
+  IcapModel fast = icap_;
+  fast.clock_hz *= overclock_;
+  e.write_s = icap_write_seconds(fast, bytes);  // decompressed at the port
+  e.overhead_s = setup_s_;
+  e.total_s = std::max(e.fetch_s, e.write_s) + e.overhead_s;
+  return e;
+}
+
+BusyFactorController::BusyFactorController(
+    std::shared_ptr<const ReconfigController> inner, double busy_factor)
+    : inner_(std::move(inner)), busy_factor_(busy_factor) {
+  if (!inner_) throw ContractError{"BusyFactorController: null inner"};
+  if (busy_factor_ < 0.0 || busy_factor_ >= 1.0) {
+    throw ContractError{"BusyFactorController: busy factor out of [0,1)"};
+  }
+}
+
+std::string BusyFactorController::name() const {
+  return inner_->name() + "+busy";
+}
+
+ReconfigEstimate BusyFactorController::estimate(u64 bytes,
+                                                StorageMedia media) const {
+  ReconfigEstimate e = inner_->estimate(bytes, media);
+  // Contention stretches the ICAP write phase (Claus'08).
+  const double stretched = e.write_s / (1.0 - busy_factor_);
+  e.total_s += stretched - e.write_s;
+  e.write_s = stretched;
+  return e;
+}
+
+std::vector<std::shared_ptr<const ReconfigController>> standard_controllers(
+    Family family) {
+  const IcapModel icap = default_icap(family);
+  return {
+      std::make_shared<CpuIcapController>(icap),
+      std::make_shared<DmaIcapController>(icap),
+      std::make_shared<FarmController>(icap),
+  };
+}
+
+}  // namespace prcost

@@ -1,0 +1,102 @@
+// Reconfiguration controller models - the Related-Work baselines.
+//
+// The paper's position is that prior cost models each covered one slice of
+// the problem: Liu et al. [4] compared ICAP controller designs (CPU-driven
+// vs DMA), Claus et al. [1] modeled ICAP contention via a busy factor, and
+// Duhem et al. [2] built FaRM (preloading + burst transfers). Implementing
+// all three lets the ablation benches place the paper's bitstream-size
+// model inside an end-to-end reconfiguration-time estimate and compare
+// controller choices on equal footing.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "reconfig/icap.hpp"
+#include "reconfig/media.hpp"
+
+namespace prcost {
+
+/// One reconfiguration-time estimate with its breakdown.
+struct ReconfigEstimate {
+  double total_s = 0.0;
+  double fetch_s = 0.0;     ///< media -> controller
+  double write_s = 0.0;     ///< controller -> ICAP
+  double overhead_s = 0.0;  ///< software / descriptor setup
+};
+
+/// Abstract controller: time to push `bytes` of partial bitstream from
+/// `media` through the ICAP.
+class ReconfigController {
+ public:
+  virtual ~ReconfigController() = default;
+  virtual std::string name() const = 0;
+  virtual ReconfigEstimate estimate(u64 bytes, StorageMedia media) const = 0;
+};
+
+/// CPU-driven ICAP: the processor copies words one at a time; fetch and
+/// ICAP write serialize, plus a hefty per-word software overhead
+/// (Liu'09's baseline design, the slowest in their comparison).
+class CpuIcapController final : public ReconfigController {
+ public:
+  explicit CpuIcapController(IcapModel icap, double per_word_overhead_s = 2e-8)
+      : icap_(icap), per_word_overhead_s_(per_word_overhead_s) {}
+  std::string name() const override { return "CPU-ICAP"; }
+  ReconfigEstimate estimate(u64 bytes, StorageMedia media) const override;
+
+ private:
+  IcapModel icap_;
+  double per_word_overhead_s_;
+};
+
+/// DMA-driven ICAP (Liu'09): fetch and write overlap; throughput is the
+/// slower of media bandwidth and ICAP bandwidth, plus descriptor setup.
+class DmaIcapController final : public ReconfigController {
+ public:
+  explicit DmaIcapController(IcapModel icap, double setup_s = 10e-6)
+      : icap_(icap), setup_s_(setup_s) {}
+  std::string name() const override { return "DMA-ICAP"; }
+  ReconfigEstimate estimate(u64 bytes, StorageMedia media) const override;
+
+ private:
+  IcapModel icap_;
+  double setup_s_;
+};
+
+/// FaRM (Duhem'12): DMA plus an on-chip FIFO preload and optional
+/// bitstream compression; the ICAP runs at its overclocked rate during the
+/// burst.
+class FarmController final : public ReconfigController {
+ public:
+  FarmController(IcapModel icap, double compression_ratio = 0.75,
+                 double overclock = 1.25, double setup_s = 5e-6);
+  std::string name() const override { return "FaRM"; }
+  ReconfigEstimate estimate(u64 bytes, StorageMedia media) const override;
+
+ private:
+  IcapModel icap_;
+  double compression_ratio_;  ///< compressed/original size, in (0,1]
+  double overclock_;          ///< ICAP clock multiplier during bursts
+  double setup_s_;
+};
+
+/// Claus'08 busy-factor wrapper: scales another controller's ICAP phase by
+/// shared-resource contention.
+class BusyFactorController final : public ReconfigController {
+ public:
+  BusyFactorController(std::shared_ptr<const ReconfigController> inner,
+                       double busy_factor);
+  std::string name() const override;
+  ReconfigEstimate estimate(u64 bytes, StorageMedia media) const override;
+
+ private:
+  std::shared_ptr<const ReconfigController> inner_;
+  double busy_factor_;
+};
+
+/// All standard controllers for `family` (CPU, DMA, FaRM).
+std::vector<std::shared_ptr<const ReconfigController>> standard_controllers(
+    Family family);
+
+}  // namespace prcost

@@ -1,0 +1,30 @@
+#include "reconfig/full_bitstream.hpp"
+
+namespace prcost {
+
+u64 full_bitstream_bytes(const Fabric& fabric) {
+  const FamilyTraits& t = fabric.traits();
+  // Configuration frames across one full row: every column participates.
+  u64 frames_per_row = 0;
+  for (u32 c = 0; c < fabric.num_columns(); ++c) {
+    frames_per_row =
+        checked_add(frames_per_row, config_frames(fabric.column(c), t));
+  }
+  const u64 config_words_per_row =
+      t.far_fdri + checked_mul(frames_per_row + 1, t.frame_size);
+  const u64 bram_cols = fabric.column_count(ColumnType::kBram);
+  const u64 bram_words_per_row =
+      bram_cols > 0
+          ? t.far_fdri +
+                checked_mul(checked_mul(bram_cols, t.df_bram) + 1,
+                            t.frame_size)
+          : 0;
+  const u64 words =
+      checked_add(t.iw, checked_add(checked_mul(fabric.rows(),
+                                                config_words_per_row +
+                                                    bram_words_per_row),
+                                    t.fw));
+  return checked_mul(words, t.bytes_word);
+}
+
+}  // namespace prcost

@@ -1,0 +1,18 @@
+// Full-device bitstream size - the non-PR baseline.
+//
+// Section I motivates PR against full reconfiguration: a full bitstream
+// reconfigures every column of every row (including IOB and clock columns)
+// and halts the whole device while it loads. This model extends the
+// Eq. (18)-(23) accounting to the entire fabric so the multitasking
+// ablation can quantify the paper's claim that a badly-sized PR system can
+// be worse than the non-PR alternative (and a well-sized one better).
+#pragma once
+
+#include "device/fabric.hpp"
+
+namespace prcost {
+
+/// Size in bytes of a full configuration bitstream for `fabric`.
+u64 full_bitstream_bytes(const Fabric& fabric);
+
+}  // namespace prcost

@@ -1,0 +1,28 @@
+// Internal configuration access port (ICAP) model.
+#pragma once
+
+#include "device/family_traits.hpp"
+#include "util/ints.hpp"
+
+namespace prcost {
+
+/// ICAP interface description: port width in bytes and clock frequency.
+/// Virtex-4/5/6 ICAPs are 32-bit at up to 100 MHz (UG191): 400 MB/s peak.
+struct IcapModel {
+  u32 port_bytes = 4;
+  double clock_hz = 100.0e6;
+
+  /// Peak throughput in bytes/second.
+  double peak_bytes_per_s() const { return port_bytes * clock_hz; }
+};
+
+/// Default ICAP for `family`.
+IcapModel default_icap(Family family);
+
+/// Seconds the ICAP itself needs to absorb `bytes` at `busy_factor`
+/// contention (Claus et al. [1]: the effective throughput is the peak
+/// scaled by the fraction of cycles the ICAP wins arbitration).
+double icap_write_seconds(const IcapModel& icap, u64 bytes,
+                          double busy_factor = 0.0);
+
+}  // namespace prcost

@@ -1,0 +1,35 @@
+#include "reconfig/media.hpp"
+
+#include "util/error.hpp"
+
+namespace prcost {
+namespace {
+
+// Bandwidths follow the measured ranges surveyed in Papadimitriou et al.,
+// TRETS 4(4): CF cards reach a few hundred KB/s through SystemACE, NOR
+// flash a few MB/s, DDR SDRAM and preloaded BRAM saturate the ICAP.
+constexpr MediaModel kModels[] = {
+    {"CompactFlash", 500.0 * 1024.0, 2.0e-3},
+    {"Flash", 20.0 * 1024.0 * 1024.0, 50.0e-6},
+    {"DDR SDRAM", 800.0 * 1024.0 * 1024.0, 5.0e-6},
+    {"BRAM", 1600.0 * 1024.0 * 1024.0, 1.0e-6},
+};
+
+}  // namespace
+
+const MediaModel& media_model(StorageMedia media) {
+  switch (media) {
+    case StorageMedia::kCompactFlash: return kModels[0];
+    case StorageMedia::kFlash: return kModels[1];
+    case StorageMedia::kDdrSdram: return kModels[2];
+    case StorageMedia::kBram: return kModels[3];
+  }
+  throw ContractError{"media_model: unknown media"};
+}
+
+double fetch_seconds(StorageMedia media, u64 bytes) {
+  const MediaModel& m = media_model(media);
+  return m.latency_s + static_cast<double>(bytes) / m.bandwidth_bytes_per_s;
+}
+
+}  // namespace prcost

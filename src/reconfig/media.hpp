@@ -1,0 +1,40 @@
+// Bitstream storage media models.
+//
+// Papadimitriou et al. [7] showed measured PRR reconfiguration time is
+// dominated by where the partial bitstream is fetched from. Each media
+// model is a simple bandwidth + fixed-latency pair; values follow the
+// survey's measured ranges for Virtex-class platforms.
+#pragma once
+
+#include <string_view>
+
+#include "util/ints.hpp"
+
+namespace prcost {
+
+/// Where partial bitstreams live before reconfiguration.
+enum class StorageMedia {
+  kCompactFlash,  ///< SystemACE / CF card
+  kFlash,         ///< parallel NOR flash
+  kDdrSdram,      ///< external DDR SDRAM
+  kBram,          ///< preloaded on-chip BRAM cache
+};
+
+inline constexpr StorageMedia kAllMedia[] = {
+    StorageMedia::kCompactFlash, StorageMedia::kFlash,
+    StorageMedia::kDdrSdram, StorageMedia::kBram};
+
+/// Bandwidth/latency description of one media.
+struct MediaModel {
+  std::string_view name;
+  double bandwidth_bytes_per_s;  ///< sustained fetch bandwidth
+  double latency_s;              ///< fixed per-transfer setup latency
+};
+
+/// Model for `media`.
+const MediaModel& media_model(StorageMedia media);
+
+/// Seconds to fetch `bytes` from `media` (latency + bytes/bandwidth).
+double fetch_seconds(StorageMedia media, u64 bytes);
+
+}  // namespace prcost

@@ -1,0 +1,52 @@
+// Netlist optimization passes.
+//
+// XST (synthesis) runs the lighter passes; ISE MAP/PAR (implementation)
+// additionally runs the aggressive ones, which is why post-place-and-route
+// resource counts in the paper's Table VI are lower than the synthesis
+// report counts ("the Xilinx tools perform optimizations to reduce the
+// PRMs resource requirements during place and route"). src/par composes
+// the aggressive subset to reproduce that effect.
+//
+// Every pass returns the number of cells it removed/changed so callers can
+// iterate to a fixpoint and report pass effectiveness.
+#pragma once
+
+#include "netlist/netlist.hpp"
+
+namespace prcost {
+
+/// Fold constant LUT inputs into the truth table; a LUT whose output
+/// becomes constant is replaced by the constant driver. Returns LUTs
+/// simplified or removed.
+u64 propagate_constants(Netlist& nl);
+
+/// Remove cells none of whose outputs reach a sink. Output ports, DSPs and
+/// memories are retained (memories/DSPs hold architectural state; real
+/// tools keep them unless explicitly trimmed). Returns cells removed.
+u64 eliminate_dead_cells(Netlist& nl);
+
+/// Merge structurally identical LUTs (same truth table and input nets).
+/// Returns LUTs merged away. MAP-level optimization.
+u64 merge_duplicate_luts(Netlist& nl);
+
+/// Absorb clock-enable feedback muxes into FF CE pins: a kMux2-truth LUT
+/// whose output feeds exactly one FF and whose '0' data leg is that FF's
+/// own Q is deleted; the FF records a CE connection (param1 = 1) and reads
+/// the mux's '1' leg directly. Mirrors slice-FF CE packing. Returns muxes
+/// absorbed.
+u64 absorb_ce_muxes(Netlist& nl);
+
+/// Re-express single-sink inverter LUTs into their sink LUT's truth table
+/// (input polarity folding). MAP-level optimization. Returns inverters
+/// folded.
+u64 fold_inverters(Netlist& nl);
+
+/// Run the XST-level pass pipeline to fixpoint (const-prop, CE absorption,
+/// dead-cell elimination). Returns total cells removed/changed.
+u64 run_synthesis_passes(Netlist& nl);
+
+/// Run the MAP/PAR-level pipeline to fixpoint (synthesis passes plus
+/// duplicate-LUT merging and inverter folding). Returns total effect.
+u64 run_implementation_passes(Netlist& nl);
+
+}  // namespace prcost

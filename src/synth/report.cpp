@@ -1,0 +1,67 @@
+#include "synth/report.hpp"
+
+#include <optional>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace prcost {
+
+std::string report_to_text(const SynthesisReport& report) {
+  std::ostringstream os;
+  os << "Release 12.4 - xst (prcost synthesis simulator)\n"
+     << "Module Name                        : " << report.module_name << "\n"
+     << "Target Family                      : " << family_name(report.family)
+     << "\n"
+     << "Device utilization summary:\n"
+     << " Number of Slice LUTs              : " << report.slice_luts << "\n"
+     << " Number of Slice Registers         : " << report.slice_ffs << "\n"
+     << " Number of LUT Flip Flop pairs used: " << report.lut_ff_pairs << "\n"
+     << " Number of DSP48s                  : " << report.dsps << "\n"
+     << " Number of Block RAM/FIFO          : " << report.brams << "\n"
+     << " Number of bonded IOBs             : " << report.bonded_iobs << "\n";
+  return os.str();
+}
+
+SynthesisReport parse_report(std::string_view text) {
+  SynthesisReport report;
+  std::optional<u64> luts, ffs, pairs, dsps, brams;
+  bool have_module = false;
+  for (const auto& raw_line : split(text, '\n')) {
+    const std::string_view line = trim(raw_line);
+    const auto colon = line.find(':');
+    if (colon == std::string_view::npos) continue;
+    const std::string key = to_lower(trim(line.substr(0, colon)));
+    const std::string_view value = trim(line.substr(colon + 1));
+    if (key == "module name") {
+      report.module_name = std::string{value};
+      have_module = true;
+    } else if (key == "target family") {
+      report.family = parse_family(value);
+    } else if (key == "number of slice luts") {
+      luts = parse_u64(value);
+    } else if (key == "number of slice registers") {
+      ffs = parse_u64(value);
+    } else if (key == "number of lut flip flop pairs used") {
+      pairs = parse_u64(value);
+    } else if (key == "number of dsp48s") {
+      dsps = parse_u64(value);
+    } else if (key == "number of block ram/fifo") {
+      brams = parse_u64(value);
+    } else if (key == "number of bonded iobs") {
+      report.bonded_iobs = parse_u64(value);
+    }
+  }
+  if (!have_module || !luts || !ffs || !pairs || !dsps || !brams) {
+    throw ParseError{"parse_report: missing required report fields"};
+  }
+  report.slice_luts = *luts;
+  report.slice_ffs = *ffs;
+  report.lut_ff_pairs = *pairs;
+  report.dsps = *dsps;
+  report.brams = *brams;
+  return report;
+}
+
+}  // namespace prcost

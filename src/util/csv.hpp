@@ -1,0 +1,25 @@
+// CSV emission for bench outputs, so reproduced tables can be diffed or
+// plotted without re-running the harness.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace prcost {
+
+/// Streams RFC-4180-ish CSV (quotes fields containing comma/quote/newline).
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  void write_row(const std::vector<std::string>& fields);
+
+ private:
+  std::ostream& out_;
+};
+
+/// Quote a single CSV field if needed.
+std::string csv_quote(const std::string& field);
+
+}  // namespace prcost

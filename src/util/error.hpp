@@ -1,0 +1,27 @@
+// Library-wide exception types.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace prcost {
+
+/// Base class for all prcost errors; carries a human-readable message.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A model/device contract was violated (bad parameter, unknown family...).
+class ContractError : public Error {
+ public:
+  explicit ContractError(const std::string& what) : Error(what) {}
+};
+
+/// Malformed input while parsing (synthesis report, bitstream...).
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+}  // namespace prcost

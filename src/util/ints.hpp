@@ -1,0 +1,65 @@
+// Small integer helpers used throughout the cost models.
+//
+// The paper's equations (1)-(7) and (18)-(23) are ceiling-divisions and
+// products of small non-negative quantities; we keep them in unsigned
+// 64-bit arithmetic and fail loudly on contract violations instead of
+// silently wrapping.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <type_traits>
+
+namespace prcost {
+
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i64 = std::int64_t;
+
+/// ceil(num / den) for non-negative integers; den must be > 0.
+///
+/// This is the ceiling operator that appears in Eqs. (1)-(5) of the paper
+/// (e.g. CLB_req = ceil(LUT_FF_req / LUT_CLB)).
+constexpr u64 ceil_div(u64 num, u64 den) {
+  if (den == 0) throw std::invalid_argument{"ceil_div: zero denominator"};
+  return num / den + (num % den != 0 ? 1 : 0);
+}
+
+/// Multiply with overflow check; throws std::overflow_error on wrap.
+constexpr u64 checked_mul(u64 a, u64 b) {
+  if (a != 0 && b > std::numeric_limits<u64>::max() / a) {
+    throw std::overflow_error{"checked_mul: overflow"};
+  }
+  return a * b;
+}
+
+/// Add with overflow check; throws std::overflow_error on wrap.
+constexpr u64 checked_add(u64 a, u64 b) {
+  if (b > std::numeric_limits<u64>::max() - a) {
+    throw std::overflow_error{"checked_add: overflow"};
+  }
+  return a + b;
+}
+
+/// Checked narrowing conversion (Core Guidelines ES.46 style).
+template <typename To, typename From>
+constexpr To narrow(From v) {
+  static_assert(std::is_integral_v<To> && std::is_integral_v<From>);
+  const auto result = static_cast<To>(v);
+  if (static_cast<From>(result) != v ||
+      ((result < To{}) != (v < From{}))) {
+    throw std::out_of_range{"narrow: value does not fit target type"};
+  }
+  return result;
+}
+
+/// Percentage (0-100) of used/available; returns 0 when nothing is
+/// available (matches the paper's RU tables, which report 0% for resource
+/// types absent from a PRR).
+constexpr double percent(u64 used, u64 available) {
+  if (available == 0) return 0.0;
+  return 100.0 * static_cast<double>(used) / static_cast<double>(available);
+}
+
+}  // namespace prcost

@@ -1,0 +1,35 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <iostream>
+
+namespace prcost {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_sink_mutex;
+
+constexpr std::string_view level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info ";
+    case LogLevel::kWarn: return "warn ";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off  ";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+
+LogLevel log_level() { return g_level.load(); }
+
+void log_line(LogLevel level, std::string_view msg) {
+  if (level < log_level()) return;
+  const std::scoped_lock lock{g_sink_mutex};
+  std::clog << "[prcost " << level_tag(level) << "] " << msg << '\n';
+}
+
+}  // namespace prcost

@@ -1,0 +1,50 @@
+// Minimal leveled logger. Single global sink, safe for concurrent use.
+//
+// The library itself logs sparingly (searches, simulators); benches and
+// examples raise the level to Info for progress visibility.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace prcost {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one line at `level` (thread-safe; appends '\n').
+void log_line(LogLevel level, std::string_view msg);
+
+namespace detail {
+template <typename... Args>
+void log_fmt(LogLevel level, const Args&... args) {
+  if (level < log_level()) return;
+  std::ostringstream os;
+  (os << ... << args);
+  log_line(level, os.str());
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(const Args&... args) {
+  detail::log_fmt(LogLevel::kDebug, args...);
+}
+template <typename... Args>
+void log_info(const Args&... args) {
+  detail::log_fmt(LogLevel::kInfo, args...);
+}
+template <typename... Args>
+void log_warn(const Args&... args) {
+  detail::log_fmt(LogLevel::kWarn, args...);
+}
+template <typename... Args>
+void log_error(const Args&... args) {
+  detail::log_fmt(LogLevel::kError, args...);
+}
+
+}  // namespace prcost

@@ -1,0 +1,59 @@
+#include "util/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace prcost {
+
+std::size_t parallel_worker_count() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+void parallel_for(std::size_t count,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t workers) {
+  if (count == 0) return;
+  if (workers == 0) workers = parallel_worker_count();
+  workers = std::min(workers, count);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  // Dynamic scheduling with modest grain: sweep items (full search flows,
+  // simulated anneals) have highly variable cost.
+  const std::size_t grain = std::max<std::size_t>(1, count / (workers * 8));
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.emplace_back([&] {
+      while (true) {
+        const std::size_t begin = next.fetch_add(grain);
+        if (begin >= count) return;
+        const std::size_t end = std::min(count, begin + grain);
+        for (std::size_t i = begin; i < end; ++i) {
+          try {
+            body(i);
+          } catch (...) {
+            const std::scoped_lock lock{error_mutex};
+            if (!first_error) first_error = std::current_exception();
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace prcost

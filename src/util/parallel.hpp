@@ -1,0 +1,23 @@
+// Data-parallel helper for DSE sweeps and property-style test sweeps.
+//
+// Follows the OpenMP worksharing idea (static chunking over an index range)
+// but implemented with std::thread so the library has no extra build
+// dependencies. Bodies must be free of shared mutable state; results are
+// written to per-index slots by the caller.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace prcost {
+
+/// Number of workers parallel_for will use (>= 1; hardware concurrency).
+std::size_t parallel_worker_count();
+
+/// Invoke body(i) for i in [0, count), distributing contiguous chunks over
+/// `workers` threads (0 = auto). Exceptions from bodies are captured and the
+/// first one is rethrown on the calling thread after the pool joins.
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body,
+                  std::size_t workers = 0);
+
+}  // namespace prcost

@@ -1,0 +1,77 @@
+// Deterministic xoshiro256** PRNG (public-domain algorithm by Blackman &
+// Vigna). Every stochastic component in prcost (annealer, workload
+// generators) takes an explicit seed and uses this engine, so all bench
+// results are reproducible bit-for-bit across platforms.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+
+namespace prcost {
+
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed) {
+    // splitmix64 seeding as recommended by the xoshiro authors.
+    for (auto& word : state_) {
+      seed += 0x9E3779B97F4A7C15ull;
+      std::uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). Modulo reduction is fine here: the
+  /// bias for the small bounds this library uses (< 2^32) is < 2^-32 and
+  /// all consumers are simulators, not statistics.
+  std::uint64_t below(std::uint64_t bound) {
+    if (bound == 0) return 0;
+    return operator()() % bound;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t between(std::uint64_t lo, std::uint64_t hi) {
+    return lo + below(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() {
+    return static_cast<double>(operator()() >> 11) * 0x1.0p-53;
+  }
+
+  /// Exponentially distributed double with the given mean (> 0).
+  double exponential(double mean) {
+    // Inverse-CDF sampling; uniform01() < 1 so the log argument is > 0.
+    return -mean * std::log(1.0 - uniform01());
+  }
+
+  /// Bernoulli trial with probability p.
+  bool chance(double p) { return uniform01() < p; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace prcost

@@ -1,0 +1,33 @@
+// Wall-clock stopwatch used by the Table VIII flow-runtime bench.
+#pragma once
+
+#include <chrono>
+#include <string>
+
+namespace prcost {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restart the stopwatch.
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time as "MmSS.SSSs" (e.g. "4m25.000s") to mirror the paper's
+  /// Table VIII minutes/seconds notation.
+  std::string pretty() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Format a duration in seconds as the paper's "XmYYs" notation.
+std::string format_minutes_seconds(double seconds);
+
+}  // namespace prcost

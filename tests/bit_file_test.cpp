@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "bitstream/bit_file.hpp"
+#include "bitstream/generator.hpp"
+#include "bitstream/parser.hpp"
+#include "cost/prr_search.hpp"
+#include "device/device_db.hpp"
+#include "paperdata/paper_dataset.hpp"
+#include "util/error.hpp"
+
+namespace prcost {
+namespace {
+
+BitFile sample_file() {
+  BitFile file;
+  file.design_name = "fir_prr0.ncd;UserID=0xFFFFFFFF";
+  file.part_name = "5vlx110tff1136";
+  file.date = "2015/05/25";
+  file.time = "10:31:07";
+  file.payload = {0xAA, 0x99, 0x55, 0x66, 0x20, 0x00, 0x00, 0x00};
+  return file;
+}
+
+TEST(BitFile, RoundTrips) {
+  const BitFile original = sample_file();
+  const BitFile parsed = read_bit_file(write_bit_file(original));
+  EXPECT_EQ(parsed.design_name, original.design_name);
+  EXPECT_EQ(parsed.part_name, original.part_name);
+  EXPECT_EQ(parsed.date, original.date);
+  EXPECT_EQ(parsed.time, original.time);
+  EXPECT_EQ(parsed.payload, original.payload);
+}
+
+TEST(BitFile, StripHeaderReturnsAlignedPayload) {
+  // The paper's preprocessing step: removing the header (ncd name, date)
+  // leaves the 32-bit-aligned configuration words.
+  const BitFile file = sample_file();
+  const auto stripped = strip_bit_header(write_bit_file(file));
+  EXPECT_EQ(stripped, file.payload);
+  EXPECT_EQ(stripped.size() % 4, 0u);
+}
+
+TEST(BitFile, RejectsCorruptInput) {
+  const auto bytes = write_bit_file(sample_file());
+  // Bad magic.
+  auto bad = bytes;
+  bad[0] ^= 0xFF;
+  EXPECT_THROW(read_bit_file(bad), ParseError);
+  // Truncated payload.
+  auto truncated = bytes;
+  truncated.resize(truncated.size() - 4);
+  EXPECT_THROW(read_bit_file(truncated), ParseError);
+  // Empty input.
+  EXPECT_THROW(read_bit_file(std::vector<std::uint8_t>{}), ParseError);
+}
+
+TEST(BitFile, PackageWrapsGeneratedBitstream) {
+  const auto& rec = paperdata::table5_record("FIR", "xc5vlx110t");
+  const Fabric& fabric = DeviceDb::instance().get(rec.device).fabric;
+  const auto plan = find_prr(rec.req, fabric);
+  const auto words = generate_bitstream(*plan, rec.family);
+  const auto container =
+      package_bit_file(words, rec.family, "fir_prr0", "5vlx110tff1136");
+  // Container is strictly larger than the payload (the header bytes the
+  // paper removes before measuring Table VII)...
+  EXPECT_GT(container.size(), plan->bitstream.total_bytes);
+  // ...and stripping recovers exactly the Eq. (18)-sized payload.
+  const auto stripped = strip_bit_header(container);
+  EXPECT_EQ(stripped.size(), plan->bitstream.total_bytes);
+  EXPECT_EQ(stripped, to_bytes(words, rec.family));
+  // Metadata round-trips.
+  const BitFile parsed = read_bit_file(container);
+  EXPECT_EQ(parsed.design_name, "fir_prr0.ncd;UserID=0xFFFFFFFF");
+  EXPECT_EQ(parsed.part_name, "5vlx110tff1136");
+}
+
+TEST(BitFile, HeaderOverheadIsSmall) {
+  const BitFile file = sample_file();
+  const auto bytes = write_bit_file(file);
+  EXPECT_LT(bytes.size() - file.payload.size(), 128u);
+}
+
+}  // namespace
+}  // namespace prcost

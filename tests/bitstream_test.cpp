@@ -1,0 +1,285 @@
+#include <gtest/gtest.h>
+
+#include "bitstream/crc.hpp"
+#include "bitstream/frame_address.hpp"
+#include "bitstream/generator.hpp"
+#include "bitstream/parser.hpp"
+#include "cost/prr_search.hpp"
+#include "device/device_db.hpp"
+#include "paperdata/paper_dataset.hpp"
+#include "util/error.hpp"
+
+namespace prcost {
+namespace {
+
+// ---------------------------------------------------------------- words ---
+
+TEST(Packets, Type1RoundTrip) {
+  const u32 word = type1(PacketOp::kWrite, ConfigReg::kFar, 1);
+  EXPECT_EQ(packet_type(word), 1u);
+  EXPECT_EQ(packet_op(word), PacketOp::kWrite);
+  EXPECT_EQ(packet_reg(word), ConfigReg::kFar);
+  EXPECT_EQ(type1_count(word), 1u);
+}
+
+TEST(Packets, Type2CarriesBigCounts) {
+  const u32 word = type2(PacketOp::kWrite, 20730);
+  EXPECT_EQ(packet_type(word), 2u);
+  EXPECT_EQ(type2_count(word), 20730u);
+}
+
+TEST(Packets, Names) {
+  EXPECT_EQ(config_reg_name(ConfigReg::kFdri), "FDRI");
+  EXPECT_EQ(config_cmd_name(ConfigCmd::kDesync), "DESYNC");
+}
+
+// ------------------------------------------------------------------- far ---
+
+TEST(FrameAddress, RoundTrips) {
+  const FrameAddress far{FrameBlock::kBramContent, 7, 33, 5};
+  EXPECT_EQ(decode_far(encode_far(far)), far);
+}
+
+TEST(FrameAddress, FieldRangeChecked) {
+  FrameAddress far;
+  far.row = 32;  // 5-bit field
+  EXPECT_THROW(encode_far(far), ContractError);
+  far = FrameAddress{};
+  far.major = 256;
+  EXPECT_THROW(encode_far(far), ContractError);
+}
+
+TEST(FrameAddress, ToString) {
+  const FrameAddress far{FrameBlock::kInterconnect, 2, 25, 0};
+  EXPECT_EQ(far_to_string(far), "CFG row 2 major 25 minor 0");
+}
+
+// ------------------------------------------------------------------- crc ---
+
+TEST(Crc, DeterministicAndOrderSensitive) {
+  ConfigCrc a, b;
+  a.update(ConfigReg::kFdri, 0x12345678);
+  a.update(ConfigReg::kFdri, 0x9ABCDEF0);
+  b.update(ConfigReg::kFdri, 0x9ABCDEF0);
+  b.update(ConfigReg::kFdri, 0x12345678);
+  EXPECT_NE(a.value(), b.value());
+  ConfigCrc c;
+  c.update(ConfigReg::kFdri, 0x12345678);
+  c.update(ConfigReg::kFdri, 0x9ABCDEF0);
+  EXPECT_EQ(a.value(), c.value());
+}
+
+TEST(Crc, RegisterAddressMatters) {
+  ConfigCrc a, b;
+  a.update(ConfigReg::kFdri, 0x1);
+  b.update(ConfigReg::kFar, 0x1);
+  EXPECT_NE(a.value(), b.value());
+}
+
+TEST(Crc, ResetClears) {
+  ConfigCrc crc;
+  crc.update(ConfigReg::kFdri, 42);
+  crc.reset();
+  EXPECT_EQ(crc.value(), 0u);
+}
+
+// ------------------------------------------------------ header / trailer ---
+
+TEST(Generator, HeaderLengthEqualsIwForAllFamilies) {
+  // The paper's IW constant must equal what the generator actually emits;
+  // Table IV and the generator share one source of truth.
+  for (const Family family : kAllFamilies) {
+    EXPECT_EQ(header_words(family, default_idcode(family)).size(),
+              traits(family).iw)
+        << family_name(family);
+  }
+}
+
+TEST(Generator, TrailerLengthEqualsFwForAllFamilies) {
+  for (const Family family : kAllFamilies) {
+    EXPECT_EQ(trailer_words(family, 0xDEADBEEF).size(), traits(family).fw)
+        << family_name(family);
+  }
+}
+
+TEST(Generator, HeaderContainsSync) {
+  const auto words = header_words(Family::kVirtex5, 0x02AD6093);
+  EXPECT_NE(std::find(words.begin(), words.end(), cfg::kSync), words.end());
+}
+
+// --------------------------------------- model == generator (Table VII) ---
+
+class ModelVsGenerator
+    : public ::testing::TestWithParam<paperdata::TableVRecord> {};
+
+TEST_P(ModelVsGenerator, ByteExactAgreement) {
+  const auto& rec = GetParam();
+  const Fabric& fabric = DeviceDb::instance().get(rec.device).fabric;
+  const auto plan = find_prr(rec.req, fabric);
+  ASSERT_TRUE(plan.has_value());
+  const auto words = generate_bitstream(*plan, rec.family);
+  const auto bytes = to_bytes(words, rec.family);
+  EXPECT_EQ(bytes.size(), plan->bitstream.total_bytes);
+  EXPECT_EQ(words.size(), plan->bitstream.total_words);
+}
+
+TEST_P(ModelVsGenerator, ParserRecoversStructure) {
+  const auto& rec = GetParam();
+  const Fabric& fabric = DeviceDb::instance().get(rec.device).fabric;
+  const auto plan = find_prr(rec.req, fabric);
+  ASSERT_TRUE(plan.has_value());
+  const auto words = generate_bitstream(*plan, rec.family);
+  const BitstreamLayout layout = parse_bitstream(words, rec.family);
+  const FamilyTraits& t = traits(rec.family);
+  EXPECT_EQ(layout.initial_words, t.iw);
+  EXPECT_EQ(layout.final_words, t.fw);
+  EXPECT_EQ(layout.config_burst_count(), plan->organization.h);
+  const u64 bram_bursts =
+      plan->organization.columns.bram_cols > 0 ? plan->organization.h : 0;
+  EXPECT_EQ(layout.bram_burst_count(), bram_bursts);
+  EXPECT_TRUE(layout.crc_ok);
+  EXPECT_TRUE(layout.desync_seen);
+  EXPECT_EQ(layout.idcode, default_idcode(rec.family));
+  // Frame counts per burst match Eqs. (19)-(23).
+  for (const FdriBurst& burst : layout.bursts) {
+    if (burst.far.block == FrameBlock::kInterconnect) {
+      EXPECT_EQ(burst.frames, plan->bitstream.config_frames_per_row);
+    } else {
+      EXPECT_EQ(burst.frames,
+                u64{plan->organization.columns.bram_cols} * t.df_bram + 1);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Paper, ModelVsGenerator,
+    ::testing::ValuesIn(paperdata::table5().begin(),
+                        paperdata::table5().end()),
+    [](const ::testing::TestParamInfo<paperdata::TableVRecord>& tp_info) {
+      std::string name{tp_info.param.prm};
+      name += "_";
+      name += tp_info.param.device;
+      return name;
+    });
+
+// Property sweep: model == generator for synthetic organizations across
+// every family and a grid of shapes - not just the paper's six points.
+struct SweepPoint {
+  Family family;
+  u32 h;
+  u32 clb;
+  u32 dsp;
+  u32 bram;
+};
+
+class SizeSweep : public ::testing::TestWithParam<SweepPoint> {};
+
+TEST_P(SizeSweep, ModelEqualsGenerator) {
+  const auto& p = GetParam();
+  PrrPlan plan;
+  plan.organization.h = p.h;
+  plan.organization.columns = ColumnDemand{p.clb, p.dsp, p.bram};
+  plan.window = ColumnWindow{1, plan.organization.width()};
+  plan.bitstream =
+      estimate_bitstream(plan.organization, traits(p.family));
+  const auto words = generate_bitstream(plan, p.family);
+  EXPECT_EQ(words.size(), plan.bitstream.total_words);
+  const auto layout = parse_bitstream(words, p.family);
+  EXPECT_TRUE(layout.crc_ok);
+  EXPECT_EQ(layout.total_words, plan.bitstream.total_words);
+}
+
+std::vector<SweepPoint> sweep_points() {
+  std::vector<SweepPoint> points;
+  for (const Family family : kAllFamilies) {
+    for (const u32 h : {1u, 2u, 3u, 7u}) {
+      for (const u32 clb : {1u, 5u, 17u}) {
+        for (const u32 dsp : {0u, 1u, 2u}) {
+          for (const u32 bram : {0u, 1u, 3u}) {
+            points.push_back(SweepPoint{family, h, clb, dsp, bram});
+          }
+        }
+      }
+    }
+  }
+  return points;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, SizeSweep, ::testing::ValuesIn(sweep_points()));
+
+// ---------------------------------------------------------------- parser ---
+
+TEST(Parser, MissingSyncThrows) {
+  const std::vector<u32> junk(16, cfg::kDummy);
+  EXPECT_THROW(parse_bitstream(junk, Family::kVirtex5), ParseError);
+}
+
+TEST(Parser, TruncatedStreamThrows) {
+  PrrPlan plan;
+  plan.organization.h = 1;
+  plan.organization.columns = ColumnDemand{2, 0, 0};
+  plan.bitstream = estimate_bitstream(plan.organization,
+                                      traits(Family::kVirtex5));
+  auto words = generate_bitstream(plan, Family::kVirtex5);
+  words.resize(words.size() / 2);
+  EXPECT_THROW(parse_bitstream(words, Family::kVirtex5), ParseError);
+}
+
+TEST(Parser, CorruptedPayloadBreaksCrc) {
+  PrrPlan plan;
+  plan.organization.h = 1;
+  plan.organization.columns = ColumnDemand{2, 0, 0};
+  plan.bitstream = estimate_bitstream(plan.organization,
+                                      traits(Family::kVirtex5));
+  auto words = generate_bitstream(plan, Family::kVirtex5);
+  // Flip one bit in the middle of the frame data.
+  words[words.size() / 2] ^= 0x00010000;
+  const auto layout = parse_bitstream(words, Family::kVirtex5);
+  EXPECT_FALSE(layout.crc_ok);
+}
+
+TEST(Parser, DisassemblyMentionsStructure) {
+  PrrPlan plan;
+  plan.organization.h = 2;
+  plan.organization.columns = ColumnDemand{1, 0, 1};
+  plan.bitstream = estimate_bitstream(plan.organization,
+                                      traits(Family::kVirtex5));
+  const auto words = generate_bitstream(plan, Family::kVirtex5);
+  const std::string text = disassemble(words, Family::kVirtex5);
+  EXPECT_NE(text.find("BRAM"), std::string::npos);
+  EXPECT_NE(text.find("crc           : ok"), std::string::npos);
+}
+
+TEST(Generator, PayloadSeedChangesDataNotSize) {
+  PrrPlan plan;
+  plan.organization.h = 1;
+  plan.organization.columns = ColumnDemand{3, 0, 0};
+  plan.bitstream = estimate_bitstream(plan.organization,
+                                      traits(Family::kVirtex5));
+  GeneratorOptions a, b;
+  a.payload_seed = 1;
+  b.payload_seed = 2;
+  const auto wa = generate_bitstream(plan, Family::kVirtex5, a);
+  const auto wb = generate_bitstream(plan, Family::kVirtex5, b);
+  EXPECT_EQ(wa.size(), wb.size());
+  EXPECT_NE(wa, wb);
+  // Both parse and CRC-check: the CRC adapts to the payload.
+  EXPECT_TRUE(parse_bitstream(wa, Family::kVirtex5).crc_ok);
+  EXPECT_TRUE(parse_bitstream(wb, Family::kVirtex5).crc_ok);
+}
+
+TEST(Generator, ToBytesBigEndian) {
+  const std::vector<u32> words{0xAA995566};
+  const auto bytes = to_bytes(words, Family::kVirtex5);
+  ASSERT_EQ(bytes.size(), 4u);
+  EXPECT_EQ(bytes[0], 0xAA);
+  EXPECT_EQ(bytes[3], 0x66);
+}
+
+TEST(Generator, EmptyPlanThrows) {
+  PrrPlan plan;  // h == 0
+  EXPECT_THROW(generate_bitstream(plan, Family::kVirtex5), ContractError);
+}
+
+}  // namespace
+}  // namespace prcost

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "bitstream/config_memory.hpp"
+#include "bitstream/generator.hpp"
+#include "cost/prr_search.hpp"
+#include "device/device_db.hpp"
+#include "paperdata/paper_dataset.hpp"
+#include "util/error.hpp"
+
+namespace prcost {
+namespace {
+
+const Fabric& lx110t() {
+  return DeviceDb::instance().get("xc5vlx110t").fabric;
+}
+
+TEST(ConfigMemory, FramesInColumnByBlockType) {
+  const Fabric fabric{Family::kVirtex5, "CDBIK", 2};
+  ConfigMemory cm{fabric};
+  EXPECT_EQ(cm.frames_in_column(0, FrameBlock::kInterconnect), 36u);
+  EXPECT_EQ(cm.frames_in_column(1, FrameBlock::kInterconnect), 28u);
+  EXPECT_EQ(cm.frames_in_column(2, FrameBlock::kInterconnect), 30u);
+  EXPECT_EQ(cm.frames_in_column(0, FrameBlock::kBramContent), 0u);
+  EXPECT_EQ(cm.frames_in_column(2, FrameBlock::kBramContent), 128u);
+}
+
+TEST(ConfigMemory, WriteReadRoundTrip) {
+  const Fabric fabric{Family::kVirtex5, "CCC", 2};
+  ConfigMemory cm{fabric};
+  const u32 fr = fabric.traits().frame_size;
+  std::vector<u32> payload(3 * fr);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<u32>(i * 7 + 1);
+  }
+  const FrameAddress start{FrameBlock::kInterconnect, 1, 0, 0};
+  cm.write_burst(start, payload);
+  EXPECT_EQ(cm.frames_written(), 3u);
+  EXPECT_EQ(cm.read_burst(start, 3), payload);
+}
+
+TEST(ConfigMemory, BurstCrossesColumns) {
+  const Fabric fabric{Family::kVirtex5, "CC", 1};
+  ConfigMemory cm{fabric};
+  const u32 fr = fabric.traits().frame_size;
+  // 40 frames: 36 fill column 0, 4 spill into column 1.
+  std::vector<u32> payload(40 * fr, 0xAB);
+  cm.write_burst(FrameAddress{FrameBlock::kInterconnect, 0, 0, 0}, payload);
+  EXPECT_TRUE(cm.row_column_touched(0, 0, FrameBlock::kInterconnect));
+  EXPECT_TRUE(cm.row_column_touched(1, 0, FrameBlock::kInterconnect));
+  EXPECT_TRUE(
+      cm.frame(FrameAddress{FrameBlock::kInterconnect, 0, 1, 3}).has_value());
+  EXPECT_FALSE(
+      cm.frame(FrameAddress{FrameBlock::kInterconnect, 0, 1, 4}).has_value());
+}
+
+TEST(ConfigMemory, BurstOffFabricThrows) {
+  const Fabric fabric{Family::kVirtex5, "C", 1};
+  ConfigMemory cm{fabric};
+  const u32 fr = fabric.traits().frame_size;
+  const std::vector<u32> payload(37 * fr, 1);  // 36 frames fit, 37 do not
+  EXPECT_THROW(
+      cm.write_burst(FrameAddress{FrameBlock::kInterconnect, 0, 0, 0},
+                     payload),
+      ContractError);
+}
+
+TEST(ConfigMemory, UnwrittenFramesReadZero) {
+  const Fabric fabric{Family::kVirtex5, "CC", 1};
+  ConfigMemory cm{fabric};
+  const auto words =
+      cm.read_burst(FrameAddress{FrameBlock::kInterconnect, 0, 0, 0}, 2);
+  EXPECT_EQ(words.size(), 2u * fabric.traits().frame_size);
+  for (const u32 word : words) EXPECT_EQ(word, 0u);
+}
+
+TEST(ConfigMemory, BramContentSkipsNonBramColumns) {
+  const Fabric fabric{Family::kVirtex5, "CBCB", 1};
+  ConfigMemory cm{fabric};
+  const u32 fr = fabric.traits().frame_size;
+  // 2*128 BRAM-content frames starting at column 0 must land on the two
+  // BRAM columns (1 and 3), skipping the CLB columns.
+  std::vector<u32> payload(2 * 128 * fr, 0xBB);
+  cm.write_burst(FrameAddress{FrameBlock::kBramContent, 0, 0, 0}, payload);
+  EXPECT_TRUE(cm.row_column_touched(1, 0, FrameBlock::kBramContent));
+  EXPECT_TRUE(cm.row_column_touched(3, 0, FrameBlock::kBramContent));
+  EXPECT_FALSE(cm.row_column_touched(0, 0, FrameBlock::kBramContent));
+  EXPECT_FALSE(cm.row_column_touched(2, 0, FrameBlock::kBramContent));
+}
+
+// Applying a generated partial bitstream touches exactly the PRR window's
+// rows and columns - the PR isolation property.
+class ApplyIsolation
+    : public ::testing::TestWithParam<paperdata::TableVRecord> {};
+
+TEST_P(ApplyIsolation, OnlyPrrFramesWritten) {
+  const auto& rec = GetParam();
+  const Fabric& fabric = DeviceDb::instance().get(rec.device).fabric;
+  const auto plan = find_prr(rec.req, fabric);
+  ASSERT_TRUE(plan.has_value());
+  const auto words = generate_bitstream(*plan, rec.family);
+
+  ConfigMemory cm{fabric};
+  const u64 committed = cm.apply_bitstream(words);
+  // Eqs. (19)-(23) minus the flush frames: exactly the PRR's own frames.
+  u64 expected = 0;
+  for (u32 c = plan->window.first_col;
+       c < plan->window.first_col + plan->window.width; ++c) {
+    expected += cm.frames_in_column(c, FrameBlock::kInterconnect);
+    expected += cm.frames_in_column(c, FrameBlock::kBramContent);
+  }
+  expected *= plan->organization.h;
+  EXPECT_EQ(committed, expected);
+  EXPECT_EQ(cm.frames_written(), expected);
+
+  // Isolation: no column outside the window, no row outside the PRR.
+  for (u32 c = 0; c < fabric.num_columns(); ++c) {
+    for (u32 r = 0; r < fabric.rows(); ++r) {
+      const bool inside_cols = c >= plan->window.first_col &&
+                               c < plan->window.first_col + plan->window.width;
+      const bool inside_rows = r >= plan->first_row &&
+                               r < plan->first_row + plan->organization.h;
+      if (!(inside_cols && inside_rows)) {
+        EXPECT_FALSE(cm.row_column_touched(c, r, FrameBlock::kInterconnect))
+            << "col " << c << " row " << r;
+        EXPECT_FALSE(cm.row_column_touched(c, r, FrameBlock::kBramContent));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Paper, ApplyIsolation,
+    ::testing::ValuesIn(paperdata::table5().begin(),
+                        paperdata::table5().end()),
+    [](const ::testing::TestParamInfo<paperdata::TableVRecord>& tp_info) {
+      std::string name{tp_info.param.prm};
+      name += "_";
+      name += tp_info.param.device;
+      return name;
+    });
+
+TEST(ConfigMemory, ApplyIsIdempotent) {
+  const auto& rec = paperdata::table5_record("SDRAM", "xc5vlx110t");
+  const auto plan = find_prr(rec.req, lx110t());
+  const auto words = generate_bitstream(*plan, Family::kVirtex5);
+  ConfigMemory cm{lx110t()};
+  const u64 first = cm.apply_bitstream(words);
+  const u64 second = cm.apply_bitstream(words);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(cm.frames_written(), first);  // same frames overwritten
+}
+
+TEST(ConfigMemory, ApplyRejectsGarbage) {
+  ConfigMemory cm{lx110t()};
+  const std::vector<u32> junk(10, 0x12345678);
+  EXPECT_THROW(cm.apply_bitstream(junk), ParseError);
+}
+
+TEST(ConfigMemory, ClearResets) {
+  const auto& rec = paperdata::table5_record("SDRAM", "xc5vlx110t");
+  const auto plan = find_prr(rec.req, lx110t());
+  ConfigMemory cm{lx110t()};
+  cm.apply_bitstream(generate_bitstream(*plan, Family::kVirtex5));
+  EXPECT_GT(cm.frames_written(), 0u);
+  cm.clear();
+  EXPECT_EQ(cm.frames_written(), 0u);
+}
+
+}  // namespace
+}  // namespace prcost

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "bitstream/generator.hpp"
+#include "cost/prr_search.hpp"
+#include "device/device_db.hpp"
+#include "htr/defrag.hpp"
+#include "paperdata/paper_dataset.hpp"
+
+namespace prcost {
+namespace {
+
+const Fabric& lx110t() {
+  return DeviceDb::instance().get("xc5vlx110t").fabric;
+}
+
+PrmRequirements small_logic() {
+  PrmRequirements req;
+  req.lut_ff_pairs = 300;
+  req.luts = 250;
+  req.ffs = 200;
+  return req;
+}
+
+TEST(LargestFreeRect, EmptyFabricIsWholeFabric) {
+  Floorplanner fp{lx110t()};
+  EXPECT_EQ(largest_free_rect(fp, lx110t()),
+            u64{lx110t().num_columns()} * lx110t().rows());
+}
+
+TEST(LargestFreeRect, ShrinksWithReservations) {
+  Floorplanner fp{lx110t()};
+  // Reserve a full-height column strip in the middle: the largest free
+  // rect is the bigger side.
+  const u32 cols = lx110t().num_columns();
+  fp.reserve(cols / 2, 1, 0, lx110t().rows());
+  const u64 left = u64{cols / 2} * lx110t().rows();
+  const u64 right = u64{cols - cols / 2 - 1} * lx110t().rows();
+  EXPECT_EQ(largest_free_rect(fp, lx110t()), std::max(left, right));
+}
+
+TEST(Floorplanner, RemoveFreesSpace) {
+  Floorplanner fp{lx110t()};
+  ASSERT_TRUE(fp.place("a", small_logic()).has_value());
+  const double before = fp.occupancy();
+  EXPECT_TRUE(fp.remove("a"));
+  EXPECT_LT(fp.occupancy(), before);
+  EXPECT_TRUE(fp.placements().empty());
+  EXPECT_FALSE(fp.remove("a"));
+}
+
+TEST(Floorplanner, MovePlacementValidatesTarget) {
+  Floorplanner fp{lx110t()};
+  const auto a = fp.place("a", small_logic());
+  const auto b = fp.place("b", small_logic());
+  ASSERT_TRUE(a && b);
+  // Moving b onto a must throw; moving b onto itself is a no-op slide.
+  EXPECT_THROW(
+      fp.move_placement(1, a->plan.window, a->first_row), ContractError);
+  EXPECT_NO_THROW(fp.move_placement(1, b->plan.window, b->first_row));
+  EXPECT_THROW(fp.move_placement(7, b->plan.window, 0), ContractError);
+}
+
+TEST(Defrag, CompactsFragmentedPool) {
+  // Fragment: place four small PRRs, free two non-adjacent ones, compact.
+  Floorplanner fp{lx110t()};
+  for (const char* name : {"a", "b", "c", "d"}) {
+    ASSERT_TRUE(fp.place(name, small_logic()).has_value()) << name;
+  }
+  ASSERT_TRUE(fp.remove("a"));
+  ASSERT_TRUE(fp.remove("c"));
+  const u64 before = largest_free_rect(fp, lx110t());
+  const DefragReport report = compact(fp, lx110t());
+  EXPECT_GT(report.moves, 0u);
+  EXPECT_GE(report.largest_free_after, before);
+  EXPECT_EQ(report.largest_free_before, before);
+  // Idempotent: a second compaction does nothing.
+  EXPECT_EQ(compact(fp, lx110t()).moves, 0u);
+}
+
+TEST(Defrag, MovesLiveFramesThroughConfigMemory) {
+  // Load SDRAM twice into separate PRRs, free the left one, and compact
+  // with a live configuration memory: the surviving PRR's frames move.
+  const auto& rec = paperdata::table5_record("SDRAM", "xc5vlx110t");
+  Floorplanner fp{lx110t()};
+  const auto left = fp.place("left", rec.req);
+  const auto right = fp.place("right", rec.req);
+  ASSERT_TRUE(left && right);
+
+  ConfigMemory cm{lx110t()};
+  // Configure the RIGHT placement's region with a real bitstream.
+  PrrPlan right_plan = right->plan;
+  const auto words = generate_bitstream(right_plan, Family::kVirtex5);
+  cm.apply_bitstream(words);
+  const u64 frames = cm.frames_written();
+
+  ASSERT_TRUE(fp.remove("left"));
+  const DefragReport report = compact(fp, lx110t(), &cm);
+  ASSERT_EQ(report.moves, 1u);
+  EXPECT_EQ(report.frames_copied, frames);
+  // The placement now sits where "left" used to be.
+  EXPECT_EQ(fp.placements()[0].first_col, left->first_col);
+  EXPECT_EQ(fp.placements()[0].first_row, left->first_row);
+  // The moved region holds the original frames.
+  const auto moved = cm.read_burst(
+      FrameAddress{FrameBlock::kInterconnect, left->first_row,
+                   left->first_col, 0},
+      frames);
+  const auto original = cm.read_burst(
+      FrameAddress{FrameBlock::kInterconnect, right->first_row,
+                   right->first_col, 0},
+      frames);
+  EXPECT_EQ(moved, original);
+}
+
+TEST(Defrag, EnablesOtherwiseImpossiblePlacement) {
+  // The classic fragmentation scenario: free space is plentiful but
+  // scattered; a wide PRM only fits after compaction.
+  Floorplanner fp{lx110t()};
+  std::vector<std::string> names;
+  int placed = 0;
+  while (true) {
+    const std::string name = "p" + std::to_string(placed);
+    if (!fp.place(name, small_logic()).has_value()) break;
+    names.push_back(name);
+    ++placed;
+  }
+  ASSERT_GT(placed, 6);
+  // Free every second placement: lots of scattered space.
+  for (std::size_t i = 0; i < names.size(); i += 2) {
+    ASSERT_TRUE(fp.remove(names[i]));
+  }
+  const u64 fragmented = largest_free_rect(fp, lx110t());
+  compact(fp, lx110t());
+  EXPECT_GE(largest_free_rect(fp, lx110t()), fragmented);
+}
+
+}  // namespace
+}  // namespace prcost

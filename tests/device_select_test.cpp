@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "device/device_db.hpp"
+#include "dse/device_select.hpp"
+#include "paperdata/paper_dataset.hpp"
+
+namespace prcost {
+namespace {
+
+std::vector<PrmInfo> paper_prms() {
+  std::vector<PrmInfo> prms;
+  for (const char* name : {"FIR", "MIPS", "SDRAM"}) {
+    const auto& rec = paperdata::table5_record(name, "xc5vlx110t");
+    prms.push_back(PrmInfo{name, rec.req, 0});
+  }
+  return prms;
+}
+
+TEST(DeviceSelect, CoversWholeCatalog) {
+  WorkloadParams wp;
+  wp.count = 20;
+  const auto choices = rank_devices(paper_prms(), make_workload(wp));
+  EXPECT_EQ(choices.size(), DeviceDb::instance().all().size());
+}
+
+TEST(DeviceSelect, FeasiblePartsComeFirstSortedByFootprint) {
+  WorkloadParams wp;
+  wp.count = 20;
+  const auto choices = rank_devices(paper_prms(), make_workload(wp));
+  bool seen_infeasible = false;
+  double last_fraction = 0.0;
+  u64 feasible_count = 0;
+  for (const DeviceChoice& choice : choices) {
+    if (!choice.feasible) {
+      seen_infeasible = true;
+      EXPECT_FALSE(choice.reason.empty());
+      continue;
+    }
+    EXPECT_FALSE(seen_infeasible) << "feasible after infeasible";
+    EXPECT_GE(choice.fabric_fraction, last_fraction);
+    last_fraction = choice.fabric_fraction;
+    EXPECT_GT(choice.total_prr_cells, 0u);
+    EXPECT_GT(choice.total_bitstream_bytes, 0u);
+    EXPECT_GT(choice.makespan_s, 0.0);
+    ++feasible_count;
+  }
+  // The paper's own parts must qualify.
+  EXPECT_GE(feasible_count, 2u);
+  const auto feasible_has = [&](std::string_view name) {
+    return std::any_of(choices.begin(), choices.end(),
+                       [&](const DeviceChoice& c) {
+                         return c.feasible && c.device == name;
+                       });
+  };
+  EXPECT_TRUE(feasible_has("xc5vlx110t"));
+  EXPECT_TRUE(feasible_has("xc6vlx75t"));
+}
+
+TEST(DeviceSelect, TinyPartIsInfeasibleForDspHeavyLoad) {
+  // 200 DSPs cannot fit the single-DSP-column parts.
+  std::vector<PrmInfo> prms;
+  PrmRequirements req;
+  req.lut_ff_pairs = 100;
+  req.dsps = 200;
+  prms.push_back(PrmInfo{"dsp_monster", req, 0});
+  WorkloadParams wp;
+  wp.count = 5;
+  wp.prm_count = 1;
+  const auto choices = rank_devices(prms, make_workload(wp));
+  for (const DeviceChoice& choice : choices) {
+    if (choice.device == "xc5vlx110t" || choice.device == "xc4vlx60" ||
+        choice.device == "xc5vlx50t") {
+      EXPECT_FALSE(choice.feasible) << choice.device;
+    }
+    if (choice.device == "xc6vlx240t") {
+      EXPECT_TRUE(choice.feasible);
+    }
+  }
+}
+
+TEST(DeviceSelect, StaticRowReservationShrinksCapacity) {
+  // With the reservation off, at least as many parts qualify.
+  WorkloadParams wp;
+  wp.count = 10;
+  DeviceSelectOptions with_static;
+  DeviceSelectOptions without_static;
+  without_static.reserve_static_row = false;
+  const auto workload = make_workload(wp);
+  const auto a = rank_devices(paper_prms(), workload, with_static);
+  const auto b = rank_devices(paper_prms(), workload, without_static);
+  const auto count = [](const std::vector<DeviceChoice>& choices) {
+    u64 n = 0;
+    for (const auto& c : choices) {
+      if (c.feasible) ++n;
+    }
+    return n;
+  };
+  EXPECT_LE(count(a), count(b));
+}
+
+}  // namespace
+}  // namespace prcost

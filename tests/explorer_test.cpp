@@ -1,0 +1,100 @@
+// Focused tests on explorer internals not covered by dse_test's
+// end-to-end sweeps: bitstream accounting, controller plumbing, and
+// infeasibility reporting.
+#include <gtest/gtest.h>
+
+#include "device/device_db.hpp"
+#include "dse/explorer.hpp"
+#include "paperdata/paper_dataset.hpp"
+
+namespace prcost {
+namespace {
+
+std::vector<PrmInfo> paper_prms() {
+  std::vector<PrmInfo> prms;
+  for (const char* name : {"FIR", "MIPS", "SDRAM"}) {
+    const auto& rec = paperdata::table5_record(name, "xc5vlx110t");
+    prms.push_back(PrmInfo{name, rec.req, 0});
+  }
+  return prms;
+}
+
+TEST(Explorer, BitstreamTotalsSumPerPrmGroupSizes) {
+  const Fabric& fabric = DeviceDb::instance().get("xc5vlx110t").fabric;
+  WorkloadParams wp;
+  wp.count = 10;
+  const auto points = explore(paper_prms(), fabric, make_workload(wp));
+  for (const DesignPoint& point : points) {
+    if (!point.feasible) continue;
+    u64 expected = 0;
+    for (std::size_t g = 0; g < point.partition.size(); ++g) {
+      expected += point.prr_plans[g].bitstream.total_bytes *
+                  point.partition[g].size();
+    }
+    EXPECT_EQ(point.total_bitstream_bytes, expected);
+    // Fewer groups -> at most as much total fabric as fully split, never
+    // more than the sum of per-group sizes (tautology guard on area sum).
+    u64 area = 0;
+    for (const auto& plan : point.prr_plans) area += plan.organization.size();
+    EXPECT_EQ(point.total_prr_area, area);
+  }
+}
+
+TEST(Explorer, ControllerOverrideChangesMakespan) {
+  const Fabric& fabric = DeviceDb::instance().get("xc5vlx110t").fabric;
+  WorkloadParams wp;
+  wp.count = 60;
+  wp.mean_interarrival_s = 0.3e-3;  // reconfig-bound load
+  const auto workload = make_workload(wp);
+  ExploreOptions slow;
+  slow.media = StorageMedia::kCompactFlash;
+  ExploreOptions fast;
+  fast.media = StorageMedia::kBram;
+  const auto a = explore(paper_prms(), fabric, workload, slow);
+  const auto b = explore(paper_prms(), fabric, workload, fast);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].feasible && b[i].feasible) {
+      EXPECT_GT(a[i].makespan_s, b[i].makespan_s);
+    }
+  }
+}
+
+TEST(Explorer, OversizedPrmReportsInfeasible) {
+  std::vector<PrmInfo> prms = paper_prms();
+  PrmRequirements monster;
+  monster.lut_ff_pairs = 200000;  // bigger than the device
+  prms.push_back(PrmInfo{"monster", monster, 0});
+  const Fabric& fabric = DeviceDb::instance().get("xc5vlx110t").fabric;
+  WorkloadParams wp;
+  wp.count = 5;
+  wp.prm_count = 4;
+  const auto points = explore(prms, fabric, make_workload(wp));
+  for (const DesignPoint& point : points) {
+    EXPECT_FALSE(point.feasible);
+    EXPECT_FALSE(point.infeasible_reason.empty());
+  }
+}
+
+TEST(Explorer, SingleGroupUsesSharedPrrSemantics) {
+  // One group hosting all PRMs: its PRR must satisfy the element-wise max
+  // of requirements.
+  const Fabric& fabric = DeviceDb::instance().get("xc5vlx110t").fabric;
+  WorkloadParams wp;
+  wp.count = 5;
+  ExploreOptions options;
+  options.max_groups = 1;
+  const auto points =
+      explore(paper_prms(), fabric, make_workload(wp), options);
+  ASSERT_EQ(points.size(), 1u);
+  ASSERT_TRUE(points[0].feasible);
+  const PrrPlan& plan = points[0].prr_plans[0];
+  for (const PrmInfo& prm : paper_prms()) {
+    EXPECT_GE(plan.available.dsps, prm.req.dsps);
+    EXPECT_GE(plan.available.brams, prm.req.brams);
+    EXPECT_GE(plan.available.clbs, clb_req(prm.req, fabric.traits()));
+  }
+}
+
+}  // namespace
+}  // namespace prcost

@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include "netlist/generators.hpp"
+#include "tests/netlist_sim.hpp"
+#include "util/error.hpp"
+
+namespace prcost {
+namespace {
+
+TEST(Fir, BuildsAndValidates) {
+  const Netlist nl = make_fir();
+  const NetlistStats stats = nl.stats();
+  EXPECT_EQ(stats.muls, 32u);                 // one generic mul per tap
+  EXPECT_GE(stats.ffs, 32u * 12u);            // delay line registers
+  EXPECT_GT(stats.luts, 500u);                // adder tree
+  EXPECT_EQ(stats.rams, 0u);
+}
+
+TEST(Fir, TapCountScalesMuls) {
+  FirParams params;
+  params.taps = 8;
+  params.symmetric_pairs = 0;
+  EXPECT_EQ(make_fir(params).stats().muls, 8u);
+}
+
+TEST(Fir, SymmetricPairsShareCoefficientNets) {
+  FirParams params;
+  params.taps = 8;
+  params.symmetric_pairs = 2;
+  const Netlist nl = make_fir(params);
+  // 8 taps with 2 shared pairs -> only 6 distinct coefficient buses ->
+  // fewer input ports than the unshared version.
+  FirParams unshared = params;
+  unshared.symmetric_pairs = 0;
+  const Netlist nl_unshared = make_fir(unshared);
+  EXPECT_LT(nl.stats().inputs, nl_unshared.stats().inputs);
+}
+
+TEST(Fir, RejectsBadParams) {
+  FirParams params;
+  params.taps = 0;
+  EXPECT_THROW(make_fir(params), ContractError);
+  params = FirParams{};
+  params.symmetric_pairs = 20;  // 2*20 > 32 taps
+  EXPECT_THROW(make_fir(params), ContractError);
+}
+
+TEST(Fir, Deterministic) {
+  const Netlist a = make_fir();
+  const Netlist b = make_fir();
+  EXPECT_EQ(a.cell_count(), b.cell_count());
+  EXPECT_EQ(a.net_count(), b.net_count());
+}
+
+TEST(Mips5, BuildsWithExpectedMemories) {
+  const Netlist nl = make_mips5();
+  const NetlistStats stats = nl.stats();
+  EXPECT_EQ(stats.rams, 2u);      // I-mem + D-mem macros
+  EXPECT_EQ(stats.muls, 1u);      // multiply unit
+  EXPECT_GE(stats.ffs, 1024u);    // FF register file dominates
+  EXPECT_GT(stats.luts, 1000u);   // read-port muxes + ALU
+}
+
+TEST(Mips5, XlenChecked) {
+  MipsParams params;
+  params.xlen = 4;
+  EXPECT_THROW(make_mips5(params), ContractError);
+}
+
+TEST(Sdram, ProfileIsFfDominatedNoDspBram) {
+  const Netlist nl = make_sdram_ctrl();
+  const NetlistStats stats = nl.stats();
+  EXPECT_EQ(stats.muls, 0u);
+  EXPECT_EQ(stats.rams, 0u);
+  EXPECT_GT(stats.ffs, 100u);   // timers + address/data registers
+  EXPECT_GT(stats.luts, 100u);  // next-state logic
+}
+
+TEST(AesRound, UsesSboxRams) {
+  const Netlist nl = make_aes_round();
+  EXPECT_EQ(nl.stats().rams, 16u);       // one 256x8 S-box per state byte
+  EXPECT_GE(nl.stats().ffs, 128u);       // state register
+}
+
+TEST(Crc32, BuildsAllStateBits) {
+  const Netlist nl = make_crc32(8);
+  EXPECT_EQ(nl.stats().ffs, 32u);
+  EXPECT_GT(nl.stats().luts, 32u);  // XOR trees
+}
+
+// Functional: the CRC netlist must implement the real CRC-32 LFSR. Compare
+// one 8-bit step against a bit-level software model.
+TEST(Crc32, MatchesSoftwareLfsr) {
+  const Netlist nl = make_crc32(8);
+  // Collect the state FFs in bit order from their names.
+  std::vector<CellId> crc_ffs(32, kNoCell);
+  std::vector<NetId> crc_nets(32, kNoNet);
+  for (u32 c = 0; c < nl.cell_count(); ++c) {
+    const Cell& cell = nl.cell(CellId{c});
+    if (cell.kind == CellKind::kFf && cell.name.rfind("crc", 0) == 0) {
+      const auto bit = static_cast<std::size_t>(std::stoi(cell.name.substr(3)));
+      crc_ffs[bit] = CellId{c};
+      crc_nets[bit] = cell.outputs[0];
+    }
+  }
+  for (const CellId id : crc_ffs) ASSERT_NE(id, kNoCell);
+
+  // Software model: bitwise CRC-32 (0x04C11DB7), MSB-first feedback, one
+  // data bit per shift - the construction the generator unrolls.
+  const auto software_step = [](u32 crc, u32 data_byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      const bool fb = ((crc >> 31) & 1) != ((data_byte >> bit) & 1);
+      crc <<= 1;
+      if (fb) crc ^= 0x04C11DB7;
+    }
+    return crc;
+  };
+
+  prcost::testing::NetlistSim sim{nl};
+  // Find the data input bus by name.
+  Bus data(8, kNoNet);
+  for (u32 c = 0; c < nl.cell_count(); ++c) {
+    const Cell& cell = nl.cell(CellId{c});
+    if (cell.kind == CellKind::kInput && cell.name.rfind("data[", 0) == 0) {
+      const auto bit = static_cast<std::size_t>(
+          std::stoi(cell.name.substr(5, cell.name.size() - 6)));
+      data[bit] = cell.outputs[0];
+    }
+  }
+  for (const NetId net : data) ASSERT_NE(net, kNoNet);
+
+  u32 state = 0xFFFFFFFF;  // FFs initialize to 1 (param0 = init)
+  for (u32 bit = 0; bit < 32; ++bit) {
+    sim.set_state(crc_ffs[bit], ((state >> bit) & 1) != 0);
+  }
+  const u32 byte = 0x5A;
+  sim.set_bus(data, byte);
+  sim.step();
+  const u32 expected = software_step(state, byte);
+  u32 got = 0;
+  for (u32 bit = 0; bit < 32; ++bit) {
+    if (sim.ff_state(crc_ffs[bit])) got |= 1u << bit;
+  }
+  EXPECT_EQ(got, expected);
+}
+
+TEST(Uart, Builds) {
+  const Netlist nl = make_uart();
+  EXPECT_GT(nl.stats().ffs, 20u);
+  EXPECT_EQ(nl.stats().rams, 0u);
+}
+
+TEST(Sobel, LineBuffersAndGradientDatapath) {
+  const Netlist nl = make_sobel();
+  const NetlistStats stats = nl.stats();
+  EXPECT_EQ(stats.rams, 2u);     // two line buffers
+  EXPECT_EQ(stats.muls, 0u);     // gradient is add/sub only
+  EXPECT_GT(stats.luts, 100u);   // weighted sums + magnitude + threshold
+  EXPECT_GT(stats.ffs, 50u);     // window registers
+}
+
+TEST(Sobel, RejectsDegenerateParams) {
+  EXPECT_THROW(make_sobel(2, 8), ContractError);
+  EXPECT_THROW(make_sobel(640, 0), ContractError);
+}
+
+TEST(FftStage, ComplexMultiplierUsesFourMuls) {
+  const Netlist nl = make_fft_stage();
+  const NetlistStats stats = nl.stats();
+  EXPECT_EQ(stats.muls, 4u);  // one complex multiply
+  EXPECT_EQ(stats.rams, 1u);  // twiddle ROM
+  EXPECT_THROW(make_fft_stage(2, 16), ContractError);
+}
+
+TEST(Matmul, ScalesWithMacUnits) {
+  const Netlist small = make_matmul(4);
+  const Netlist large = make_matmul(16);
+  EXPECT_EQ(small.stats().muls, 4u);
+  EXPECT_EQ(large.stats().muls, 16u);
+  EXPECT_EQ(small.stats().rams, 2u);
+  EXPECT_THROW(make_matmul(0), ContractError);
+}
+
+}  // namespace
+}  // namespace prcost

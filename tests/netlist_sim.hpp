@@ -1,0 +1,159 @@
+// Test-only netlist interpreter: functional simulation of the IR so logic
+// builders and generators can be verified semantically, not just
+// structurally. Combinational cells evaluate on demand; FFs read from an
+// explicit state map and step() computes the next state.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/logic.hpp"
+#include "netlist/netlist.hpp"
+
+namespace prcost::testing {
+
+class NetlistSim {
+ public:
+  explicit NetlistSim(const Netlist& nl) : nl_(&nl) {}
+
+  /// Drive a top-level input net.
+  void set_input(NetId net, bool value) { inputs_[index(net)] = value; }
+
+  /// Drive a bus with an integer (bit 0 = LSB).
+  void set_bus(const Bus& bus, u64 value) {
+    for (std::size_t i = 0; i < bus.size(); ++i) {
+      set_input(bus[i], ((value >> i) & 1) != 0);
+    }
+  }
+
+  /// Set an FF's current Q value.
+  void set_state(CellId ff, bool value) { state_[index(ff)] = value; }
+
+  /// Evaluate the value on `net` for the current inputs/state.
+  bool eval(NetId net) {
+    std::unordered_map<u32, bool> memo;
+    std::unordered_map<u32, bool> visiting;
+    return eval_net(net, memo, visiting);
+  }
+
+  /// Evaluate a bus to an integer.
+  u64 eval_bus(const Bus& bus) {
+    u64 value = 0;
+    for (std::size_t i = 0; i < bus.size(); ++i) {
+      if (eval(bus[i])) value |= u64{1} << i;
+    }
+    return value;
+  }
+
+  /// Clock edge: every FF captures its D input.
+  void step() {
+    std::unordered_map<u32, bool> next;
+    std::unordered_map<u32, bool> memo;
+    std::unordered_map<u32, bool> visiting;
+    for (const CellId id : nl_->live_cells()) {
+      const Cell& cell = nl_->cell(id);
+      if (cell.kind != CellKind::kFf) continue;
+      const bool d = cell.inputs[0] == kNoNet
+                         ? false
+                         : eval_net(cell.inputs[0], memo, visiting);
+      if (cell.inputs.size() > 1) {
+        // CE pin (attached by the clock-enable absorption pass):
+        // q <= ce ? d : q.
+        const bool ce = eval_net(cell.inputs[1], memo, visiting);
+        next[index(id)] = ce ? d : ff_state(id);
+      } else {
+        next[index(id)] = d;
+      }
+    }
+    for (const auto& [id, v] : next) state_[id] = v;
+  }
+
+  /// Current Q of an FF (default: its init value).
+  bool ff_state(CellId ff) const {
+    const auto it = state_.find(index(ff));
+    if (it != state_.end()) return it->second;
+    return nl_->cell(ff).param0 != 0;  // init value
+  }
+
+ private:
+  bool eval_net(NetId net, std::unordered_map<u32, bool>& memo,
+                std::unordered_map<u32, bool>& visiting) {
+    if (net == kNoNet) return false;
+    const auto input_it = inputs_.find(index(net));
+    if (input_it != inputs_.end()) return input_it->second;
+    const auto memo_it = memo.find(index(net));
+    if (memo_it != memo.end()) return memo_it->second;
+    const CellId driver = nl_->net(net).driver;
+    if (driver == kNoCell) return false;
+    if (visiting[index(net)]) return false;  // cut combinational loops
+    visiting[index(net)] = true;
+
+    const Cell& cell = nl_->cell(driver);
+    bool value = false;
+    switch (cell.kind) {
+      case CellKind::kConst0: value = false; break;
+      case CellKind::kConst1: value = true; break;
+      case CellKind::kInput: value = false; break;  // undriven input
+      case CellKind::kFf: value = ff_state(driver); break;
+      case CellKind::kLut: {
+        u32 idx = 0;
+        for (std::size_t i = 0; i < cell.inputs.size(); ++i) {
+          if (eval_net(cell.inputs[i], memo, visiting)) idx |= 1u << i;
+        }
+        value = tt::eval(cell.param0, idx);
+        break;
+      }
+      case CellKind::kCarry: {
+        // inputs: [cin, p0, g0, p1, g1, ...]; outputs: [s0..s_{n-1}, cout]
+        // s_i = p_i ^ c_i;  c_{i+1} = p_i ? c_i : g_i.
+        const std::size_t bits = cell.outputs.size() - 1;
+        bool carry = eval_net(cell.inputs[0], memo, visiting);
+        std::size_t wanted = cell.outputs.size();
+        for (std::size_t o = 0; o < cell.outputs.size(); ++o) {
+          if (cell.outputs[o] == net) wanted = o;
+        }
+        for (std::size_t i = 0; i < bits; ++i) {
+          const bool p = eval_net(cell.inputs[1 + 2 * i], memo, visiting);
+          const bool g = eval_net(cell.inputs[2 + 2 * i], memo, visiting);
+          const bool sum = p != carry;
+          if (wanted == i) {
+            value = sum;
+            break;
+          }
+          carry = p ? carry : g;
+          if (wanted == bits && i == bits - 1) value = carry;
+        }
+        break;
+      }
+      case CellKind::kMul: {
+        // Word-level multiply: reconstruct operands from the pin order.
+        const auto aw = static_cast<std::size_t>(cell.param0);
+        const auto bw = static_cast<std::size_t>(cell.param1);
+        u64 a = 0, b = 0;
+        for (std::size_t i = 0; i < aw; ++i) {
+          if (eval_net(cell.inputs[i], memo, visiting)) a |= u64{1} << i;
+        }
+        for (std::size_t i = 0; i < bw; ++i) {
+          if (eval_net(cell.inputs[aw + i], memo, visiting)) b |= u64{1} << i;
+        }
+        const u64 product = a * b;
+        for (std::size_t o = 0; o < cell.outputs.size(); ++o) {
+          if (cell.outputs[o] == net) value = ((product >> o) & 1) != 0;
+        }
+        break;
+      }
+      default:
+        value = false;  // memories / DSP macros are opaque to the test sim
+        break;
+    }
+    visiting[index(net)] = false;
+    memo[index(net)] = value;
+    return value;
+  }
+
+  const Netlist* nl_;
+  std::unordered_map<u32, bool> inputs_;  ///< net index -> forced value
+  std::unordered_map<u32, bool> state_;   ///< FF cell index -> Q
+};
+
+}  // namespace prcost::testing

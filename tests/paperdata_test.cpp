@@ -1,0 +1,118 @@
+// Internal-consistency checks on the reconstructed paper dataset: the
+// recorded Table V inputs, Table VI deltas and expected outputs must agree
+// with each other and with the model equations. These tests are the
+// documentation trail for the algebraic reconstruction described in
+// paperdata/paper_dataset.hpp.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "paperdata/paper_dataset.hpp"
+#include "util/error.hpp"
+
+namespace prcost {
+namespace {
+
+using paperdata::table5;
+using paperdata::table5_record;
+using paperdata::table6;
+
+TEST(PaperData, SixRecordsEach) {
+  EXPECT_EQ(table5().size(), 6u);
+  EXPECT_EQ(table6().size(), 6u);
+}
+
+TEST(PaperData, LookupWorks) {
+  const auto& rec = table5_record("FIR", "xc5vlx110t");
+  EXPECT_EQ(rec.req.lut_ff_pairs, 1300u);
+  EXPECT_THROW(table5_record("FIR", "nope"), ContractError);
+}
+
+TEST(PaperData, Eq1HoldsForEveryRecord) {
+  for (const auto& rec : table5()) {
+    EXPECT_EQ(ceil_div(rec.req.lut_ff_pairs, traits(rec.family).lut_clb),
+              rec.clb_req)
+        << rec.prm << "/" << rec.device;
+  }
+}
+
+TEST(PaperData, AvailabilityIsHTimesColumns) {
+  for (const auto& rec : table5()) {
+    const FamilyTraits& t = traits(rec.family);
+    EXPECT_EQ(rec.clb_avail, u64{rec.h} * rec.w_clb * t.clb_col);
+    EXPECT_EQ(rec.ff_avail, rec.clb_avail * t.ff_clb);
+    EXPECT_EQ(rec.lut_avail, rec.clb_avail * t.lut_clb);
+    EXPECT_EQ(rec.dsp_avail, u64{rec.h} * rec.w_dsp * t.dsp_col);
+    EXPECT_EQ(rec.bram_avail, u64{rec.h} * rec.w_bram * t.bram_col);
+  }
+}
+
+TEST(PaperData, UtilizationPercentagesWithinRounding) {
+  for (const auto& rec : table5()) {
+    const auto check = [&](u64 used, u64 avail, int printed,
+                           const char* what) {
+      const double exact = percent(used, avail);
+      EXPECT_NEAR(exact, printed, 1.0)
+          << rec.prm << "/" << rec.device << " " << what;
+    };
+    check(rec.clb_req, rec.clb_avail, rec.ru_clb, "CLB");
+    check(rec.req.ffs, rec.ff_avail, rec.ru_ff, "FF");
+    check(rec.req.luts, rec.lut_avail, rec.ru_lut, "LUT");
+    check(rec.req.dsps, rec.dsp_avail, rec.ru_dsp, "DSP");
+    check(rec.req.brams, rec.bram_avail, rec.ru_bram, "BRAM");
+  }
+}
+
+TEST(PaperData, RequirementsAreConsistentReports) {
+  for (const auto& rec : table5()) {
+    // LUT_FF pairs between max(LUT, FF) and LUT+FF.
+    const u64 lo = std::max(rec.req.luts, rec.req.ffs);
+    EXPECT_GE(rec.req.lut_ff_pairs, lo) << rec.prm << "/" << rec.device;
+    EXPECT_LE(rec.req.lut_ff_pairs, rec.req.luts + rec.req.ffs);
+  }
+}
+
+TEST(PaperData, TableVIDeltasReconstructTableV) {
+  // TableV = TableVI / (1 - delta/100) must hold within integer rounding
+  // for the pair and CLB counts - this is exactly how Table V was
+  // reconstructed, so it doubles as a regression lock on the dataset.
+  for (const auto& t6 : table6()) {
+    const auto& t5 = table5_record(t6.prm, t6.device);
+    const auto reconstruct = [](u64 post, double delta) {
+      return static_cast<double>(post) / (1.0 - delta / 100.0);
+    };
+    EXPECT_NEAR(reconstruct(t6.req.lut_ff_pairs, t6.d_lut_ff),
+                static_cast<double>(t5.req.lut_ff_pairs),
+                static_cast<double>(t5.req.lut_ff_pairs) * 0.002)
+        << t6.prm << "/" << t6.device;
+    EXPECT_NEAR(reconstruct(t6.clb_req, t6.d_clb),
+                static_cast<double>(t5.clb_req),
+                static_cast<double>(t5.clb_req) * 0.005);
+    EXPECT_NEAR(reconstruct(t6.req.luts, t6.d_lut),
+                static_cast<double>(t5.req.luts),
+                static_cast<double>(t5.req.luts) * 0.005);
+  }
+}
+
+TEST(PaperData, TableVIDspBramUnchanged) {
+  // "resulting in fewer resources ... but not with DSPs or BRAMs (0%
+  // change with respect to values in Table V)".
+  for (const auto& t6 : table6()) {
+    const auto& t5 = table5_record(t6.prm, t6.device);
+    EXPECT_EQ(t6.req.dsps, t5.req.dsps) << t6.prm << "/" << t6.device;
+    EXPECT_EQ(t6.req.brams, t5.req.brams);
+  }
+}
+
+TEST(PaperData, TableVILutSavingsConcentrateInClbs) {
+  // The paper's observation: PAR optimizations hit LUTs/CLBs, sometimes
+  // hard (up to ~32% for FIR on Virtex-6), while FFs barely move.
+  for (const auto& t6 : table6()) {
+    EXPECT_GE(t6.d_lut_ff, 0.0) << t6.prm << "/" << t6.device;
+    EXPECT_LE(std::abs(t6.d_ff), 5.0);
+  }
+  EXPECT_DOUBLE_EQ(table6()[3].d_clb, 32.1);  // FIR on LX75T
+}
+
+}  // namespace
+}  // namespace prcost

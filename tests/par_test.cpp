@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include "cost/prr_search.hpp"
+#include "device/device_db.hpp"
+#include "netlist/generators.hpp"
+#include "netlist/logic.hpp"
+#include "par/par.hpp"
+#include "synth/synthesizer.hpp"
+#include "util/error.hpp"
+
+namespace prcost {
+namespace {
+
+const Fabric& lx110t() {
+  return DeviceDb::instance().get("xc5vlx110t").fabric;
+}
+const Fabric& lx75t() { return DeviceDb::instance().get("xc6vlx75t").fabric; }
+
+// ---------------------------------------------------------------- packer ---
+
+TEST(Packer, DirectPairsOnly) {
+  Netlist nl{"t"};
+  LogicBuilder lb{nl};
+  const NetId a = nl.input("a");
+  const NetId b = nl.input("b");
+  const NetId y = lb.land(a, b);
+  nl.output("q", nl.ff(y));  // FF driven by a single-sink LUT
+  PackOptions options;
+  options.cross_pack_efficiency = 0.0;
+  const PackResult packed = pack_slices(nl, options);
+  EXPECT_EQ(packed.direct_pairs, 1u);
+  EXPECT_EQ(packed.lut_ff_pairs, 1u);  // 1 LUT + 1 FF - 1 pair
+}
+
+TEST(Packer, FanoutBlocksDirectPairing) {
+  Netlist nl{"t"};
+  LogicBuilder lb{nl};
+  const NetId a = nl.input("a");
+  const NetId b = nl.input("b");
+  const NetId y = lb.land(a, b);
+  nl.output("q", nl.ff(y));
+  nl.output("y", y);  // second sink on the LUT output
+  PackOptions options;
+  options.cross_pack_efficiency = 0.0;
+  const PackResult packed = pack_slices(nl, options);
+  EXPECT_EQ(packed.direct_pairs, 0u);
+  EXPECT_EQ(packed.lut_ff_pairs, 2u);
+}
+
+TEST(Packer, CrossPackingReducesPairs) {
+  Netlist nl{"t"};
+  LogicBuilder lb{nl};
+  // 10 lone LUTs + 10 lone FFs (FF chain has no LUT drivers).
+  const NetId a = nl.input("a");
+  const NetId b = nl.input("b");
+  for (int i = 0; i < 10; ++i) nl.output("y" + std::to_string(i), lb.lxor(a, b));
+  NetId q = nl.input("d");
+  for (int i = 0; i < 10; ++i) q = nl.ff(q);
+  nl.output("q", q);
+  PackOptions options;
+  options.cross_pack_efficiency = 0.8;
+  const PackResult packed = pack_slices(nl, options);
+  EXPECT_EQ(packed.direct_pairs, 0u);
+  EXPECT_EQ(packed.cross_packed, 8u);  // floor(10 * 0.8)
+  EXPECT_EQ(packed.lut_ff_pairs, 12u);
+}
+
+TEST(Packer, EfficiencyRangeChecked) {
+  Netlist nl{"t"};
+  PackOptions options;
+  options.cross_pack_efficiency = 1.5;
+  EXPECT_THROW(pack_slices(nl, options), ContractError);
+}
+
+// ---------------------------------------------------------------- placer ---
+
+TEST(Placer, SdramFitsItsPaperPrr) {
+  auto synth = synthesize(make_sdram_ctrl(), SynthOptions{Family::kVirtex5});
+  const PrmRequirements req = PrmRequirements::from_report(synth.report);
+  const auto plan = find_prr(req, lx110t());
+  ASSERT_TRUE(plan.has_value());
+  PlaceOptions options;
+  options.anneal_moves = 2000;  // keep the test fast
+  const PlaceResult placed =
+      place_into_prr(synth.netlist, *plan, lx110t(), options);
+  EXPECT_TRUE(placed.feasible) << placed.failure_reason;
+  EXPECT_GT(placed.placed_cells, 0u);
+  EXPECT_LE(placed.pairs_needed, placed.pair_sites);
+}
+
+TEST(Placer, AnnealNeverWorsensWirelength) {
+  auto synth = synthesize(make_sdram_ctrl(), SynthOptions{Family::kVirtex5});
+  const auto plan =
+      find_prr(PrmRequirements::from_report(synth.report), lx110t());
+  ASSERT_TRUE(plan.has_value());
+  PlaceOptions options;
+  options.anneal_moves = 5000;
+  const PlaceResult placed =
+      place_into_prr(synth.netlist, *plan, lx110t(), options);
+  ASSERT_TRUE(placed.feasible);
+  EXPECT_LE(placed.hpwl_final, placed.hpwl_initial);
+  EXPECT_GT(placed.critical_path_ns, 0.0);
+}
+
+TEST(Placer, DeterministicForSeed) {
+  auto synth = synthesize(make_uart(), SynthOptions{Family::kVirtex5});
+  const auto plan =
+      find_prr(PrmRequirements::from_report(synth.report), lx110t());
+  ASSERT_TRUE(plan.has_value());
+  PlaceOptions options;
+  options.seed = 99;
+  options.anneal_moves = 2000;
+  const PlaceResult a = place_into_prr(synth.netlist, *plan, lx110t(), options);
+  const PlaceResult b = place_into_prr(synth.netlist, *plan, lx110t(), options);
+  EXPECT_EQ(a.hpwl_final, b.hpwl_final);
+}
+
+TEST(Placer, TooSmallPrrFailsWithReason) {
+  auto synth = synthesize(make_mips5(), SynthOptions{Family::kVirtex5});
+  // A 1x1 CLB-column PRR cannot seat MIPS.
+  PrrPlan tiny;
+  tiny.organization.h = 1;
+  tiny.organization.columns = ColumnDemand{1, 0, 0};
+  const auto window = lx110t().find_window(tiny.organization.columns);
+  ASSERT_TRUE(window.has_value());
+  tiny.window = *window;
+  tiny.bitstream =
+      estimate_bitstream(tiny.organization, lx110t().traits());
+  const PlaceResult placed = place_into_prr(synth.netlist, tiny, lx110t(), {});
+  EXPECT_FALSE(placed.feasible);
+  EXPECT_FALSE(placed.failure_reason.empty());
+}
+
+// ------------------------------------------------------------------- par ---
+
+TEST(Par, TableVIShapeLutsShrinkDspBramStay) {
+  // The Table VI effect: post-PAR LUT_FF pairs and LUTs never exceed the
+  // synthesis report; FF, DSP and BRAM counts stay put.
+  for (int which = 0; which < 3; ++which) {
+    const auto make = [&] {
+      return which == 0 ? make_fir() : which == 1 ? make_mips5()
+                                                  : make_sdram_ctrl();
+    };
+    auto synth = synthesize(make(), SynthOptions{Family::kVirtex5});
+    const auto plan =
+        find_prr(PrmRequirements::from_report(synth.report), lx110t());
+    ASSERT_TRUE(plan.has_value()) << which;
+    ParOptions options;
+    options.place.anneal_moves = 500;
+    const ParResult par =
+        place_and_route(std::move(synth.netlist), *plan, lx110t(), options);
+    ASSERT_TRUE(par.routed) << which << ": " << par.failure_reason;
+    EXPECT_LE(par.post_par.lut_ff_pairs, synth.report.lut_ff_pairs) << which;
+    EXPECT_LE(par.post_par.slice_luts, synth.report.slice_luts) << which;
+    EXPECT_EQ(par.post_par.dsps, synth.report.dsps) << which;
+    EXPECT_EQ(par.post_par.brams, synth.report.brams) << which;
+    EXPECT_EQ(par.post_par.slice_ffs, synth.report.slice_ffs) << which;
+  }
+}
+
+TEST(Par, CrossPackingDeliversMeaningfulSavings) {
+  // The paper reports 16.6-18.8% pair savings for MIPS; our cross-packing
+  // model must land in the tens of percent for the same kind of design.
+  auto synth = synthesize(make_mips5(), SynthOptions{Family::kVirtex5});
+  const auto plan =
+      find_prr(PrmRequirements::from_report(synth.report), lx110t());
+  ASSERT_TRUE(plan.has_value());
+  ParOptions options;
+  options.place.skip_anneal = true;
+  const ParResult par =
+      place_and_route(std::move(synth.netlist), *plan, lx110t(), options);
+  ASSERT_TRUE(par.routed);
+  const double saving =
+      1.0 - static_cast<double>(par.post_par.lut_ff_pairs) /
+                static_cast<double>(synth.report.lut_ff_pairs);
+  EXPECT_GT(saving, 0.05);
+  EXPECT_LT(saving, 0.6);
+}
+
+TEST(Par, MipsFailsOnPostParSizedVirtex6Prr) {
+  // The paper: re-deriving the PRR from post-PAR requirements left no
+  // slack and "MIPS failed place and route on the Virtex-6". Reproduce the
+  // mechanism: size a PRR for substantially smaller requirements and watch
+  // placement fail.
+  auto synth = synthesize(make_mips5(), SynthOptions{Family::kVirtex6});
+  PrmRequirements shrunk = PrmRequirements::from_report(synth.report);
+  shrunk.lut_ff_pairs = shrunk.lut_ff_pairs / 2;  // over-optimistic resize
+  const auto plan = find_prr(shrunk, lx75t());
+  ASSERT_TRUE(plan.has_value());
+  ParOptions options;
+  options.place.skip_anneal = true;
+  const ParResult par =
+      place_and_route(std::move(synth.netlist), *plan, lx75t(), options);
+  EXPECT_FALSE(par.routed);
+  EXPECT_FALSE(par.failure_reason.empty());
+}
+
+}  // namespace
+}  // namespace prcost

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "device/device_db.hpp"
+#include "paperdata/paper_dataset.hpp"
+#include "par/routability.hpp"
+#include "util/error.hpp"
+
+namespace prcost {
+namespace {
+
+const Fabric& lx110t() {
+  return DeviceDb::instance().get("xc5vlx110t").fabric;
+}
+
+Floorplanner place_paper_trio() {
+  Floorplanner fp{lx110t()};
+  for (const char* name : {"MIPS", "FIR", "SDRAM"}) {
+    const auto& rec = paperdata::table5_record(name, "xc5vlx110t");
+    if (!fp.place(name, rec.req)) {
+      throw ContractError{"place_paper_trio: placement failed"};
+    }
+  }
+  return fp;
+}
+
+TEST(StaticNets, EndpointsAvoidPlacements) {
+  const Floorplanner fp = place_paper_trio();
+  const auto nets = sample_static_nets(fp, lx110t(), RoutePressureOptions{});
+  EXPECT_EQ(nets.size(), RoutePressureOptions{}.net_count);
+  for (const StaticNet& net : nets) {
+    for (const PlacedPrr& placed : fp.placements()) {
+      const auto inside = [&](u32 col, u32 row) {
+        return col >= placed.first_col &&
+               col < placed.first_col + placed.plan.window.width &&
+               row >= placed.first_row &&
+               row < placed.first_row + placed.plan.organization.h;
+      };
+      EXPECT_FALSE(inside(net.col_a, net.row_a));
+      EXPECT_FALSE(inside(net.col_b, net.row_b));
+    }
+  }
+}
+
+TEST(StaticNets, DeterministicForSeed) {
+  const Floorplanner fp = place_paper_trio();
+  RoutePressureOptions options;
+  options.net_count = 100;
+  const auto a = sample_static_nets(fp, lx110t(), options);
+  const auto b = sample_static_nets(fp, lx110t(), options);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].col_a, b[i].col_a);
+    EXPECT_EQ(a[i].row_b, b[i].row_b);
+  }
+}
+
+TEST(StaticNets, FullFabricThrows) {
+  Floorplanner fp{lx110t()};
+  fp.reserve(0, lx110t().num_columns(), 0, lx110t().rows());
+  EXPECT_THROW(sample_static_nets(fp, lx110t(), RoutePressureOptions{}),
+               ContractError);
+}
+
+TEST(RoutePressure, OnePerPlacement) {
+  const Floorplanner fp = place_paper_trio();
+  const std::vector<double> densities{0.96, 0.82, 0.70};
+  const auto pressures = estimate_route_pressure(fp, lx110t(), densities);
+  ASSERT_EQ(pressures.size(), 3u);
+  for (std::size_t p = 0; p < 3; ++p) {
+    EXPECT_EQ(pressures[p].name, fp.placements()[p].name);
+    EXPECT_DOUBLE_EQ(pressures[p].packing_density, densities[p]);
+    EXPECT_GE(pressures[p].risk, 0.0);
+    EXPECT_LE(pressures[p].risk, 1.0);
+  }
+}
+
+TEST(RoutePressure, DensityScalesRiskQuadratically) {
+  const Floorplanner fp = place_paper_trio();
+  const auto dense =
+      estimate_route_pressure(fp, lx110t(), {1.0, 1.0, 1.0});
+  const auto sparse =
+      estimate_route_pressure(fp, lx110t(), {0.5, 0.5, 0.5});
+  for (std::size_t p = 0; p < dense.size(); ++p) {
+    EXPECT_EQ(dense[p].crossing_nets, sparse[p].crossing_nets);
+    if (dense[p].crossing_nets > 0) {
+      EXPECT_NEAR(dense[p].risk / sparse[p].risk, 4.0, 1e-9);
+    }
+  }
+}
+
+TEST(RoutePressure, DensityCountMismatchThrows) {
+  const Floorplanner fp = place_paper_trio();
+  EXPECT_THROW(estimate_route_pressure(fp, lx110t(), {0.5}),
+               ContractError);
+}
+
+TEST(RoutePressure, BiggerPrrsCrossMoreNets) {
+  // A PRR spanning more rows/columns intersects more random bounding
+  // boxes. Compare SDRAM (1x3) against MIPS (1x20) under one net sample.
+  const Floorplanner fp = place_paper_trio();
+  const auto pressures =
+      estimate_route_pressure(fp, lx110t(), {1.0, 1.0, 1.0});
+  const auto find = [&](std::string_view name) {
+    for (const auto& p : pressures) {
+      if (p.name == name) return p;
+    }
+    throw ContractError{"missing placement"};
+  };
+  EXPECT_GT(find("MIPS").crossing_nets, find("SDRAM").crossing_nets);
+}
+
+}  // namespace
+}  // namespace prcost

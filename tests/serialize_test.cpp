@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "netlist/generators.hpp"
+#include "netlist/serialize.hpp"
+#include "synth/synthesizer.hpp"
+#include "tests/netlist_sim.hpp"
+#include "util/error.hpp"
+
+namespace prcost {
+namespace {
+
+using prcost::testing::NetlistSim;
+
+TEST(Serialize, RoundTripPreservesStats) {
+  for (int which = 0; which < 3; ++which) {
+    const Netlist original = which == 0   ? make_fir()
+                             : which == 1 ? make_sdram_ctrl()
+                                          : make_uart();
+    const Netlist reloaded = netlist_from_text(netlist_to_text(original));
+    const NetlistStats a = original.stats();
+    const NetlistStats b = reloaded.stats();
+    EXPECT_EQ(a.luts, b.luts) << which;
+    EXPECT_EQ(a.ffs, b.ffs);
+    EXPECT_EQ(a.carries, b.carries);
+    EXPECT_EQ(a.muls, b.muls);
+    EXPECT_EQ(a.rams, b.rams);
+    EXPECT_EQ(a.inputs, b.inputs);
+    EXPECT_EQ(a.outputs, b.outputs);
+    EXPECT_EQ(reloaded.name(), original.name());
+  }
+}
+
+TEST(Serialize, RoundTripPreservesBehaviour) {
+  // A small combinational design must compute the same function after a
+  // save/load cycle (checked by exhaustive simulation over the inputs).
+  Netlist original{"adder4"};
+  {
+    LogicBuilder lb{original};
+    const Bus a = original.input_bus("a", 4);
+    const Bus b = original.input_bus("b", 4);
+    original.output_bus("s", lb.add(a, b));
+  }
+  const Netlist reloaded = netlist_from_text(netlist_to_text(original));
+
+  const auto find_ports = [](const Netlist& nl) {
+    Bus a(4, kNoNet), b(4, kNoNet), s(5, kNoNet);
+    for (u32 c = 0; c < nl.cell_count(); ++c) {
+      const Cell& cell = nl.cell(CellId{c});
+      if (cell.dead) continue;
+      if (cell.kind == CellKind::kInput) {
+        const auto bit =
+            static_cast<std::size_t>(cell.name[2] - '0');
+        (cell.name[0] == 'a' ? a : b)[bit] = cell.outputs[0];
+      }
+      if (cell.kind == CellKind::kOutput) {
+        const auto bit =
+            static_cast<std::size_t>(cell.name[2] - '0');
+        s[bit] = cell.inputs[0];
+      }
+    }
+    return std::tuple{a, b, s};
+  };
+  const auto [oa, ob, os_] = find_ports(original);
+  const auto [ra, rb, rs] = find_ports(reloaded);
+  for (u64 va = 0; va < 16; va += 3) {
+    for (u64 vb = 0; vb < 16; vb += 5) {
+      NetlistSim sim_o{original};
+      sim_o.set_bus(oa, va);
+      sim_o.set_bus(ob, vb);
+      NetlistSim sim_r{reloaded};
+      sim_r.set_bus(ra, va);
+      sim_r.set_bus(rb, vb);
+      EXPECT_EQ(sim_r.eval_bus(rs), sim_o.eval_bus(os_)) << va << "+" << vb;
+    }
+  }
+}
+
+TEST(Serialize, ReloadedDesignSynthesizesIdentically) {
+  Netlist original = make_fir();
+  Netlist reloaded = netlist_from_text(netlist_to_text(original));
+  const auto a =
+      synthesize(std::move(original), SynthOptions{Family::kVirtex5});
+  const auto b =
+      synthesize(std::move(reloaded), SynthOptions{Family::kVirtex5});
+  EXPECT_EQ(a.report.lut_ff_pairs, b.report.lut_ff_pairs);
+  EXPECT_EQ(a.report.slice_luts, b.report.slice_luts);
+  EXPECT_EQ(a.report.slice_ffs, b.report.slice_ffs);
+  EXPECT_EQ(a.report.dsps, b.report.dsps);
+  EXPECT_EQ(a.report.brams, b.report.brams);
+}
+
+TEST(Serialize, RejectsMalformedInput) {
+  EXPECT_THROW(netlist_from_text(""), ParseError);
+  EXPECT_THROW(netlist_from_text("cell LUT x 0 0 | a | y"), ParseError);
+  EXPECT_THROW(netlist_from_text("netlist t\nbogus line"), ParseError);
+  EXPECT_THROW(netlist_from_text("netlist t\ncell WAT x 0 0 | | y"),
+               ParseError);
+  EXPECT_THROW(netlist_from_text("netlist t\ncell LUT x 0 0 no-bar"),
+               ParseError);
+}
+
+TEST(Serialize, CommentsAndBlankLinesIgnored) {
+  const Netlist nl = netlist_from_text(
+      "# a comment\n"
+      "netlist t\n"
+      "\n"
+      "cell INPUT a 0 0 | | a_o\n"
+      "cell LUT inv 1 0 | a_o | y\n"
+      "# trailing comment\n");
+  EXPECT_EQ(nl.stats().luts, 1u);
+  EXPECT_EQ(nl.stats().inputs, 1u);
+}
+
+TEST(Serialize, ForwardReferencesResolve) {
+  // A cell may read a net whose driver appears later in the file.
+  const Netlist nl = netlist_from_text(
+      "netlist t\n"
+      "cell LUT inv 1 0 | late | y\n"
+      "cell INPUT a 0 0 | | late\n");
+  nl.validate();
+  const NetlistStats stats = nl.stats();
+  EXPECT_EQ(stats.luts, 1u);
+  EXPECT_EQ(stats.inputs, 1u);
+}
+
+}  // namespace
+}  // namespace prcost

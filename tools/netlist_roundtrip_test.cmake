@@ -1,0 +1,10 @@
+# Smoke: dump a PRM netlist to a file, then size a PRR from that file.
+execute_process(COMMAND ${CLI} netlist uart -o uart.net RESULT_VARIABLE r1)
+if(NOT r1 EQUAL 0)
+  message(FATAL_ERROR "netlist dump failed")
+endif()
+execute_process(COMMAND ${CLI} plan --device xc5vlx110t --netlist uart.net
+                RESULT_VARIABLE r2)
+if(NOT r2 EQUAL 0)
+  message(FATAL_ERROR "plan from netlist file failed")
+endif()

@@ -1,0 +1,348 @@
+// prcost command-line tool: drive the cost models from a shell the way the
+// paper's intended user would - synthesize (or load) a report, size a PRR
+// on a device, predict the bitstream, explore partitionings.
+//
+//   prcost devices
+//   prcost synth <prm> [--family v5] [-o report.srp]
+//   prcost plan <prm> --device xc5vlx110t [--report file.srp]
+//                [--objective area|height|bitstream] [--shaped]
+//   prcost bitstream <prm> --device xc5vlx110t [-o out.bit]
+//   prcost explore --device xc6vlx240t <prm> <prm> ...
+//
+// PRMs: fir mips sdram aes crc32 uart matmul
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bitstream/generator.hpp"
+#include "bitstream/parser.hpp"
+#include "cost/shaped_prr.hpp"
+#include "device/device_db.hpp"
+#include "dse/device_select.hpp"
+#include "dse/explorer.hpp"
+#include "netlist/generators.hpp"
+#include "netlist/serialize.hpp"
+#include "synth/synthesizer.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace prcost;
+
+[[noreturn]] void usage(const std::string& error = {}) {
+  if (!error.empty()) std::cerr << "error: " << error << "\n\n";
+  std::cerr <<
+      "usage:\n"
+      "  prcost devices\n"
+      "  prcost synth <prm> [--family v4|v5|v6|s7|s6] [-o report.srp]\n"
+      "  prcost plan <prm> --device <name> [--report file.srp]\n"
+      "              [--objective area|height|bitstream] [--shaped]\n"
+      "  prcost bitstream <prm> --device <name> [-o out.bit]\n"
+      "  prcost explore --device <name> <prm> <prm> [...]\n"
+      "  prcost netlist <prm> [-o design.net]\n"
+      "  prcost rank <prm> <prm> [...]\n"
+      "prms: fir mips sdram aes crc32 uart matmul sobel fft\n"
+      "netlist files: prcost netlist <prm> -o design.net; then --netlist design.net\n";
+  std::exit(2);
+}
+
+Netlist make_prm(const std::string& name) {
+  if (name == "fir") return make_fir();
+  if (name == "mips") return make_mips5();
+  if (name == "sdram") return make_sdram_ctrl();
+  if (name == "aes") return make_aes_round();
+  if (name == "crc32") return make_crc32();
+  if (name == "uart") return make_uart();
+  if (name == "matmul") return make_matmul();
+  if (name == "sobel") return make_sobel();
+  if (name == "fft") return make_fft_stage();
+  usage("unknown PRM '" + name + "'");
+}
+
+/// Tiny flag parser: positional args plus --key value / -o value pairs.
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> flags;
+  bool has(const std::string& key) const { return flags.count(key) > 0; }
+  std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = flags.find(key);
+    return it == flags.end() ? fallback : it->second;
+  }
+};
+
+Args parse_args(int argc, char** argv, int first) {
+  Args args;
+  for (int i = first; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) == 0 || token == "-o") {
+      const std::string key = token.rfind("--", 0) == 0 ? token.substr(2)
+                                                        : "out";
+      if (key == "shaped") {  // boolean flag
+        args.flags[key] = "1";
+        continue;
+      }
+      if (i + 1 >= argc) usage("flag " + token + " needs a value");
+      args.flags[key] = argv[++i];
+    } else {
+      args.positional.push_back(std::move(token));
+    }
+  }
+  return args;
+}
+
+int cmd_devices() {
+  TextTable table{{"device", "family", "rows", "CLB cols", "DSP cols",
+                   "BRAM cols", "CLBs", "DSPs", "BRAM36s"}};
+  for (const Device& dev : DeviceDb::instance().all()) {
+    table.add_row({dev.name, std::string{family_name(dev.fabric.family())},
+                   std::to_string(dev.fabric.rows()),
+                   std::to_string(dev.fabric.column_count(ColumnType::kClb)),
+                   std::to_string(dev.fabric.column_count(ColumnType::kDsp)),
+                   std::to_string(dev.fabric.column_count(ColumnType::kBram)),
+                   std::to_string(dev.fabric.total_resources(ColumnType::kClb)),
+                   std::to_string(dev.fabric.total_resources(ColumnType::kDsp)),
+                   std::to_string(
+                       dev.fabric.total_resources(ColumnType::kBram))});
+  }
+  std::cout << table.to_ascii();
+  return 0;
+}
+
+int cmd_synth(const Args& args) {
+  if (args.positional.empty()) usage("synth needs a PRM");
+  const Family family = parse_family(args.get("family", "v5"));
+  const SynthesisResult result =
+      synthesize(make_prm(args.positional[0]), SynthOptions{family});
+  const std::string text = report_to_text(result.report);
+  if (args.has("out")) {
+    std::ofstream out{args.get("out", "")};
+    out << text;
+    std::cout << "wrote " << args.get("out", "") << '\n';
+  } else {
+    std::cout << text;
+  }
+  return 0;
+}
+
+Netlist load_netlist_file(const std::string& path_name) {
+  std::ifstream in{path_name};
+  if (!in) usage("cannot open netlist file");
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return netlist_from_text(buffer.str());
+}
+
+PrmRequirements requirements_for(const Args& args) {
+  if (args.has("netlist")) {
+    const Device& device = DeviceDb::instance().get(args.get("device", ""));
+    const SynthesisResult result = synthesize(
+        load_netlist_file(args.get("netlist", "")),
+        SynthOptions{device.fabric.family()});
+    return PrmRequirements::from_report(result.report);
+  }
+  if (args.has("report")) {
+    std::ifstream in{args.get("report", "")};
+    if (!in) usage("cannot open report file");
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    return PrmRequirements::from_report(parse_report(buffer.str()));
+  }
+  if (args.positional.empty()) usage("need a PRM or --report file");
+  const Device& device = DeviceDb::instance().get(args.get("device", ""));
+  const SynthesisResult result = synthesize(
+      make_prm(args.positional[0]), SynthOptions{device.fabric.family()});
+  return PrmRequirements::from_report(result.report);
+}
+
+int cmd_plan(const Args& args) {
+  if (!args.has("device")) usage("plan needs --device");
+  const Device& device = DeviceDb::instance().get(args.get("device", ""));
+  const PrmRequirements req = requirements_for(args);
+
+  SearchOptions options;
+  const std::string objective = args.get("objective", "area");
+  if (objective == "area") {
+    options.objective = SearchObjective::kMinArea;
+  } else if (objective == "height") {
+    options.objective = SearchObjective::kFirstFeasible;
+  } else if (objective == "bitstream") {
+    options.objective = SearchObjective::kMinBitstream;
+  } else {
+    usage("unknown objective '" + objective + "'");
+  }
+
+  const auto plan = find_prr(req, device.fabric, options);
+  if (!plan) {
+    std::cout << "no feasible PRR on " << device.name << '\n';
+    return 1;
+  }
+  TextTable table{{"quantity", "value"}};
+  table.add_row({"H x W", std::to_string(plan->organization.h) + " x " +
+                              std::to_string(plan->organization.width())});
+  table.add_row({"W_CLB / W_DSP / W_BRAM",
+                 std::to_string(plan->organization.columns.clb_cols) + " / " +
+                     std::to_string(plan->organization.columns.dsp_cols) +
+                     " / " +
+                     std::to_string(plan->organization.columns.bram_cols)});
+  table.add_row({"PRR size (cells)", std::to_string(plan->organization.size())});
+  table.add_row({"window first column", std::to_string(plan->window.first_col)});
+  table.add_row({"RU CLB/FF/LUT/DSP/BRAM",
+                 format_fixed(plan->ru.clb, 0) + "% / " +
+                     format_fixed(plan->ru.ff, 0) + "% / " +
+                     format_fixed(plan->ru.lut, 0) + "% / " +
+                     format_fixed(plan->ru.dsp, 0) + "% / " +
+                     format_fixed(plan->ru.bram, 0) + "%"});
+  table.add_row({"partial bitstream",
+                 std::to_string(plan->bitstream.total_bytes) + " bytes"});
+  std::cout << table.to_ascii();
+
+  if (args.has("shaped")) {
+    const auto shaped = find_l_shaped_prr(req, device.fabric);
+    if (shaped && shaped->shape.size() < plan->organization.size()) {
+      std::cout << "\nL-shaped alternative: " << shaped->shape.size()
+                << " cells, " << shaped->bitstream.total_bytes
+                << " bytes (saves "
+                << plan->organization.size() - shaped->shape.size()
+                << " cells)\n";
+    } else {
+      std::cout << "\nno L-shaped alternative beats the rectangle\n";
+    }
+  }
+  return 0;
+}
+
+int cmd_bitstream(const Args& args) {
+  if (!args.has("device")) usage("bitstream needs --device");
+  const Device& device = DeviceDb::instance().get(args.get("device", ""));
+  const PrmRequirements req = requirements_for(args);
+  const auto plan = find_prr(req, device.fabric);
+  if (!plan) {
+    std::cout << "no feasible PRR on " << device.name << '\n';
+    return 1;
+  }
+  const Family family = device.fabric.family();
+  const auto words = generate_bitstream(*plan, family);
+  std::cout << disassemble(words, family);
+  if (args.has("out")) {
+    const auto bytes = to_bytes(words, family);
+    std::ofstream out{args.get("out", ""), std::ios::binary};
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    std::cout << "wrote " << bytes.size() << " bytes to "
+              << args.get("out", "") << '\n';
+  }
+  return 0;
+}
+
+int cmd_rank(const Args& args) {
+  if (args.positional.empty()) usage("rank needs at least one PRM");
+  std::vector<PrmInfo> prms;
+  for (const std::string& name : args.positional) {
+    // Requirements are family-specific; synthesize per candidate family is
+    // overkill for a ranking - use Virtex-5 as the canonical mapper.
+    const SynthesisResult result =
+        synthesize(make_prm(name), SynthOptions{Family::kVirtex5});
+    prms.push_back(
+        PrmInfo{name, PrmRequirements::from_report(result.report), 0});
+  }
+  WorkloadParams wp;
+  wp.count = 100;
+  wp.prm_count = narrow<u32>(prms.size());
+  const auto choices = rank_devices(prms, make_workload(wp));
+  TextTable table{{"rank", "device", "feasible", "fabric used",
+                   "bitstream total", "makespan (ms)"}};
+  int rank = 1;
+  for (const DeviceChoice& choice : choices) {
+    table.add_row({std::to_string(rank++), choice.device,
+                   choice.feasible ? "yes" : choice.reason,
+                   choice.feasible
+                       ? format_fixed(choice.fabric_fraction * 100, 1) + "%"
+                       : "-",
+                   choice.feasible
+                       ? format_bytes(static_cast<double>(
+                             choice.total_bitstream_bytes))
+                       : "-",
+                   choice.feasible
+                       ? format_fixed(choice.makespan_s * 1e3, 2)
+                       : "-"});
+  }
+  std::cout << table.to_ascii();
+  return 0;
+}
+
+int cmd_netlist(const Args& args) {
+  if (args.positional.empty()) usage("netlist needs a PRM");
+  const std::string text = netlist_to_text(make_prm(args.positional[0]));
+  if (args.has("out")) {
+    std::ofstream out{args.get("out", "")};
+    out << text;
+    std::cout << "wrote " << args.get("out", "") << '\n';
+  } else {
+    std::cout << text;
+  }
+  return 0;
+}
+
+int cmd_explore(const Args& args) {
+  if (!args.has("device")) usage("explore needs --device");
+  if (args.positional.size() < 2) usage("explore needs at least two PRMs");
+  const Device& device = DeviceDb::instance().get(args.get("device", ""));
+  std::vector<PrmInfo> prms;
+  for (const std::string& name : args.positional) {
+    const SynthesisResult result =
+        synthesize(make_prm(name), SynthOptions{device.fabric.family()});
+    prms.push_back(PrmInfo{name, PrmRequirements::from_report(result.report),
+                           0});
+  }
+  WorkloadParams wp;
+  wp.count = 100;
+  wp.prm_count = narrow<u32>(prms.size());
+  const auto points = explore(prms, device.fabric, make_workload(wp));
+  TextTable table{{"partitioning", "area", "makespan (ms)", "feasible"}};
+  for (const DesignPoint& point : points) {
+    std::string partition;
+    for (const auto& group : point.partition) {
+      partition += "{";
+      for (std::size_t i = 0; i < group.size(); ++i) {
+        if (i) partition += ",";
+        partition += prms[group[i]].name;
+      }
+      partition += "}";
+    }
+    table.add_row({partition, std::to_string(point.total_prr_area),
+                   point.feasible ? format_fixed(point.makespan_s * 1e3, 2)
+                                  : "-",
+                   point.feasible ? "yes" : point.infeasible_reason});
+  }
+  std::cout << table.to_ascii();
+  const auto front = pareto_front(points);
+  std::cout << "pareto-optimal: " << front.size() << " of " << points.size()
+            << " partitionings\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string command = argv[1];
+  try {
+    const Args args = parse_args(argc, argv, 2);
+    if (command == "devices") return cmd_devices();
+    if (command == "synth") return cmd_synth(args);
+    if (command == "plan") return cmd_plan(args);
+    if (command == "bitstream") return cmd_bitstream(args);
+    if (command == "explore") return cmd_explore(args);
+    if (command == "netlist") return cmd_netlist(args);
+    if (command == "rank") return cmd_rank(args);
+    usage("unknown command '" + command + "'");
+  } catch (const Error& error) {
+    std::cerr << "error: " << error.what() << '\n';
+    return 1;
+  }
+}
