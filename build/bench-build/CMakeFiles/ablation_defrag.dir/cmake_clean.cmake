@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_defrag"
+  "../bench/ablation_defrag.pdb"
+  "CMakeFiles/ablation_defrag.dir/ablation_defrag.cpp.o"
+  "CMakeFiles/ablation_defrag.dir/ablation_defrag.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_defrag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_device_select"
+  "../bench/ablation_device_select.pdb"
+  "CMakeFiles/ablation_device_select.dir/ablation_device_select.cpp.o"
+  "CMakeFiles/ablation_device_select.dir/ablation_device_select.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_device_select.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_model_accuracy"
+  "../bench/ablation_model_accuracy.pdb"
+  "CMakeFiles/ablation_model_accuracy.dir/ablation_model_accuracy.cpp.o"
+  "CMakeFiles/ablation_model_accuracy.dir/ablation_model_accuracy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_model_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

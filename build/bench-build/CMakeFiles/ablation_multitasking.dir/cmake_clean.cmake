@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_multitasking"
+  "../bench/ablation_multitasking.pdb"
+  "CMakeFiles/ablation_multitasking.dir/ablation_multitasking.cpp.o"
+  "CMakeFiles/ablation_multitasking.dir/ablation_multitasking.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_multitasking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_preemption.cpp" "bench-build/CMakeFiles/ablation_preemption.dir/ablation_preemption.cpp.o" "gcc" "bench-build/CMakeFiles/ablation_preemption.dir/ablation_preemption.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/par/CMakeFiles/prcost_par.dir/DependInfo.cmake"
+  "/root/repo/build/src/dse/CMakeFiles/prcost_dse.dir/DependInfo.cmake"
+  "/root/repo/build/src/multitask/CMakeFiles/prcost_multitask.dir/DependInfo.cmake"
+  "/root/repo/build/src/paperdata/CMakeFiles/prcost_paperdata.dir/DependInfo.cmake"
+  "/root/repo/build/src/htr/CMakeFiles/prcost_htr.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitstream/CMakeFiles/prcost_bitstream.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/prcost_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/prcost_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/prcost_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/reconfig/CMakeFiles/prcost_reconfig.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/prcost_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/prcost_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_reconfig_controllers"
+  "../bench/ablation_reconfig_controllers.pdb"
+  "CMakeFiles/ablation_reconfig_controllers.dir/ablation_reconfig_controllers.cpp.o"
+  "CMakeFiles/ablation_reconfig_controllers.dir/ablation_reconfig_controllers.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_reconfig_controllers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

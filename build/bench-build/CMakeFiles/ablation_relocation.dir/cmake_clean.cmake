@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_relocation"
+  "../bench/ablation_relocation.pdb"
+  "CMakeFiles/ablation_relocation.dir/ablation_relocation.cpp.o"
+  "CMakeFiles/ablation_relocation.dir/ablation_relocation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_relocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_routability"
+  "../bench/ablation_routability.pdb"
+  "CMakeFiles/ablation_routability.dir/ablation_routability.cpp.o"
+  "CMakeFiles/ablation_routability.dir/ablation_routability.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_routability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_shaped_prr"
+  "../bench/ablation_shaped_prr.pdb"
+  "CMakeFiles/ablation_shaped_prr.dir/ablation_shaped_prr.cpp.o"
+  "CMakeFiles/ablation_shaped_prr.dir/ablation_shaped_prr.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_shaped_prr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

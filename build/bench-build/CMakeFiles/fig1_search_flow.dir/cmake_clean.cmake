@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_search_flow"
+  "../bench/fig1_search_flow.pdb"
+  "CMakeFiles/fig1_search_flow.dir/fig1_search_flow.cpp.o"
+  "CMakeFiles/fig1_search_flow.dir/fig1_search_flow.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_search_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_bitstream_structure"
+  "../bench/fig2_bitstream_structure.pdb"
+  "CMakeFiles/fig2_bitstream_structure.dir/fig2_bitstream_structure.cpp.o"
+  "CMakeFiles/fig2_bitstream_structure.dir/fig2_bitstream_structure.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_bitstream_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_family_constants"
+  "../bench/table2_family_constants.pdb"
+  "CMakeFiles/table2_family_constants.dir/table2_family_constants.cpp.o"
+  "CMakeFiles/table2_family_constants.dir/table2_family_constants.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_family_constants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

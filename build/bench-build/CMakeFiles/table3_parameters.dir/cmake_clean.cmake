@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_parameters"
+  "../bench/table3_parameters.pdb"
+  "CMakeFiles/table3_parameters.dir/table3_parameters.cpp.o"
+  "CMakeFiles/table3_parameters.dir/table3_parameters.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_parameters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

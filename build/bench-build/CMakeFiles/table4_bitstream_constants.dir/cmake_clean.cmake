@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_bitstream_constants"
+  "../bench/table4_bitstream_constants.pdb"
+  "CMakeFiles/table4_bitstream_constants.dir/table4_bitstream_constants.cpp.o"
+  "CMakeFiles/table4_bitstream_constants.dir/table4_bitstream_constants.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_bitstream_constants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table5_prr_organization"
+  "../bench/table5_prr_organization.pdb"
+  "CMakeFiles/table5_prr_organization.dir/table5_prr_organization.cpp.o"
+  "CMakeFiles/table5_prr_organization.dir/table5_prr_organization.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_prr_organization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table5_prr_organization.
+# This may be replaced when dependencies are built.

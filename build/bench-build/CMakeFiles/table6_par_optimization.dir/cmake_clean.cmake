@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table6_par_optimization"
+  "../bench/table6_par_optimization.pdb"
+  "CMakeFiles/table6_par_optimization.dir/table6_par_optimization.cpp.o"
+  "CMakeFiles/table6_par_optimization.dir/table6_par_optimization.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_par_optimization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table7_bitstream_size"
+  "../bench/table7_bitstream_size.pdb"
+  "CMakeFiles/table7_bitstream_size.dir/table7_bitstream_size.cpp.o"
+  "CMakeFiles/table7_bitstream_size.dir/table7_bitstream_size.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_bitstream_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

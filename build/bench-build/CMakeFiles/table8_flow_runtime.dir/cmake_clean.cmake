@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table8_flow_runtime"
+  "../bench/table8_flow_runtime.pdb"
+  "CMakeFiles/table8_flow_runtime.dir/table8_flow_runtime.cpp.o"
+  "CMakeFiles/table8_flow_runtime.dir/table8_flow_runtime.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_flow_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitstream_inspector.dir/bitstream_inspector.cpp.o"
+  "CMakeFiles/bitstream_inspector.dir/bitstream_inspector.cpp.o.d"
+  "bitstream_inspector"
+  "bitstream_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitstream_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/task_relocation.dir/task_relocation.cpp.o"
+  "CMakeFiles/task_relocation.dir/task_relocation.cpp.o.d"
+  "task_relocation"
+  "task_relocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/task_relocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bitstream/bit_file.cpp" "src/bitstream/CMakeFiles/prcost_bitstream.dir/bit_file.cpp.o" "gcc" "src/bitstream/CMakeFiles/prcost_bitstream.dir/bit_file.cpp.o.d"
+  "/root/repo/src/bitstream/compress.cpp" "src/bitstream/CMakeFiles/prcost_bitstream.dir/compress.cpp.o" "gcc" "src/bitstream/CMakeFiles/prcost_bitstream.dir/compress.cpp.o.d"
+  "/root/repo/src/bitstream/config_memory.cpp" "src/bitstream/CMakeFiles/prcost_bitstream.dir/config_memory.cpp.o" "gcc" "src/bitstream/CMakeFiles/prcost_bitstream.dir/config_memory.cpp.o.d"
+  "/root/repo/src/bitstream/crc.cpp" "src/bitstream/CMakeFiles/prcost_bitstream.dir/crc.cpp.o" "gcc" "src/bitstream/CMakeFiles/prcost_bitstream.dir/crc.cpp.o.d"
+  "/root/repo/src/bitstream/frame_address.cpp" "src/bitstream/CMakeFiles/prcost_bitstream.dir/frame_address.cpp.o" "gcc" "src/bitstream/CMakeFiles/prcost_bitstream.dir/frame_address.cpp.o.d"
+  "/root/repo/src/bitstream/generator.cpp" "src/bitstream/CMakeFiles/prcost_bitstream.dir/generator.cpp.o" "gcc" "src/bitstream/CMakeFiles/prcost_bitstream.dir/generator.cpp.o.d"
+  "/root/repo/src/bitstream/lint.cpp" "src/bitstream/CMakeFiles/prcost_bitstream.dir/lint.cpp.o" "gcc" "src/bitstream/CMakeFiles/prcost_bitstream.dir/lint.cpp.o.d"
+  "/root/repo/src/bitstream/parser.cpp" "src/bitstream/CMakeFiles/prcost_bitstream.dir/parser.cpp.o" "gcc" "src/bitstream/CMakeFiles/prcost_bitstream.dir/parser.cpp.o.d"
+  "/root/repo/src/bitstream/readback.cpp" "src/bitstream/CMakeFiles/prcost_bitstream.dir/readback.cpp.o" "gcc" "src/bitstream/CMakeFiles/prcost_bitstream.dir/readback.cpp.o.d"
+  "/root/repo/src/bitstream/words.cpp" "src/bitstream/CMakeFiles/prcost_bitstream.dir/words.cpp.o" "gcc" "src/bitstream/CMakeFiles/prcost_bitstream.dir/words.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/prcost_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/prcost_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/prcost_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/prcost_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/prcost_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

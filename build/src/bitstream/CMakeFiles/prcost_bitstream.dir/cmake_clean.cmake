@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prcost_bitstream.dir/bit_file.cpp.o"
+  "CMakeFiles/prcost_bitstream.dir/bit_file.cpp.o.d"
+  "CMakeFiles/prcost_bitstream.dir/compress.cpp.o"
+  "CMakeFiles/prcost_bitstream.dir/compress.cpp.o.d"
+  "CMakeFiles/prcost_bitstream.dir/config_memory.cpp.o"
+  "CMakeFiles/prcost_bitstream.dir/config_memory.cpp.o.d"
+  "CMakeFiles/prcost_bitstream.dir/crc.cpp.o"
+  "CMakeFiles/prcost_bitstream.dir/crc.cpp.o.d"
+  "CMakeFiles/prcost_bitstream.dir/frame_address.cpp.o"
+  "CMakeFiles/prcost_bitstream.dir/frame_address.cpp.o.d"
+  "CMakeFiles/prcost_bitstream.dir/generator.cpp.o"
+  "CMakeFiles/prcost_bitstream.dir/generator.cpp.o.d"
+  "CMakeFiles/prcost_bitstream.dir/lint.cpp.o"
+  "CMakeFiles/prcost_bitstream.dir/lint.cpp.o.d"
+  "CMakeFiles/prcost_bitstream.dir/parser.cpp.o"
+  "CMakeFiles/prcost_bitstream.dir/parser.cpp.o.d"
+  "CMakeFiles/prcost_bitstream.dir/readback.cpp.o"
+  "CMakeFiles/prcost_bitstream.dir/readback.cpp.o.d"
+  "CMakeFiles/prcost_bitstream.dir/words.cpp.o"
+  "CMakeFiles/prcost_bitstream.dir/words.cpp.o.d"
+  "libprcost_bitstream.a"
+  "libprcost_bitstream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prcost_bitstream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cost/bitstream_model.cpp" "src/cost/CMakeFiles/prcost_cost.dir/bitstream_model.cpp.o" "gcc" "src/cost/CMakeFiles/prcost_cost.dir/bitstream_model.cpp.o.d"
+  "/root/repo/src/cost/floorplan.cpp" "src/cost/CMakeFiles/prcost_cost.dir/floorplan.cpp.o" "gcc" "src/cost/CMakeFiles/prcost_cost.dir/floorplan.cpp.o.d"
+  "/root/repo/src/cost/prr_model.cpp" "src/cost/CMakeFiles/prcost_cost.dir/prr_model.cpp.o" "gcc" "src/cost/CMakeFiles/prcost_cost.dir/prr_model.cpp.o.d"
+  "/root/repo/src/cost/prr_search.cpp" "src/cost/CMakeFiles/prcost_cost.dir/prr_search.cpp.o" "gcc" "src/cost/CMakeFiles/prcost_cost.dir/prr_search.cpp.o.d"
+  "/root/repo/src/cost/shaped_prr.cpp" "src/cost/CMakeFiles/prcost_cost.dir/shaped_prr.cpp.o" "gcc" "src/cost/CMakeFiles/prcost_cost.dir/shaped_prr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/prcost_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/prcost_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/prcost_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/prcost_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

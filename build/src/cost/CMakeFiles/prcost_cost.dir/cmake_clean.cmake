@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prcost_cost.dir/bitstream_model.cpp.o"
+  "CMakeFiles/prcost_cost.dir/bitstream_model.cpp.o.d"
+  "CMakeFiles/prcost_cost.dir/floorplan.cpp.o"
+  "CMakeFiles/prcost_cost.dir/floorplan.cpp.o.d"
+  "CMakeFiles/prcost_cost.dir/prr_model.cpp.o"
+  "CMakeFiles/prcost_cost.dir/prr_model.cpp.o.d"
+  "CMakeFiles/prcost_cost.dir/prr_search.cpp.o"
+  "CMakeFiles/prcost_cost.dir/prr_search.cpp.o.d"
+  "CMakeFiles/prcost_cost.dir/shaped_prr.cpp.o"
+  "CMakeFiles/prcost_cost.dir/shaped_prr.cpp.o.d"
+  "libprcost_cost.a"
+  "libprcost_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prcost_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/device/device_db.cpp" "src/device/CMakeFiles/prcost_device.dir/device_db.cpp.o" "gcc" "src/device/CMakeFiles/prcost_device.dir/device_db.cpp.o.d"
+  "/root/repo/src/device/fabric.cpp" "src/device/CMakeFiles/prcost_device.dir/fabric.cpp.o" "gcc" "src/device/CMakeFiles/prcost_device.dir/fabric.cpp.o.d"
+  "/root/repo/src/device/family_traits.cpp" "src/device/CMakeFiles/prcost_device.dir/family_traits.cpp.o" "gcc" "src/device/CMakeFiles/prcost_device.dir/family_traits.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/prcost_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prcost_device.dir/device_db.cpp.o"
+  "CMakeFiles/prcost_device.dir/device_db.cpp.o.d"
+  "CMakeFiles/prcost_device.dir/fabric.cpp.o"
+  "CMakeFiles/prcost_device.dir/fabric.cpp.o.d"
+  "CMakeFiles/prcost_device.dir/family_traits.cpp.o"
+  "CMakeFiles/prcost_device.dir/family_traits.cpp.o.d"
+  "libprcost_device.a"
+  "libprcost_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prcost_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

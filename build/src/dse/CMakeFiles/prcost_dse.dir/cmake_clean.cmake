@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prcost_dse.dir/device_select.cpp.o"
+  "CMakeFiles/prcost_dse.dir/device_select.cpp.o.d"
+  "CMakeFiles/prcost_dse.dir/explorer.cpp.o"
+  "CMakeFiles/prcost_dse.dir/explorer.cpp.o.d"
+  "CMakeFiles/prcost_dse.dir/partition.cpp.o"
+  "CMakeFiles/prcost_dse.dir/partition.cpp.o.d"
+  "libprcost_dse.a"
+  "libprcost_dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prcost_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prcost_htr.dir/defrag.cpp.o"
+  "CMakeFiles/prcost_htr.dir/defrag.cpp.o.d"
+  "CMakeFiles/prcost_htr.dir/relocation.cpp.o"
+  "CMakeFiles/prcost_htr.dir/relocation.cpp.o.d"
+  "libprcost_htr.a"
+  "libprcost_htr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prcost_htr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for prcost_htr.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for prcost_htr.
+# This may be replaced when dependencies are built.

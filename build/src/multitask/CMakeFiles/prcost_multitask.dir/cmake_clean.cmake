@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prcost_multitask.dir/preemptive.cpp.o"
+  "CMakeFiles/prcost_multitask.dir/preemptive.cpp.o.d"
+  "CMakeFiles/prcost_multitask.dir/simulator.cpp.o"
+  "CMakeFiles/prcost_multitask.dir/simulator.cpp.o.d"
+  "CMakeFiles/prcost_multitask.dir/workload.cpp.o"
+  "CMakeFiles/prcost_multitask.dir/workload.cpp.o.d"
+  "libprcost_multitask.a"
+  "libprcost_multitask.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prcost_multitask.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netlist/dot.cpp" "src/netlist/CMakeFiles/prcost_netlist.dir/dot.cpp.o" "gcc" "src/netlist/CMakeFiles/prcost_netlist.dir/dot.cpp.o.d"
+  "/root/repo/src/netlist/generators.cpp" "src/netlist/CMakeFiles/prcost_netlist.dir/generators.cpp.o" "gcc" "src/netlist/CMakeFiles/prcost_netlist.dir/generators.cpp.o.d"
+  "/root/repo/src/netlist/logic.cpp" "src/netlist/CMakeFiles/prcost_netlist.dir/logic.cpp.o" "gcc" "src/netlist/CMakeFiles/prcost_netlist.dir/logic.cpp.o.d"
+  "/root/repo/src/netlist/netlist.cpp" "src/netlist/CMakeFiles/prcost_netlist.dir/netlist.cpp.o" "gcc" "src/netlist/CMakeFiles/prcost_netlist.dir/netlist.cpp.o.d"
+  "/root/repo/src/netlist/serialize.cpp" "src/netlist/CMakeFiles/prcost_netlist.dir/serialize.cpp.o" "gcc" "src/netlist/CMakeFiles/prcost_netlist.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/prcost_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prcost_netlist.dir/dot.cpp.o"
+  "CMakeFiles/prcost_netlist.dir/dot.cpp.o.d"
+  "CMakeFiles/prcost_netlist.dir/generators.cpp.o"
+  "CMakeFiles/prcost_netlist.dir/generators.cpp.o.d"
+  "CMakeFiles/prcost_netlist.dir/logic.cpp.o"
+  "CMakeFiles/prcost_netlist.dir/logic.cpp.o.d"
+  "CMakeFiles/prcost_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/prcost_netlist.dir/netlist.cpp.o.d"
+  "CMakeFiles/prcost_netlist.dir/serialize.cpp.o"
+  "CMakeFiles/prcost_netlist.dir/serialize.cpp.o.d"
+  "libprcost_netlist.a"
+  "libprcost_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prcost_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prcost_paperdata.dir/paper_dataset.cpp.o"
+  "CMakeFiles/prcost_paperdata.dir/paper_dataset.cpp.o.d"
+  "libprcost_paperdata.a"
+  "libprcost_paperdata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prcost_paperdata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

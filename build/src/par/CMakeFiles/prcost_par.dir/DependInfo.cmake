@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/par/packer.cpp" "src/par/CMakeFiles/prcost_par.dir/packer.cpp.o" "gcc" "src/par/CMakeFiles/prcost_par.dir/packer.cpp.o.d"
+  "/root/repo/src/par/par.cpp" "src/par/CMakeFiles/prcost_par.dir/par.cpp.o" "gcc" "src/par/CMakeFiles/prcost_par.dir/par.cpp.o.d"
+  "/root/repo/src/par/placer.cpp" "src/par/CMakeFiles/prcost_par.dir/placer.cpp.o" "gcc" "src/par/CMakeFiles/prcost_par.dir/placer.cpp.o.d"
+  "/root/repo/src/par/routability.cpp" "src/par/CMakeFiles/prcost_par.dir/routability.cpp.o" "gcc" "src/par/CMakeFiles/prcost_par.dir/routability.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/prcost_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/prcost_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/prcost_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/prcost_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/prcost_cost.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

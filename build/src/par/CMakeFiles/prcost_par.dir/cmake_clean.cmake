@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prcost_par.dir/packer.cpp.o"
+  "CMakeFiles/prcost_par.dir/packer.cpp.o.d"
+  "CMakeFiles/prcost_par.dir/par.cpp.o"
+  "CMakeFiles/prcost_par.dir/par.cpp.o.d"
+  "CMakeFiles/prcost_par.dir/placer.cpp.o"
+  "CMakeFiles/prcost_par.dir/placer.cpp.o.d"
+  "CMakeFiles/prcost_par.dir/routability.cpp.o"
+  "CMakeFiles/prcost_par.dir/routability.cpp.o.d"
+  "libprcost_par.a"
+  "libprcost_par.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prcost_par.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reconfig/baselines.cpp" "src/reconfig/CMakeFiles/prcost_reconfig.dir/baselines.cpp.o" "gcc" "src/reconfig/CMakeFiles/prcost_reconfig.dir/baselines.cpp.o.d"
+  "/root/repo/src/reconfig/controllers.cpp" "src/reconfig/CMakeFiles/prcost_reconfig.dir/controllers.cpp.o" "gcc" "src/reconfig/CMakeFiles/prcost_reconfig.dir/controllers.cpp.o.d"
+  "/root/repo/src/reconfig/full_bitstream.cpp" "src/reconfig/CMakeFiles/prcost_reconfig.dir/full_bitstream.cpp.o" "gcc" "src/reconfig/CMakeFiles/prcost_reconfig.dir/full_bitstream.cpp.o.d"
+  "/root/repo/src/reconfig/icap.cpp" "src/reconfig/CMakeFiles/prcost_reconfig.dir/icap.cpp.o" "gcc" "src/reconfig/CMakeFiles/prcost_reconfig.dir/icap.cpp.o.d"
+  "/root/repo/src/reconfig/media.cpp" "src/reconfig/CMakeFiles/prcost_reconfig.dir/media.cpp.o" "gcc" "src/reconfig/CMakeFiles/prcost_reconfig.dir/media.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/prcost_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/prcost_device.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

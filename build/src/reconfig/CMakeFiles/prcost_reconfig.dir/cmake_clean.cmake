@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prcost_reconfig.dir/baselines.cpp.o"
+  "CMakeFiles/prcost_reconfig.dir/baselines.cpp.o.d"
+  "CMakeFiles/prcost_reconfig.dir/controllers.cpp.o"
+  "CMakeFiles/prcost_reconfig.dir/controllers.cpp.o.d"
+  "CMakeFiles/prcost_reconfig.dir/full_bitstream.cpp.o"
+  "CMakeFiles/prcost_reconfig.dir/full_bitstream.cpp.o.d"
+  "CMakeFiles/prcost_reconfig.dir/icap.cpp.o"
+  "CMakeFiles/prcost_reconfig.dir/icap.cpp.o.d"
+  "CMakeFiles/prcost_reconfig.dir/media.cpp.o"
+  "CMakeFiles/prcost_reconfig.dir/media.cpp.o.d"
+  "libprcost_reconfig.a"
+  "libprcost_reconfig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prcost_reconfig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

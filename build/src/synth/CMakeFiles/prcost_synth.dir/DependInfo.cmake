@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/mapper.cpp" "src/synth/CMakeFiles/prcost_synth.dir/mapper.cpp.o" "gcc" "src/synth/CMakeFiles/prcost_synth.dir/mapper.cpp.o.d"
+  "/root/repo/src/synth/passes.cpp" "src/synth/CMakeFiles/prcost_synth.dir/passes.cpp.o" "gcc" "src/synth/CMakeFiles/prcost_synth.dir/passes.cpp.o.d"
+  "/root/repo/src/synth/report.cpp" "src/synth/CMakeFiles/prcost_synth.dir/report.cpp.o" "gcc" "src/synth/CMakeFiles/prcost_synth.dir/report.cpp.o.d"
+  "/root/repo/src/synth/synthesizer.cpp" "src/synth/CMakeFiles/prcost_synth.dir/synthesizer.cpp.o" "gcc" "src/synth/CMakeFiles/prcost_synth.dir/synthesizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/prcost_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/prcost_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/prcost_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prcost_synth.dir/mapper.cpp.o"
+  "CMakeFiles/prcost_synth.dir/mapper.cpp.o.d"
+  "CMakeFiles/prcost_synth.dir/passes.cpp.o"
+  "CMakeFiles/prcost_synth.dir/passes.cpp.o.d"
+  "CMakeFiles/prcost_synth.dir/report.cpp.o"
+  "CMakeFiles/prcost_synth.dir/report.cpp.o.d"
+  "CMakeFiles/prcost_synth.dir/synthesizer.cpp.o"
+  "CMakeFiles/prcost_synth.dir/synthesizer.cpp.o.d"
+  "libprcost_synth.a"
+  "libprcost_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prcost_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prcost_util.dir/csv.cpp.o"
+  "CMakeFiles/prcost_util.dir/csv.cpp.o.d"
+  "CMakeFiles/prcost_util.dir/log.cpp.o"
+  "CMakeFiles/prcost_util.dir/log.cpp.o.d"
+  "CMakeFiles/prcost_util.dir/parallel.cpp.o"
+  "CMakeFiles/prcost_util.dir/parallel.cpp.o.d"
+  "CMakeFiles/prcost_util.dir/stopwatch.cpp.o"
+  "CMakeFiles/prcost_util.dir/stopwatch.cpp.o.d"
+  "CMakeFiles/prcost_util.dir/strings.cpp.o"
+  "CMakeFiles/prcost_util.dir/strings.cpp.o.d"
+  "CMakeFiles/prcost_util.dir/table.cpp.o"
+  "CMakeFiles/prcost_util.dir/table.cpp.o.d"
+  "libprcost_util.a"
+  "libprcost_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prcost_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

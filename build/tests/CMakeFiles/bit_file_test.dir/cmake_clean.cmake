@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bit_file_test.dir/bit_file_test.cpp.o"
+  "CMakeFiles/bit_file_test.dir/bit_file_test.cpp.o.d"
+  "bit_file_test"
+  "bit_file_test.pdb"
+  "bit_file_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bit_file_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/config_memory_test.dir/config_memory_test.cpp.o"
+  "CMakeFiles/config_memory_test.dir/config_memory_test.cpp.o.d"
+  "config_memory_test"
+  "config_memory_test.pdb"
+  "config_memory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/config_memory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

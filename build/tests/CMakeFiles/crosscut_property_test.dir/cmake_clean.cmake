@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crosscut_property_test.dir/crosscut_property_test.cpp.o"
+  "CMakeFiles/crosscut_property_test.dir/crosscut_property_test.cpp.o.d"
+  "crosscut_property_test"
+  "crosscut_property_test.pdb"
+  "crosscut_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crosscut_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

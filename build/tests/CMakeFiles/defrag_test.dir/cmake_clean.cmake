@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/defrag_test.dir/defrag_test.cpp.o"
+  "CMakeFiles/defrag_test.dir/defrag_test.cpp.o.d"
+  "defrag_test"
+  "defrag_test.pdb"
+  "defrag_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/defrag_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_select_test.dir/device_select_test.cpp.o"
+  "CMakeFiles/device_select_test.dir/device_select_test.cpp.o.d"
+  "device_select_test"
+  "device_select_test.pdb"
+  "device_select_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_select_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

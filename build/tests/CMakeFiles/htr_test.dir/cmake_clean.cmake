@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htr_test.dir/htr_test.cpp.o"
+  "CMakeFiles/htr_test.dir/htr_test.cpp.o.d"
+  "htr_test"
+  "htr_test.pdb"
+  "htr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

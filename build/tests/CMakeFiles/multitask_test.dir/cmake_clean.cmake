@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multitask_test.dir/multitask_test.cpp.o"
+  "CMakeFiles/multitask_test.dir/multitask_test.cpp.o.d"
+  "multitask_test"
+  "multitask_test.pdb"
+  "multitask_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multitask_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

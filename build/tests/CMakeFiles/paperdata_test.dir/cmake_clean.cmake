@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paperdata_test.dir/paperdata_test.cpp.o"
+  "CMakeFiles/paperdata_test.dir/paperdata_test.cpp.o.d"
+  "paperdata_test"
+  "paperdata_test.pdb"
+  "paperdata_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paperdata_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/passes_property_test.dir/passes_property_test.cpp.o"
+  "CMakeFiles/passes_property_test.dir/passes_property_test.cpp.o.d"
+  "passes_property_test"
+  "passes_property_test.pdb"
+  "passes_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/passes_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/preemptive_test.dir/preemptive_test.cpp.o"
+  "CMakeFiles/preemptive_test.dir/preemptive_test.cpp.o.d"
+  "preemptive_test"
+  "preemptive_test.pdb"
+  "preemptive_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/preemptive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prr_search_test.dir/prr_search_test.cpp.o"
+  "CMakeFiles/prr_search_test.dir/prr_search_test.cpp.o.d"
+  "prr_search_test"
+  "prr_search_test.pdb"
+  "prr_search_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prr_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/readback_test.dir/readback_test.cpp.o"
+  "CMakeFiles/readback_test.dir/readback_test.cpp.o.d"
+  "readback_test"
+  "readback_test.pdb"
+  "readback_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/readback_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

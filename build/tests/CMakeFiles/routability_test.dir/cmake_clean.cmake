@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/routability_test.dir/routability_test.cpp.o"
+  "CMakeFiles/routability_test.dir/routability_test.cpp.o.d"
+  "routability_test"
+  "routability_test.pdb"
+  "routability_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/routability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shaped_prr_test.dir/shaped_prr_test.cpp.o"
+  "CMakeFiles/shaped_prr_test.dir/shaped_prr_test.cpp.o.d"
+  "shaped_prr_test"
+  "shaped_prr_test.pdb"
+  "shaped_prr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shaped_prr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prcost_cli.dir/prcost_cli.cpp.o"
+  "CMakeFiles/prcost_cli.dir/prcost_cli.cpp.o.d"
+  "prcost"
+  "prcost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prcost_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

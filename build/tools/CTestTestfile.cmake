@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_devices "/root/repo/build/tools/prcost" "devices")
+set_tests_properties(cli_devices PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_synth "/root/repo/build/tools/prcost" "synth" "fir" "--family" "v6")
+set_tests_properties(cli_synth PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_plan "/root/repo/build/tools/prcost" "plan" "fir" "--device" "xc5vlx110t" "--shaped")
+set_tests_properties(cli_plan PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_plan_bitstream_objective "/root/repo/build/tools/prcost" "plan" "mips" "--device" "xc6vlx75t" "--objective" "bitstream")
+set_tests_properties(cli_plan_bitstream_objective PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_bitstream "/root/repo/build/tools/prcost" "bitstream" "sdram" "--device" "xc5vlx110t")
+set_tests_properties(cli_bitstream PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_explore "/root/repo/build/tools/prcost" "explore" "--device" "xc6vlx240t" "fir" "sdram" "uart")
+set_tests_properties(cli_explore PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_netlist_roundtrip "/usr/bin/cmake" "-DCLI=/root/repo/build/tools/prcost" "-P" "/root/repo/tools/netlist_roundtrip_test.cmake")
+set_tests_properties(cli_netlist_roundtrip PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;20;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_rank "/root/repo/build/tools/prcost" "rank" "fir" "sdram")
+set_tests_properties(cli_rank PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;25;add_test;/root/repo/tools/CMakeLists.txt;0;")
