@@ -1,9 +1,12 @@
 // Shared helpers for the table-reproduction benches.
 #pragma once
 
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 
+#include "obs/obs.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
@@ -18,5 +21,39 @@ inline void print_table(const std::string& title, const TextTable& table) {
 inline std::string pct(double value) {
   return format_fixed(value, 0) + "%";
 }
+
+namespace detail {
+
+/// Opt-in observability for every bench that includes this header, with no
+/// per-bench changes: PRCOST_TRACE=1 enables tracing + metrics at program
+/// start, and at exit the trace is written to $PRCOST_TRACE_OUT (default
+/// "prcost_trace.json") with the span self-time table and metrics on
+/// stderr (stdout stays clean for the table output the benches print).
+struct ObsEnvSession {
+  bool active = false;
+
+  ObsEnvSession() { active = obs::init_from_env(); }
+
+  ~ObsEnvSession() {
+    if (!active) return;
+    obs::set_tracing(false);
+    const char* out_path = std::getenv("PRCOST_TRACE_OUT");
+    const std::string path =
+        out_path != nullptr && *out_path != '\0' ? out_path
+                                                 : "prcost_trace.json";
+    std::ofstream out{path};
+    obs::write_chrome_trace(out);
+    std::cerr << "[prcost obs] wrote trace (" << obs::trace_span_count()
+              << " spans) to " << path << "\n"
+              << obs::trace_summary_table().to_ascii()
+              << obs::registry().to_text();
+  }
+};
+
+// One instance per bench binary (inline variable): constructed before
+// main() runs the workload, destroyed after it finishes.
+inline ObsEnvSession g_obs_env_session;
+
+}  // namespace detail
 
 }  // namespace prcost::bench

@@ -1,6 +1,7 @@
 #include "bitstream/generator.hpp"
 
 #include "bitstream/crc.hpp"
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
@@ -82,6 +83,7 @@ std::vector<u32> trailer_words(Family family, u32 crc_value) {
 
 std::vector<u32> generate_bitstream(const PrrPlan& plan, Family family,
                                     const GeneratorOptions& options) {
+  PRCOST_TRACE_SPAN("bitstream_gen");
   const FamilyTraits& t = traits(family);
   const PrrOrganization& org = plan.organization;
   if (org.h == 0 || org.width() == 0) {
@@ -161,12 +163,15 @@ std::vector<u32> generate_bitstream(const PrrPlan& plan, Family family,
     throw ContractError{"generate_bitstream: trailer/FW mismatch"};
   }
   out.insert(out.end(), trailer.begin(), trailer.end());
+  PRCOST_COUNT("bitstream.generated");
+  PRCOST_COUNT_N("bitstream.words_emitted", out.size());
   return out;
 }
 
 std::vector<u32> generate_shaped_bitstream(const ShapedPrr& shape,
                                            Family family,
                                            const GeneratorOptions& options) {
+  PRCOST_TRACE_SPAN("bitstream_gen_shaped");
   const FamilyTraits& t = traits(family);
   if (shape.bands.empty()) {
     throw ContractError{"generate_shaped_bitstream: no bands"};
@@ -229,11 +234,14 @@ std::vector<u32> generate_shaped_bitstream(const ShapedPrr& shape,
   crc.update(ConfigReg::kCmd, static_cast<u32>(ConfigCmd::kLfrm));
   const std::vector<u32> trailer = trailer_words(family, crc.value());
   out.insert(out.end(), trailer.begin(), trailer.end());
+  PRCOST_COUNT("bitstream.generated");
+  PRCOST_COUNT_N("bitstream.words_emitted", out.size());
   return out;
 }
 
 std::vector<u32> generate_full_bitstream(const Fabric& fabric,
                                          const GeneratorOptions& options) {
+  PRCOST_TRACE_SPAN("bitstream_gen_full");
   const Family family = fabric.family();
   const FamilyTraits& t = traits(family);
   const u32 idcode =
@@ -290,6 +298,8 @@ std::vector<u32> generate_full_bitstream(const Fabric& fabric,
   crc.update(ConfigReg::kCmd, static_cast<u32>(ConfigCmd::kLfrm));
   const std::vector<u32> trailer = trailer_words(family, crc.value());
   out.insert(out.end(), trailer.begin(), trailer.end());
+  PRCOST_COUNT("bitstream.generated");
+  PRCOST_COUNT_N("bitstream.words_emitted", out.size());
   return out;
 }
 

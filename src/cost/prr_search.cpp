@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 
@@ -41,23 +42,37 @@ bool better(const PrrPlan& a, const PrrPlan& b, SearchObjective objective) {
 
 std::optional<PrrPlan> search(const PrmRequirements& req, const Fabric& fabric,
                               const SearchOptions& options) {
+  PRCOST_TRACE_SPAN("prr_search");
   const bool single_dsp = fabric.column_count(ColumnType::kDsp) == 1;
   const u32 max_h = options.max_height == 0
                         ? fabric.rows()
                         : std::min(options.max_height, fabric.rows());
   std::optional<PrrPlan> best;
+  u64 rejected = 0, accepted = 0;
   for (u32 h = 1; h <= max_h; ++h) {
     const auto org =
         organization_for_height(req, fabric.traits(), h, single_dsp);
-    if (!org) continue;
+    if (!org) {
+      ++rejected;
+      continue;
+    }
     const auto window = fabric.find_window(org->columns);
-    if (!window) continue;  // internal fragmentation: no contiguous span
+    if (!window) {  // internal fragmentation: no contiguous span
+      ++rejected;
+      PRCOST_COUNT("prr_search.window_misses");
+      continue;
+    }
     PrrPlan plan = make_plan(req, fabric, *org, *window);
     if (!best || better(plan, *best, options.objective)) {
       best = std::move(plan);
+      ++accepted;
       if (options.objective == SearchObjective::kFirstFeasible) break;
     }
   }
+  PRCOST_COUNT("prr_search.searches");
+  PRCOST_COUNT_N("prr_search.candidates_rejected", rejected);
+  PRCOST_COUNT_N("prr_search.candidates_accepted", accepted);
+  if (!best) PRCOST_COUNT("prr_search.infeasible");
   return best;
 }
 
@@ -91,6 +106,8 @@ std::optional<PrrPlan> find_shared_prr(std::span<const PrmRequirements> reqs,
 
 std::vector<PrrPlan> enumerate_prrs(const PrmRequirements& req,
                                     const Fabric& fabric, u32 max_height) {
+  PRCOST_TRACE_SPAN("prr_enumerate");
+  PRCOST_COUNT("prr_search.enumerations");
   std::vector<PrrPlan> plans;
   const bool single_dsp = fabric.column_count(ColumnType::kDsp) == 1;
   const u32 max_h = max_height == 0 ? fabric.rows()

@@ -1,7 +1,9 @@
 #include "device/device_db.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <numeric>
+#include <utility>
 
 #include "util/error.hpp"
 #include "util/strings.hpp"
@@ -161,11 +163,31 @@ const DeviceDb& DeviceDb::instance() {
   return db;
 }
 
+namespace {
+
+/// Catalog names carry the "xc" vendor prefix and put the generation digit
+/// before the family letter ("xc5vlx110t"); users often write the
+/// family-first shorthand ("v5lx110t") or just drop the prefix
+/// ("5vlx110t"), so lookup tolerates both.
+std::string canonical_device_name(std::string_view name) {
+  std::string lower = to_lower(name);
+  if (lower.size() >= 2 &&
+      (lower[0] == 'v' || lower[0] == 's' || lower[0] == 'k') &&
+      std::isdigit(static_cast<unsigned char>(lower[1])) != 0) {
+    std::swap(lower[0], lower[1]);  // v5lx110t -> 5vlx110t
+  }
+  if (lower.rfind("xc", 0) != 0) lower.insert(0, "xc");
+  return lower;
+}
+
+}  // namespace
+
 const Device& DeviceDb::get(std::string_view name) const {
   const std::string lower = to_lower(name);
-  const auto it =
-      std::find_if(devices_.begin(), devices_.end(),
-                   [&](const Device& d) { return d.name == lower; });
+  const std::string canonical = canonical_device_name(name);
+  const auto it = std::find_if(
+      devices_.begin(), devices_.end(),
+      [&](const Device& d) { return d.name == lower || d.name == canonical; });
   if (it == devices_.end()) {
     throw ContractError{"DeviceDb: unknown device '" + std::string{name} +
                         "'"};
@@ -175,8 +197,10 @@ const Device& DeviceDb::get(std::string_view name) const {
 
 bool DeviceDb::contains(std::string_view name) const {
   const std::string lower = to_lower(name);
-  return std::any_of(devices_.begin(), devices_.end(),
-                     [&](const Device& d) { return d.name == lower; });
+  const std::string canonical = canonical_device_name(name);
+  return std::any_of(devices_.begin(), devices_.end(), [&](const Device& d) {
+    return d.name == lower || d.name == canonical;
+  });
 }
 
 std::vector<std::string> DeviceDb::names() const {

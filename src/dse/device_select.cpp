@@ -4,14 +4,18 @@
 
 #include "cost/floorplan.hpp"
 #include "device/device_db.hpp"
+#include "obs/obs.hpp"
 
 namespace prcost {
 
 std::vector<DeviceChoice> rank_devices(const std::vector<PrmInfo>& prms,
                                        const std::vector<HwTask>& workload,
                                        const DeviceSelectOptions& options) {
+  PRCOST_TRACE_SPAN("device_select");
   std::vector<DeviceChoice> choices;
   for (const Device& device : DeviceDb::instance().all()) {
+    PRCOST_TRACE_SPAN("device_select_eval");
+    PRCOST_COUNT("dse.devices_ranked");
     DeviceChoice choice;
     choice.device = device.name;
 
@@ -43,6 +47,8 @@ std::vector<DeviceChoice> rank_devices(const std::vector<PrmInfo>& prms,
       config.policy = options.policy;
       config.media = options.media;
       choice.makespan_s = simulate(sized, workload, config).makespan_s;
+    } else {
+      PRCOST_COUNT("dse.devices_infeasible");
     }
     choices.push_back(std::move(choice));
   }

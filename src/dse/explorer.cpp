@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
 #include "util/parallel.hpp"
 
 namespace prcost {
@@ -12,6 +13,8 @@ DesignPoint evaluate_partition(const Partition& partition,
                                const Fabric& fabric,
                                const std::vector<HwTask>& workload,
                                const ExploreOptions& options) {
+  PRCOST_TRACE_SPAN("dse_partition_eval");
+  PRCOST_COUNT("dse.partitions_evaluated");
   DesignPoint point;
   point.partition = partition;
 
@@ -34,6 +37,7 @@ DesignPoint evaluate_partition(const Partition& partition,
     const auto placed = floorplanner.place("group", merged);
     if (!placed) {
       point.infeasible_reason = "no room for a PRR group on the fabric";
+      PRCOST_COUNT("dse.partitions_infeasible");
       return point;
     }
     point.prr_plans.push_back(placed->plan);
@@ -73,6 +77,7 @@ std::vector<DesignPoint> explore(const std::vector<PrmInfo>& prms,
                                  const Fabric& fabric,
                                  const std::vector<HwTask>& workload,
                                  const ExploreOptions& options) {
+  PRCOST_TRACE_SPAN("dse_explore");
   const auto partitions =
       enumerate_partitions(narrow<u32>(prms.size()), options.max_groups);
   std::vector<DesignPoint> points(partitions.size());

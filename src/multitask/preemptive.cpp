@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 
 namespace prcost {
@@ -38,6 +39,7 @@ struct PrrState {
 PreemptiveResult simulate_preemptive(const std::vector<PrmInfo>& prms,
                                      std::vector<HwTask> tasks,
                                      const PreemptiveConfig& config) {
+  PRCOST_TRACE_SPAN("preemptive_sim");
   if (config.prr_count == 0) {
     throw ContractError{"simulate_preemptive: zero PRRs"};
   }
@@ -223,6 +225,8 @@ PreemptiveResult simulate_preemptive(const std::vector<PrmInfo>& prms,
   }
   result.mean_high_priority_wait_s =
       wait_count == 0 ? 0.0 : wait_sum / static_cast<double>(wait_count);
+  PRCOST_COUNT("sim.preemptive_runs");
+  PRCOST_COUNT_N("sim.preemptions", result.preemptions);
   return result;
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 
 namespace prcost {
@@ -68,6 +69,7 @@ std::shared_ptr<const ReconfigController> default_controller() {
 
 SimResult simulate(const std::vector<PrmInfo>& prms, std::vector<HwTask> tasks,
                    const SimConfig& config) {
+  PRCOST_TRACE_SPAN("multitask_sim");
   if (config.prr_count == 0) throw ContractError{"simulate: zero PRRs"};
   for (const HwTask& task : tasks) {
     if (task.prm >= prms.size()) {
@@ -90,6 +92,7 @@ SimResult simulate(const std::vector<PrmInfo>& prms, std::vector<HwTask> tasks,
   std::size_t next_arrival = 0;
   std::size_t completed = 0;
   double now = 0.0;
+  u64 reconfig_bytes = 0;  // tallied locally, counted once after the loop
 
   while (completed < tasks.size()) {
     // Admit arrivals up to `now`.
@@ -158,6 +161,7 @@ SimResult simulate(const std::vector<PrmInfo>& prms, std::vector<HwTask> tasks,
           }
         }
       }
+      if (!relocate) reconfig_bytes += prms[task.prm].bitstream_bytes;
       const double switch_s = relocate ? config.relocation_s : storage_s;
       const double switch_start = std::max(now, icap_free_at);
       icap_free_at = switch_start + switch_s;
@@ -194,6 +198,12 @@ SimResult simulate(const std::vector<PrmInfo>& prms, std::vector<HwTask> tasks,
           ? busy_sum / (result.makespan_s *
                         static_cast<double>(config.prr_count))
           : 0.0;
+  PRCOST_COUNT("sim.runs");
+  PRCOST_COUNT_N("sim.tasks_completed", tasks.size());
+  PRCOST_COUNT_N("sim.reconfigs", result.reconfig_count);
+  PRCOST_COUNT_N("sim.relocations", result.relocation_count);
+  PRCOST_COUNT_N("sim.reuse_hits", result.reuse_hits);
+  PRCOST_COUNT_N("sim.reconfig_bytes", reconfig_bytes);
   return result;
 }
 
@@ -201,6 +211,7 @@ SimResult simulate_full_reconfig(
     const std::vector<PrmInfo>& prms, std::vector<HwTask> tasks,
     u64 full_bitstream_bytes_, StorageMedia media,
     std::shared_ptr<const ReconfigController> controller) {
+  PRCOST_TRACE_SPAN("multitask_sim_full");
   for (const HwTask& task : tasks) {
     if (task.prm >= prms.size()) {
       throw ContractError{"simulate_full_reconfig: unknown PRM"};
@@ -247,6 +258,10 @@ SimResult simulate_full_reconfig(
       tasks.empty() ? 0.0 : wait_sum / static_cast<double>(tasks.size());
   result.prr_busy_fraction =
       result.makespan_s > 0 ? exec_sum / result.makespan_s : 0.0;
+  PRCOST_COUNT("sim.full_reconfig_runs");
+  PRCOST_COUNT_N("sim.reconfigs", result.reconfig_count);
+  PRCOST_COUNT_N("sim.reconfig_bytes",
+                 result.reconfig_count * full_bitstream_bytes_);
   return result;
 }
 

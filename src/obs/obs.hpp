@@ -1,0 +1,8 @@
+// Umbrella header for instrumentation sites: metrics macros
+// (PRCOST_COUNT / PRCOST_COUNT_N / PRCOST_GAUGE_SET / PRCOST_HIST) and the
+// tracing macro (PRCOST_TRACE_SPAN). See metrics.hpp and trace.hpp for the
+// cost model and export surfaces.
+#pragma once
+
+#include "obs/metrics.hpp"  // IWYU pragma: export
+#include "obs/trace.hpp"    // IWYU pragma: export

@@ -1,5 +1,6 @@
 #include "par/par.hpp"
 
+#include "obs/obs.hpp"
 #include "synth/mapper.hpp"
 #include "synth/passes.hpp"
 #include "util/log.hpp"
@@ -8,14 +9,23 @@ namespace prcost {
 
 ParResult place_and_route(Netlist mapped, const PrrPlan& plan,
                           const Fabric& fabric, const ParOptions& options) {
+  PRCOST_TRACE_SPAN("par");
+  PRCOST_COUNT("par.runs");
   ParResult result;
 
   // MAP-level optimization: cross-boundary dedup and polarity folding that
   // XST's hierarchical synthesis leaves behind - the source of the paper's
   // Table VI LUT/CLB savings.
-  result.cells_optimized = run_implementation_passes(mapped);
+  {
+    PRCOST_TRACE_SPAN("par_opt_passes");
+    result.cells_optimized = run_implementation_passes(mapped);
+  }
+  PRCOST_COUNT_N("par.cells_optimized", result.cells_optimized);
 
-  result.packing = pack_slices(mapped, options.pack);
+  {
+    PRCOST_TRACE_SPAN("par_pack");
+    result.packing = pack_slices(mapped, options.pack);
+  }
 
   PlaceOptions place_options = options.place;
   place_options.seed = options.seed;

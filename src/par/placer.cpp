@@ -4,6 +4,7 @@
 #include <cmath>
 #include <queue>
 
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
@@ -147,6 +148,7 @@ u64 logic_depth(const Netlist& nl) {
 
 PlaceResult place_into_prr(const Netlist& nl, const PrrPlan& plan,
                            const Fabric& fabric, const PlaceOptions& options) {
+  PRCOST_TRACE_SPAN("placement");
   PlaceResult result;
   const Grid grid = make_grid(plan, fabric);
 
@@ -230,6 +232,7 @@ PlaceResult place_into_prr(const Netlist& nl, const PrrPlan& plan,
 
   // --- simulated annealing -------------------------------------------------
   if (!options.skip_anneal && !placeable.empty()) {
+    PRCOST_TRACE_SPAN("placement_anneal");
     Rng rng{options.seed};
     const u64 moves = options.anneal_moves != 0
                           ? options.anneal_moves
@@ -267,6 +270,7 @@ PlaceResult place_into_prr(const Netlist& nl, const PrrPlan& plan,
       return sum;
     };
 
+    u64 moves_accepted = 0;
     for (u64 m = 0; m < moves; ++m, temp *= cooling) {
       const CellId id = placeable[rng.below(placeable.size())];
       const SiteClass cls = site_class(nl.cell(id));
@@ -297,6 +301,7 @@ PlaceResult place_into_prr(const Netlist& nl, const PrrPlan& plan,
       const bool accept =
           delta <= 0 || rng.uniform01() < std::exp(-delta / std::max(temp, 1e-9));
       if (accept) {
+        ++moves_accepted;
         const u64 origin_flat = flat(cls, origin);
         occ.erase(target_flat);
         occ.erase(origin_flat);
@@ -309,7 +314,12 @@ PlaceResult place_into_prr(const Netlist& nl, const PrrPlan& plan,
       }
     }
     result.hpwl_final = total_hpwl();
+    // Tallied locally so the hot loop pays no atomics; one add per anneal.
+    PRCOST_COUNT_N("place.moves_proposed", moves);
+    PRCOST_COUNT_N("place.moves_accepted", moves_accepted);
   }
+  PRCOST_COUNT("place.placements");
+  PRCOST_COUNT_N("place.cells_placed", result.placed_cells);
 
   // --- timing estimate -----------------------------------------------------
   const u64 depth = logic_depth(nl);

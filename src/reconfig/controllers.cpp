@@ -2,12 +2,23 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 
 namespace prcost {
+namespace {
+
+/// Shared tally for every controller's estimate() entry point.
+void note_estimate(u64 bytes) {
+  PRCOST_COUNT("reconfig.estimates");
+  PRCOST_HIST("reconfig.bytes_per_transfer", bytes, 1e3, 1e4, 1e5, 1e6, 1e7);
+}
+
+}  // namespace
 
 ReconfigEstimate CpuIcapController::estimate(u64 bytes,
                                              StorageMedia media) const {
+  note_estimate(bytes);
   ReconfigEstimate e;
   e.fetch_s = fetch_seconds(media, bytes);
   e.write_s = icap_write_seconds(icap_, bytes);
@@ -19,6 +30,7 @@ ReconfigEstimate CpuIcapController::estimate(u64 bytes,
 
 ReconfigEstimate DmaIcapController::estimate(u64 bytes,
                                              StorageMedia media) const {
+  note_estimate(bytes);
   ReconfigEstimate e;
   e.fetch_s = fetch_seconds(media, bytes);
   e.write_s = icap_write_seconds(icap_, bytes);
@@ -45,6 +57,7 @@ FarmController::FarmController(IcapModel icap, double compression_ratio,
 
 ReconfigEstimate FarmController::estimate(u64 bytes,
                                           StorageMedia media) const {
+  note_estimate(bytes);
   ReconfigEstimate e;
   const auto compressed =
       static_cast<u64>(static_cast<double>(bytes) * compression_ratio_);

@@ -1,11 +1,14 @@
 #include "synth/synthesizer.hpp"
 
+#include "obs/obs.hpp"
 #include "synth/passes.hpp"
 #include "util/log.hpp"
 
 namespace prcost {
 
 SynthesisResult synthesize(Netlist design, const SynthOptions& options) {
+  PRCOST_TRACE_SPAN("synthesis");
+  PRCOST_COUNT("synth.runs");
   u64 optimized = options.implementation_level
                       ? run_implementation_passes(design)
                       : run_synthesis_passes(design);

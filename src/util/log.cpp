@@ -1,7 +1,10 @@
 #include "util/log.hpp"
 
 #include <atomic>
+#include <cstdio>
 #include <iostream>
+
+#include "util/stopwatch.hpp"
 
 namespace prcost {
 namespace {
@@ -20,16 +23,41 @@ constexpr std::string_view level_tag(LogLevel level) {
   return "?";
 }
 
+/// Compact sequential thread id (t1, t2, ...), assigned on first log call
+/// from a thread. Matches the obs tracer's idea of small per-thread ids.
+unsigned this_thread_log_id() {
+  static std::atomic<unsigned> next{1};
+  thread_local const unsigned id = next.fetch_add(1);
+  return id;
+}
+
 }  // namespace
 
 void set_log_level(LogLevel level) { g_level.store(level); }
 
 LogLevel log_level() { return g_level.load(); }
 
+std::optional<LogLevel> parse_log_level(std::string_view name) {
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  if (name == "off") return LogLevel::kOff;
+  return std::nullopt;
+}
+
 void log_line(LogLevel level, std::string_view msg) {
   if (level < log_level()) return;
+  // Monotonic seconds since the shared epoch, so "+12.345678" lines up
+  // with trace span timestamps.
+  const double elapsed_s = static_cast<double>(monotonic_ns()) / 1e9;
+  char stamp[32];
+  std::snprintf(stamp, sizeof stamp, "%+.6f", elapsed_s);
+  std::ostream& sink =
+      level >= LogLevel::kWarn ? std::cerr : std::clog;
   const std::scoped_lock lock{g_sink_mutex};
-  std::clog << "[prcost " << level_tag(level) << "] " << msg << '\n';
+  sink << "[prcost " << level_tag(level) << ' ' << stamp << " t"
+       << this_thread_log_id() << "] " << msg << '\n';
 }
 
 }  // namespace prcost

@@ -1,10 +1,15 @@
-// Minimal leveled logger. Single global sink, safe for concurrent use.
+// Minimal leveled logger, safe for concurrent use. kDebug/kInfo go to
+// stdout's log stream (std::clog), kWarn/kError to stderr. Every line is
+// prefixed with a monotonic timestamp (same epoch as obs trace spans — see
+// util/stopwatch.hpp monotonic_ns) and a compact thread id, so log lines
+// correlate with trace spans and with each other across threads.
 //
 // The library itself logs sparingly (searches, simulators); benches and
 // examples raise the level to Info for progress visibility.
 #pragma once
 
 #include <mutex>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -16,6 +21,9 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 /// Global log threshold; messages below it are dropped.
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+/// "debug"/"info"/"warn"/"error"/"off" -> level (CLI --log-level flag).
+std::optional<LogLevel> parse_log_level(std::string_view name);
 
 /// Emit one line at `level` (thread-safe; appends '\n').
 void log_line(LogLevel level, std::string_view msg);

@@ -7,6 +7,15 @@
 
 namespace prcost {
 
+u64 monotonic_ns() noexcept {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point epoch = Clock::now();
+  return static_cast<u64>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           epoch)
+          .count());
+}
+
 std::string format_minutes_seconds(double seconds) {
   if (seconds < 0) seconds = 0;
   const auto whole_minutes = static_cast<long long>(seconds / 60.0);

@@ -4,7 +4,14 @@
 #include <chrono>
 #include <string>
 
+#include "util/ints.hpp"
+
 namespace prcost {
+
+/// Nanoseconds on the steady clock since a process-wide epoch (the first
+/// call). Shared by the logger's line timestamps and the tracer's span
+/// timestamps so log lines correlate with trace spans.
+u64 monotonic_ns() noexcept;
 
 class Stopwatch {
  public:

@@ -1,0 +1,343 @@
+// Tests for the observability subsystem (src/obs): concurrent counter
+// exactness, histogram bucket boundaries, span nesting / Chrome-trace JSON
+// well-formedness (parsed back with a minimal JSON parser), and the
+// disabled no-op paths.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace prcost {
+namespace {
+
+// --- minimal JSON parser ---------------------------------------------------
+// Validates syntax and collects every (key, string-value) pair so tests can
+// assert which span names appear. Numbers/bools/null are validated but not
+// retained.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string text) : text_(std::move(text)) {}
+
+  bool parse() {
+    skip_ws();
+    if (!parse_value()) return false;
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+  const std::vector<std::pair<std::string, std::string>>& string_members()
+      const {
+    return members_;
+  }
+
+ private:
+  bool parse_value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': {
+        std::string s;
+        return parse_string(s);
+      }
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return parse_number();
+    }
+  }
+
+  bool parse_object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (peek() == '"') {
+        std::string value;
+        if (!parse_string(value)) return false;
+        members_.emplace_back(std::move(key), std::move(value));
+      } else if (!parse_value()) {
+        return false;
+      }
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool parse_array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (!parse_value()) return false;
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+      }
+      out += text_[pos_++];
+    }
+    if (pos_ >= text_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  std::string text_;
+  std::size_t pos_ = 0;
+  std::vector<std::pair<std::string, std::string>> members_;
+};
+
+std::vector<std::string> span_names(const JsonParser& parser) {
+  std::vector<std::string> names;
+  for (const auto& [key, value] : parser.string_members()) {
+    if (key == "name") names.push_back(value);
+  }
+  return names;
+}
+
+u64 count_of(const std::vector<std::string>& names, std::string_view want) {
+  u64 n = 0;
+  for (const auto& name : names) {
+    if (name == want) ++n;
+  }
+  return n;
+}
+
+// --- metrics ---------------------------------------------------------------
+
+TEST(ObsMetrics, ConcurrentCounterSumsExactly) {
+  obs::set_metrics_enabled(true);
+  obs::Counter& counter = obs::registry().counter("test.concurrent");
+  counter.reset();
+  constexpr int kThreads = 8;
+  constexpr u64 kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (u64 i = 0; i < kPerThread; ++i) counter.add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter.value(), kThreads * kPerThread);
+  obs::set_metrics_enabled(false);
+}
+
+TEST(ObsMetrics, CounterMacroBatchesDeltas) {
+  obs::set_metrics_enabled(true);
+  obs::registry().counter("test.macro_batch").reset();
+  PRCOST_COUNT_N("test.macro_batch", 5);
+  PRCOST_COUNT("test.macro_batch");
+  EXPECT_EQ(obs::registry().counter("test.macro_batch").value(), 6u);
+  obs::set_metrics_enabled(false);
+}
+
+TEST(ObsMetrics, HistogramBucketBoundaries) {
+  obs::set_metrics_enabled(true);
+  obs::Histogram& hist =
+      obs::registry().histogram("test.hist", {10.0, 100.0, 1000.0});
+  hist.reset();
+  // "le" buckets: upper bounds are inclusive.
+  hist.record(5);     // -> le10
+  hist.record(10);    // -> le10 (boundary inclusive)
+  hist.record(10.5);  // -> le100
+  hist.record(100);   // -> le100
+  hist.record(1000);  // -> le1000
+  hist.record(1001);  // -> overflow
+  const auto buckets = hist.bucket_counts();
+  ASSERT_EQ(buckets.size(), 4u);
+  EXPECT_EQ(buckets[0], 2u);
+  EXPECT_EQ(buckets[1], 2u);
+  EXPECT_EQ(buckets[2], 1u);
+  EXPECT_EQ(buckets[3], 1u);
+  EXPECT_EQ(hist.count(), 6u);
+  EXPECT_DOUBLE_EQ(hist.sum(), 5 + 10 + 10.5 + 100 + 1000 + 1001);
+  obs::set_metrics_enabled(false);
+}
+
+TEST(ObsMetrics, GaugeSetAndAdd) {
+  obs::set_metrics_enabled(true);
+  obs::Gauge& gauge = obs::registry().gauge("test.gauge");
+  gauge.set(2.5);
+  gauge.add(1.5);
+  EXPECT_DOUBLE_EQ(gauge.value(), 4.0);
+  obs::set_metrics_enabled(false);
+}
+
+TEST(ObsMetrics, DisabledRegistryIsNoOp) {
+  obs::set_metrics_enabled(false);
+  obs::Counter& counter = obs::registry().counter("test.disabled");
+  counter.reset();
+  counter.add(7);
+  PRCOST_COUNT_N("test.disabled", 7);
+  EXPECT_EQ(counter.value(), 0u);
+  obs::Histogram& hist = obs::registry().histogram("test.disabled_hist", {1.0});
+  hist.reset();
+  hist.record(0.5);
+  EXPECT_EQ(hist.count(), 0u);
+}
+
+TEST(ObsMetrics, JsonExportParses) {
+  obs::set_metrics_enabled(true);
+  obs::registry().counter("test.json_counter").reset();
+  PRCOST_COUNT_N("test.json_counter", 3);
+  PRCOST_HIST("test.json_hist", 42, 10.0, 100.0);
+  obs::set_metrics_enabled(false);
+  JsonParser parser{obs::registry().to_json()};
+  EXPECT_TRUE(parser.parse());
+}
+
+// --- tracing ---------------------------------------------------------------
+
+TEST(ObsTrace, SpanNestingProducesWellFormedChromeJson) {
+  obs::clear_trace();
+  obs::set_tracing(true);
+  {
+    PRCOST_TRACE_SPAN("outer");
+    for (int i = 0; i < 2; ++i) {
+      PRCOST_TRACE_SPAN("inner");
+    }
+  }
+  obs::set_tracing(false);
+
+  const std::string json = obs::chrome_trace_json();
+  JsonParser parser{json};
+  ASSERT_TRUE(parser.parse()) << json;
+  const auto names = span_names(parser);
+  EXPECT_EQ(count_of(names, "outer"), 1u);
+  EXPECT_EQ(count_of(names, "inner"), 2u);
+
+  // Nesting: outer's self time excludes the two inner spans.
+  for (const auto& row : obs::trace_summary()) {
+    if (row.name == "outer") {
+      EXPECT_EQ(row.count, 1u);
+      EXPECT_LE(row.self_ns, row.total_ns);
+    }
+  }
+  const auto spans = obs::trace_spans();
+  u64 inner_total = 0, outer_total = 0, outer_self = 0;
+  for (const auto& span : spans) {
+    if (std::string_view{span.name} == "inner") {
+      inner_total += span.dur_ns;
+      EXPECT_EQ(span.depth, 1u);
+    }
+    if (std::string_view{span.name} == "outer") {
+      outer_total = span.dur_ns;
+      outer_self = span.self_ns;
+      EXPECT_EQ(span.depth, 0u);
+    }
+  }
+  EXPECT_LE(outer_self + inner_total, outer_total + 1);  // +1: ns rounding
+  obs::clear_trace();
+}
+
+TEST(ObsTrace, DisabledSpanRecordsNothing) {
+  obs::clear_trace();
+  obs::set_tracing(false);
+  {
+    PRCOST_TRACE_SPAN("never_recorded");
+  }
+  EXPECT_EQ(obs::trace_span_count(), 0u);
+}
+
+TEST(ObsTrace, MultiThreadSpansLandInDistinctTracks) {
+  obs::clear_trace();
+  obs::set_tracing(true);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([] {
+      PRCOST_TRACE_SPAN("worker");
+    });
+  }
+  for (auto& t : threads) t.join();
+  obs::set_tracing(false);
+  JsonParser parser{obs::chrome_trace_json()};
+  ASSERT_TRUE(parser.parse());
+  EXPECT_EQ(count_of(span_names(parser), "worker"), 4u);
+  obs::clear_trace();
+}
+
+TEST(ObsTrace, SummaryTableRenders) {
+  obs::clear_trace();
+  obs::set_tracing(true);
+  {
+    PRCOST_TRACE_SPAN("summary_span");
+  }
+  obs::set_tracing(false);
+  const TextTable table = obs::trace_summary_table();
+  EXPECT_GE(table.row_count(), 1u);
+  EXPECT_NE(table.to_ascii().find("summary_span"), std::string::npos);
+  obs::clear_trace();
+}
+
+}  // namespace
+}  // namespace prcost

@@ -26,7 +26,10 @@
 #include "dse/explorer.hpp"
 #include "netlist/generators.hpp"
 #include "netlist/serialize.hpp"
+#include "obs/obs.hpp"
+#include "par/par.hpp"
 #include "synth/synthesizer.hpp"
+#include "util/log.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
@@ -46,6 +49,11 @@ using namespace prcost;
       "  prcost explore --device <name> <prm> <prm> [...]\n"
       "  prcost netlist <prm> [-o design.net]\n"
       "  prcost rank <prm> <prm> [...]\n"
+      "global flags (any command):\n"
+      "  --trace-out FILE    record spans, write Chrome trace-event JSON\n"
+      "                      (open at https://ui.perfetto.dev)\n"
+      "  --metrics-out FILE  write the metrics registry as JSON\n"
+      "  --log-level LVL     debug|info|warn|error|off (default warn)\n"
       "prms: fir mips sdram aes crc32 uart matmul sobel fft\n"
       "netlist files: prcost netlist <prm> -o design.net; then --netlist design.net\n";
   std::exit(2);
@@ -137,32 +145,48 @@ Netlist load_netlist_file(const std::string& path_name) {
   return netlist_from_text(buffer.str());
 }
 
-PrmRequirements requirements_for(const Args& args) {
+/// Model input plus, when we synthesized it ourselves, the mapped netlist
+/// (used by `plan` to run the PAR cross-check).
+struct PlanInput {
+  PrmRequirements req;
+  std::optional<SynthesisResult> synth;
+};
+
+PlanInput plan_input_for(const Args& args) {
   if (args.has("netlist")) {
     const Device& device = DeviceDb::instance().get(args.get("device", ""));
-    const SynthesisResult result = synthesize(
+    SynthesisResult result = synthesize(
         load_netlist_file(args.get("netlist", "")),
         SynthOptions{device.fabric.family()});
-    return PrmRequirements::from_report(result.report);
+    PrmRequirements req = PrmRequirements::from_report(result.report);
+    return PlanInput{req, std::move(result)};
   }
   if (args.has("report")) {
     std::ifstream in{args.get("report", "")};
     if (!in) usage("cannot open report file");
     std::stringstream buffer;
     buffer << in.rdbuf();
-    return PrmRequirements::from_report(parse_report(buffer.str()));
+    return PlanInput{
+        PrmRequirements::from_report(parse_report(buffer.str())),
+        std::nullopt};
   }
   if (args.positional.empty()) usage("need a PRM or --report file");
   const Device& device = DeviceDb::instance().get(args.get("device", ""));
-  const SynthesisResult result = synthesize(
+  SynthesisResult result = synthesize(
       make_prm(args.positional[0]), SynthOptions{device.fabric.family()});
-  return PrmRequirements::from_report(result.report);
+  PrmRequirements req = PrmRequirements::from_report(result.report);
+  return PlanInput{req, std::move(result)};
+}
+
+PrmRequirements requirements_for(const Args& args) {
+  return plan_input_for(args).req;
 }
 
 int cmd_plan(const Args& args) {
   if (!args.has("device")) usage("plan needs --device");
   const Device& device = DeviceDb::instance().get(args.get("device", ""));
-  const PrmRequirements req = requirements_for(args);
+  PlanInput input = plan_input_for(args);
+  const PrmRequirements& req = input.req;
 
   SearchOptions options;
   const std::string objective = args.get("objective", "area");
@@ -199,6 +223,34 @@ int cmd_plan(const Args& args) {
                      format_fixed(plan->ru.bram, 0) + "%"});
   table.add_row({"partial bitstream",
                  std::to_string(plan->bitstream.total_bytes) + " bytes"});
+
+  // Full-flow cross-checks: place & route into the chosen PRR (when the
+  // netlist came from our own synthesis) and a generated bitstream whose
+  // byte size must match the model prediction.
+  if (input.synth) {
+    const ParResult par = place_and_route(std::move(input.synth->netlist),
+                                          *plan, device.fabric, ParOptions{});
+    if (par.routed) {
+      table.add_row(
+          {"PAR placed cells", std::to_string(par.placement.placed_cells)});
+      table.add_row({"PAR HPWL (initial -> final)",
+                     std::to_string(par.placement.hpwl_initial) + " -> " +
+                         std::to_string(par.placement.hpwl_final)});
+      table.add_row({"PAR critical path",
+                     format_fixed(par.placement.critical_path_ns, 2) + " ns"});
+    } else {
+      table.add_row({"PAR", "failed: " + par.failure_reason});
+    }
+  }
+  const auto words = generate_bitstream(*plan, device.fabric.family());
+  const u64 generated_bytes =
+      static_cast<u64>(words.size()) * device.fabric.traits().bytes_word;
+  table.add_row({"generated bitstream",
+                 std::to_string(generated_bytes) + " bytes (" +
+                     (generated_bytes == plan->bitstream.total_bytes
+                          ? "matches model"
+                          : "MODEL MISMATCH") +
+                     ")"});
   std::cout << table.to_ascii();
 
   if (args.has("shaped")) {
@@ -326,6 +378,82 @@ int cmd_explore(const Args& args) {
   return 0;
 }
 
+/// Global observability flags: --trace-out, --metrics-out, --log-level.
+struct ObsOptions {
+  std::string trace_out;
+  std::string metrics_out;
+  bool active() const { return !trace_out.empty() || !metrics_out.empty(); }
+};
+
+ObsOptions configure_obs(const Args& args) {
+  if (args.has("log-level")) {
+    const auto level = parse_log_level(args.get("log-level", ""));
+    if (!level) usage("unknown log level '" + args.get("log-level", "") + "'");
+    set_log_level(*level);
+  }
+  ObsOptions options;
+  options.trace_out = args.get("trace-out", "");
+  options.metrics_out = args.get("metrics-out", "");
+  if (!options.trace_out.empty()) obs::set_tracing(true);
+  if (options.active()) obs::set_metrics_enabled(true);
+  return options;
+}
+
+/// Write the requested artifacts and print the end-of-run summary.
+/// Returns nonzero if an output file could not be written.
+int finalize_obs(const ObsOptions& options) {
+  if (!options.active()) return 0;
+  int rc = 0;
+  const bool traced = !options.trace_out.empty();
+  obs::set_tracing(false);
+  if (traced) {
+    std::ofstream out{options.trace_out};
+    obs::write_chrome_trace(out);
+    if (!out) {
+      std::cerr << "error: cannot write trace to '" << options.trace_out
+                << "'\n";
+      rc = 1;
+    }
+  }
+  if (!options.metrics_out.empty()) {
+    std::ofstream out{options.metrics_out};
+    out << obs::registry().to_json() << '\n';
+    if (!out) {
+      std::cerr << "error: cannot write metrics to '" << options.metrics_out
+                << "'\n";
+      rc = 1;
+    }
+  }
+
+  std::cout << "\n=== metrics ===\n";
+  TextTable metrics{{"metric", "value"}};
+  for (const auto& snap : obs::registry().snapshot()) {
+    switch (snap.kind) {
+      case obs::MetricKind::kCounter:
+        metrics.add_row({snap.name, std::to_string(snap.count)});
+        break;
+      case obs::MetricKind::kGauge:
+        metrics.add_row({snap.name, format_fixed(snap.value, 3)});
+        break;
+      case obs::MetricKind::kHistogram:
+        metrics.add_row({snap.name, "count=" + std::to_string(snap.count) +
+                                        " sum=" + format_fixed(snap.value, 0)});
+        break;
+    }
+  }
+  std::cout << metrics.to_ascii();
+  if (traced) {
+    std::cout << "\n=== span self-time (open " << options.trace_out
+              << " at https://ui.perfetto.dev) ===\n"
+              << obs::trace_summary_table().to_ascii();
+    if (obs::trace_dropped_count() > 0) {
+      std::cout << "note: " << obs::trace_dropped_count()
+                << " spans dropped (per-thread ring wrapped)\n";
+    }
+  }
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -333,14 +461,27 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   try {
     const Args args = parse_args(argc, argv, 2);
-    if (command == "devices") return cmd_devices();
-    if (command == "synth") return cmd_synth(args);
-    if (command == "plan") return cmd_plan(args);
-    if (command == "bitstream") return cmd_bitstream(args);
-    if (command == "explore") return cmd_explore(args);
-    if (command == "netlist") return cmd_netlist(args);
-    if (command == "rank") return cmd_rank(args);
-    usage("unknown command '" + command + "'");
+    const ObsOptions obs_options = configure_obs(args);
+    int rc = 0;
+    if (command == "devices") {
+      rc = cmd_devices();
+    } else if (command == "synth") {
+      rc = cmd_synth(args);
+    } else if (command == "plan") {
+      rc = cmd_plan(args);
+    } else if (command == "bitstream") {
+      rc = cmd_bitstream(args);
+    } else if (command == "explore") {
+      rc = cmd_explore(args);
+    } else if (command == "netlist") {
+      rc = cmd_netlist(args);
+    } else if (command == "rank") {
+      rc = cmd_rank(args);
+    } else {
+      usage("unknown command '" + command + "'");
+    }
+    const int obs_rc = finalize_obs(obs_options);
+    return rc != 0 ? rc : obs_rc;
   } catch (const Error& error) {
     std::cerr << "error: " << error.what() << '\n';
     return 1;

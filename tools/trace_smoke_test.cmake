@@ -1,0 +1,44 @@
+# Smoke: `plan --trace-out` must emit a non-empty, parsable Chrome trace
+# whose traceEvents include the flow's key spans.
+cmake_policy(SET CMP0057 NEW)  # IN_LIST (script mode has no project defaults)
+execute_process(
+  COMMAND ${CLI} plan fir --device v5lx110t --trace-out ${OUT}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE stdout_text)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "plan --trace-out exited with ${rc}")
+endif()
+
+if(NOT EXISTS ${OUT})
+  message(FATAL_ERROR "trace file ${OUT} was not written")
+endif()
+file(READ ${OUT} trace_json)
+if(trace_json STREQUAL "")
+  message(FATAL_ERROR "trace file ${OUT} is empty")
+endif()
+
+# string(JSON) fails the script with a FATAL_ERROR if the JSON is malformed.
+string(JSON n_events LENGTH "${trace_json}" traceEvents)
+if(n_events EQUAL 0)
+  message(FATAL_ERROR "trace has no traceEvents")
+endif()
+
+# Collect every event name and check the flow's key spans are present.
+set(names "")
+math(EXPR last "${n_events} - 1")
+foreach(i RANGE 0 ${last})
+  string(JSON name ERROR_VARIABLE err GET "${trace_json}" traceEvents ${i} name)
+  if(err STREQUAL "NOTFOUND")
+    list(APPEND names "${name}")
+  endif()
+endforeach()
+foreach(want prr_search placement bitstream_gen)
+  if(NOT "${want}" IN_LIST names)
+    message(FATAL_ERROR "trace is missing span '${want}' (got: ${names})")
+  endif()
+endforeach()
+
+# The end-of-run metrics summary must land on stdout.
+if(NOT stdout_text MATCHES "=== metrics ===")
+  message(FATAL_ERROR "plan stdout is missing the metrics summary table")
+endif()
