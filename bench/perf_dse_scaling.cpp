@@ -1,0 +1,174 @@
+// DSE throughput bench: partitions/sec with and without the plan cache.
+//
+// Builds a repeated-requirements PRM set (a few distinct base PRMs
+// replicated to --prms entries, the workload shape the plan cache is
+// designed for: many partitions merge groups to the same PrmRequirements),
+// explores every partitioning, and reports JSON on stdout:
+//
+//   {"device":..., "partitions":..., "no_cache":{...}, "cache":{...},
+//    "speedup":..., "identical":true}
+//
+// "identical" cross-checks the acceptance contract that explore() output
+// is bit-identical with the cache on and off; the process exits 1 when the
+// check fails. Cache hit/miss counts are read from the obs metrics
+// registry ("plan_cache.hits"/"plan_cache.misses").
+//
+//   perf_dse_scaling [--device xc5vlx110t] [--prms 8] [--tasks 30]
+//                    [--repeats 3] [--workers 0]
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cost/plan_cache.hpp"
+#include "dse/explorer.hpp"
+#include "device/device_db.hpp"
+#include "netlist/generators.hpp"
+#include "obs/obs.hpp"
+#include "synth/synthesizer.hpp"
+#include "util/stopwatch.hpp"
+
+namespace {
+
+using namespace prcost;
+
+u64 counter_value(const std::string& name) {
+  for (const auto& snap : obs::registry().snapshot()) {
+    if (snap.name == name && snap.kind == obs::MetricKind::kCounter) {
+      return snap.count;
+    }
+  }
+  return 0;
+}
+
+bool points_identical(const std::vector<DesignPoint>& a,
+                      const std::vector<DesignPoint>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].feasible != b[i].feasible ||
+        a[i].infeasible_reason != b[i].infeasible_reason ||
+        a[i].total_prr_area != b[i].total_prr_area ||
+        a[i].total_bitstream_bytes != b[i].total_bitstream_bytes ||
+        a[i].makespan_s != b[i].makespan_s ||
+        a[i].total_reconfig_s != b[i].total_reconfig_s ||
+        a[i].prr_plans.size() != b[i].prr_plans.size()) {
+      return false;
+    }
+    for (std::size_t g = 0; g < a[i].prr_plans.size(); ++g) {
+      const PrrPlan& p = a[i].prr_plans[g];
+      const PrrPlan& q = b[i].prr_plans[g];
+      if (p.organization.h != q.organization.h ||
+          p.organization.columns.clb_cols != q.organization.columns.clb_cols ||
+          p.organization.columns.dsp_cols != q.organization.columns.dsp_cols ||
+          p.organization.columns.bram_cols !=
+              q.organization.columns.bram_cols ||
+          p.window.first_col != q.window.first_col ||
+          p.window.width != q.window.width || p.first_row != q.first_row ||
+          p.bitstream.total_bytes != q.bitstream.total_bytes) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string device_name = "xc5vlx110t";
+  std::size_t prm_count = 8;
+  u32 task_count = 30;
+  int repeats = 3;
+  std::size_t workers = 0;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    const std::string flag = argv[i];
+    const std::string value = argv[i + 1];
+    if (flag == "--device") {
+      device_name = value;
+    } else if (flag == "--prms") {
+      prm_count = std::stoul(value);
+    } else if (flag == "--tasks") {
+      task_count = static_cast<u32>(std::stoul(value));
+    } else if (flag == "--repeats") {
+      repeats = std::stoi(value);
+    } else if (flag == "--workers") {
+      workers = std::stoul(value);
+    } else {
+      std::cerr << "unknown flag " << flag << "\n";
+      return 2;
+    }
+  }
+
+  obs::set_metrics_enabled(true);
+  const Device& device = DeviceDb::instance().get(device_name);
+
+  // Repeated requirements: a few distinct bases replicated round-robin, so
+  // partitions keep merging groups to the same PrmRequirements 5-tuple.
+  const std::vector<Netlist> bases = {make_fir(), make_mips5(), make_uart()};
+  std::vector<PrmInfo> prms;
+  for (std::size_t i = 0; i < prm_count; ++i) {
+    const SynthesisResult result = synthesize(
+        bases[i % bases.size()], SynthOptions{device.fabric.family()});
+    prms.push_back(PrmInfo{"prm" + std::to_string(i),
+                           PrmRequirements::from_report(result.report), 0});
+  }
+  WorkloadParams wp;
+  wp.count = task_count;
+  wp.prm_count = narrow<u32>(prms.size());
+  const auto workload = make_workload(wp);
+  ExploreOptions options;
+  options.workers = workers;
+
+  const auto run_explores = [&](int count, std::vector<DesignPoint>& out) {
+    Stopwatch watch;
+    for (int r = 0; r < count; ++r) {
+      out = explore(prms, device.fabric, workload, options);
+    }
+    return watch.seconds() / count;
+  };
+
+  set_plan_cache_enabled(false);
+  std::vector<DesignPoint> uncached_points;
+  const double uncached_s = run_explores(repeats, uncached_points);
+
+  set_plan_cache_enabled(true);
+  plan_cache_clear();
+  const u64 hits_before = counter_value("plan_cache.hits");
+  const u64 misses_before = counter_value("plan_cache.misses");
+  std::vector<DesignPoint> cached_points;
+  const double cached_s = run_explores(repeats, cached_points);
+  const u64 hits = counter_value("plan_cache.hits") - hits_before;
+  const u64 misses = counter_value("plan_cache.misses") - misses_before;
+
+  const bool identical = points_identical(uncached_points, cached_points);
+  const auto partitions = static_cast<double>(uncached_points.size());
+  const double hit_rate =
+      hits + misses == 0
+          ? 0.0
+          : static_cast<double>(hits) / static_cast<double>(hits + misses);
+
+  std::cout.precision(6);
+  std::cout << "{\n"
+            << "  \"device\": \"" << device.name << "\",\n"
+            << "  \"prms\": " << prms.size() << ",\n"
+            << "  \"partitions\": " << uncached_points.size() << ",\n"
+            << "  \"tasks\": " << task_count << ",\n"
+            << "  \"workers\": " << workers << ",\n"
+            << "  \"repeats\": " << repeats << ",\n"
+            << "  \"no_cache\": {\"seconds_per_explore\": " << uncached_s
+            << ", \"partitions_per_sec\": " << partitions / uncached_s
+            << "},\n"
+            << "  \"cache\": {\"seconds_per_explore\": " << cached_s
+            << ", \"partitions_per_sec\": " << partitions / cached_s
+            << ", \"hits\": " << hits << ", \"misses\": " << misses
+            << ", \"hit_rate\": " << hit_rate << "},\n"
+            << "  \"speedup\": " << uncached_s / cached_s << ",\n"
+            << "  \"identical\": " << (identical ? "true" : "false") << "\n"
+            << "}\n";
+  if (!identical) {
+    std::cerr << "error: cached explore() diverged from uncached\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,15 +1,35 @@
 #include "cost/floorplan.hpp"
 
 #include <algorithm>
+#include <bit>
 
+#include "cost/plan_cache.hpp"
 #include "util/error.hpp"
 
 namespace prcost {
+namespace {
+
+/// Invoke f(word_in_row, mask) for every 64-bit occupancy word overlapped
+/// by columns [first_col, first_col + width); mask has the overlapped bits
+/// set. Rectangle operations apply the same masks to each covered row.
+template <typename F>
+void for_each_word(u32 first_col, u32 width, F&& f) {
+  const u32 end = first_col + width;
+  for (u32 word = first_col / 64; word * 64 < end; ++word) {
+    const u32 lo = std::max(first_col, word * 64);
+    const u32 hi = std::min(end, (word + 1) * 64);
+    const u32 len = hi - lo;
+    const u64 bits = len == 64 ? ~u64{0} : (u64{1} << len) - 1;
+    f(word, bits << (lo - word * 64));
+  }
+}
+
+}  // namespace
 
 Floorplanner::Floorplanner(const Fabric& fabric)
     : fabric_(&fabric),
-      occupied_(static_cast<std::size_t>(fabric.rows()) * fabric.num_columns(),
-                false) {}
+      words_per_row_((fabric.num_columns() + 63) / 64),
+      occupied_(static_cast<std::size_t>(fabric.rows()) * words_per_row_, 0) {}
 
 bool Floorplanner::rect_free(u32 first_col, u32 width, u32 first_row,
                              u32 height) const {
@@ -17,23 +37,35 @@ bool Floorplanner::rect_free(u32 first_col, u32 width, u32 first_row,
       first_row + height > fabric_->rows()) {
     return false;
   }
-  for (u32 r = first_row; r < first_row + height; ++r) {
-    for (u32 c = first_col; c < first_col + width; ++c) {
-      if (occupied_[static_cast<std::size_t>(r) * fabric_->num_columns() + c]) {
-        return false;
+  bool is_free = true;
+  for_each_word(first_col, width, [&](u32 word, u64 mask) {
+    const u64* row_word = occupied_.data() + first_row * words_per_row_ + word;
+    for (u32 r = 0; r < height; ++r, row_word += words_per_row_) {
+      if (*row_word & mask) {
+        is_free = false;
+        return;
       }
     }
-  }
-  return true;
+  });
+  return is_free;
+}
+
+void Floorplanner::set_rect(u32 first_col, u32 width, u32 first_row,
+                            u32 height, bool value) {
+  for_each_word(first_col, width, [&](u32 word, u64 mask) {
+    u64* row_word = occupied_.data() + first_row * words_per_row_ + word;
+    for (u32 r = 0; r < height; ++r, row_word += words_per_row_) {
+      if (value) {
+        *row_word |= mask;
+      } else {
+        *row_word &= ~mask;
+      }
+    }
+  });
 }
 
 void Floorplanner::mark(u32 first_col, u32 width, u32 first_row, u32 height) {
-  for (u32 r = first_row; r < first_row + height; ++r) {
-    for (u32 c = first_col; c < first_col + width; ++c) {
-      occupied_[static_cast<std::size_t>(r) * fabric_->num_columns() + c] =
-          true;
-    }
-  }
+  set_rect(first_col, width, first_row, height, true);
 }
 
 void Floorplanner::reserve(u32 first_col, u32 width, u32 first_row,
@@ -51,35 +83,10 @@ std::optional<PlacedPrr> Floorplanner::place(const std::string& name,
   // Candidate organizations over all heights, sorted by the objective.
   // Unlike enumerate_prrs this does NOT pre-filter on exact-window
   // existence: a candidate with no exact span can still be placed by the
-  // superset pass below.
-  std::vector<PrrPlan> candidates;
-  const bool single_dsp = fabric_->column_count(ColumnType::kDsp) == 1;
-  for (u32 h = 1; h <= fabric_->rows(); ++h) {
-    const auto org =
-        organization_for_height(req, fabric_->traits(), h, single_dsp);
-    if (!org) continue;
-    PrrPlan plan;
-    plan.organization = *org;
-    plan.available = availability(*org, fabric_->traits());
-    plan.ru = utilization(req, plan.available, fabric_->traits());
-    plan.bitstream = estimate_bitstream(*org, fabric_->traits());
-    candidates.push_back(std::move(plan));
-  }
-  const auto key = [&](const PrrPlan& p) {
-    switch (objective) {
-      case SearchObjective::kMinArea:
-        return std::pair<u64, u64>{p.organization.size(), p.organization.h};
-      case SearchObjective::kFirstFeasible:
-        return std::pair<u64, u64>{p.organization.h, 0};
-      case SearchObjective::kMinBitstream:
-        return std::pair<u64, u64>{p.bitstream.total_bytes, p.organization.h};
-    }
-    throw ContractError{"Floorplanner::place: unknown objective"};
-  };
-  std::stable_sort(candidates.begin(), candidates.end(),
-                   [&](const PrrPlan& a, const PrrPlan& b) {
-                     return key(a) < key(b);
-                   });
+  // superset pass below. The list is a pure function of (fabric, req,
+  // objective), memoized in the plan cache and shared across threads.
+  const std::shared_ptr<const std::vector<PrrPlan>> candidates =
+      placement_candidates(req, *fabric_, objective);
 
   const auto try_place = [&](const PrrPlan& plan,
                              const ColumnWindow& window)
@@ -104,7 +111,7 @@ std::optional<PlacedPrr> Floorplanner::place(const std::string& name,
   };
 
   // Pass 1: exact column composition (the paper's Fig. 1 semantics).
-  for (const PrrPlan& candidate : candidates) {
+  for (const PrrPlan& candidate : *candidates) {
     for (const ColumnWindow& window :
          fabric_->find_all_windows(candidate.organization.columns)) {
       if (auto placed = try_place(candidate, window)) return placed;
@@ -115,7 +122,19 @@ std::optional<PlacedPrr> Floorplanner::place(const std::string& name,
   // exact span exists (or is free). The effective organization is the
   // window's real composition, so availability, utilization and bitstream
   // size all account for the surplus columns the PRR now drags along.
-  for (const PrrPlan& candidate : candidates) {
+  if (plan_cache_enabled()) {
+    // The whole widened sequence is pure in (fabric, req, objective);
+    // take it precomputed from the plan cache and only test occupancy.
+    const std::shared_ptr<const std::vector<PrrPlan>> widened =
+        widened_candidates(req, *fabric_, objective);
+    for (const PrrPlan& plan : *widened) {
+      if (auto placed = try_place(plan, plan.window)) return placed;
+    }
+    return std::nullopt;
+  }
+  // Cache disabled: generate lazily so an early fit skips the rest of the
+  // sweep. Must enumerate in the same order as widen_candidates.
+  for (const PrrPlan& candidate : *candidates) {
     for (u32 width = candidate.organization.width();
          width <= fabric_->num_columns(); ++width) {
       for (const ColumnWindow& window : fabric_->find_all_windows_superset(
@@ -138,14 +157,8 @@ bool Floorplanner::remove(const std::string& name) {
   for (std::size_t i = 0; i < placements_.size(); ++i) {
     if (placements_[i].name != name) continue;
     const PlacedPrr& placed = placements_[i];
-    for (u32 r = placed.first_row;
-         r < placed.first_row + placed.plan.organization.h; ++r) {
-      for (u32 c = placed.first_col;
-           c < placed.first_col + placed.plan.window.width; ++c) {
-        occupied_[static_cast<std::size_t>(r) * fabric_->num_columns() + c] =
-            false;
-      }
-    }
+    set_rect(placed.first_col, placed.plan.window.width, placed.first_row,
+             placed.plan.organization.h, false);
     placements_.erase(placements_.begin() +
                       static_cast<std::ptrdiff_t>(i));
     return true;
@@ -161,22 +174,14 @@ void Floorplanner::move_placement(std::size_t index,
   PlacedPrr& placed = placements_[index];
   const u32 h = placed.plan.organization.h;
   // Unmark the current rectangle, verify the target, then re-mark.
-  const auto set_rect = [&](u32 col0, u32 width, u32 row0, bool value) {
-    for (u32 r = row0; r < row0 + h; ++r) {
-      for (u32 c = col0; c < col0 + width; ++c) {
-        occupied_[static_cast<std::size_t>(r) * fabric_->num_columns() + c] =
-            value;
-      }
-    }
-  };
-  set_rect(placed.first_col, placed.plan.window.width, placed.first_row,
+  set_rect(placed.first_col, placed.plan.window.width, placed.first_row, h,
            false);
   if (!rect_free(window.first_col, window.width, first_row, h)) {
-    set_rect(placed.first_col, placed.plan.window.width, placed.first_row,
+    set_rect(placed.first_col, placed.plan.window.width, placed.first_row, h,
              true);
     throw ContractError{"move_placement: target rectangle is not free"};
   }
-  set_rect(window.first_col, window.width, first_row, true);
+  set_rect(window.first_col, window.width, first_row, h, true);
   placed.plan.window = window;
   placed.plan.first_row = first_row;
   placed.first_col = window.first_col;
@@ -184,9 +189,11 @@ void Floorplanner::move_placement(std::size_t index,
 }
 
 double Floorplanner::occupancy() const {
-  const auto used = static_cast<double>(
-      std::count(occupied_.begin(), occupied_.end(), true));
-  return occupied_.empty() ? 0.0 : used / static_cast<double>(occupied_.size());
+  u64 used = 0;
+  for (const u64 word : occupied_) used += static_cast<u64>(std::popcount(word));
+  const auto cells = static_cast<double>(u64{fabric_->rows()} *
+                                         fabric_->num_columns());
+  return cells == 0 ? 0.0 : static_cast<double>(used) / cells;
 }
 
 }  // namespace prcost

@@ -67,9 +67,15 @@ class Floorplanner {
 
  private:
   void mark(u32 first_col, u32 width, u32 first_row, u32 height);
+  void set_rect(u32 first_col, u32 width, u32 first_row, u32 height,
+                bool value);
 
   const Fabric* fabric_;
-  std::vector<bool> occupied_;  ///< row-major rows() x num_columns()
+  /// Occupancy bitmap: one bit per fabric cell, row-major, each row padded
+  /// to whole 64-bit words so a rectangle test is a handful of masked word
+  /// compares instead of a per-cell scan (rect_free dominates DSE time).
+  std::size_t words_per_row_ = 0;
+  std::vector<u64> occupied_;
   std::vector<PlacedPrr> placements_;
 };
 

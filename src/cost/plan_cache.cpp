@@ -1,0 +1,226 @@
+#include "cost/plan_cache.hpp"
+
+#include <array>
+#include <atomic>
+#include <mutex>
+#include <unordered_map>
+
+#include "obs/obs.hpp"
+
+namespace prcost {
+namespace {
+
+std::atomic<bool> g_enabled{true};
+
+/// What a cache entry memoizes: a find_prr result, a candidate list, or a
+/// widened (superset-window) candidate list - discriminated by Key::kind,
+/// never more than one per entry.
+enum class EntryKind : u32 { kFindPrr, kCandidates, kWidened };
+
+struct Key {
+  u64 fabric_id = 0;
+  PrmRequirements req;
+  u32 max_height = 0;  ///< SearchOptions::max_height (0 for candidates)
+  u32 objective = 0;
+  EntryKind kind = EntryKind::kFindPrr;
+
+  bool operator==(const Key& other) const {
+    return fabric_id == other.fabric_id &&
+           req.lut_ff_pairs == other.req.lut_ff_pairs &&
+           req.luts == other.req.luts && req.ffs == other.req.ffs &&
+           req.dsps == other.req.dsps && req.brams == other.req.brams &&
+           max_height == other.max_height && objective == other.objective &&
+           kind == other.kind;
+  }
+};
+
+struct KeyHash {
+  std::size_t operator()(const Key& key) const noexcept {
+    // FNV-1a over the key fields (field-wise, not memcmp: Key has padding).
+    u64 h = 14695981039346656037ull;
+    const auto mix = [&h](u64 v) {
+      h ^= v;
+      h *= 1099511628211ull;
+    };
+    mix(key.fabric_id);
+    mix(key.req.lut_ff_pairs);
+    mix(key.req.luts);
+    mix(key.req.ffs);
+    mix(key.req.dsps);
+    mix(key.req.brams);
+    mix(key.max_height);
+    mix(key.objective);
+    mix(static_cast<u64>(key.kind));
+    return static_cast<std::size_t>(h);
+  }
+};
+
+struct Entry {
+  std::optional<PrrPlan> plan;  // kFindPrr
+  std::shared_ptr<const std::vector<PrrPlan>> candidates;  // kCandidates/kWidened
+};
+
+class Cache {
+ public:
+  static Cache& instance() {
+    static Cache cache;
+    return cache;
+  }
+
+  /// nullptr on miss. Shared entries: callers must not mutate.
+  std::shared_ptr<const Entry> lookup(const Key& key) {
+    Shard& shard = shard_for(key);
+    {
+      const std::scoped_lock lock{shard.mu};
+      const auto it = shard.map.find(key);
+      if (it != shard.map.end()) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        PRCOST_COUNT("plan_cache.hits");
+        return it->second;
+      }
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    PRCOST_COUNT("plan_cache.misses");
+    return nullptr;
+  }
+
+  /// Insert (first writer wins) and return the resident entry.
+  std::shared_ptr<const Entry> insert(const Key& key,
+                                      std::shared_ptr<const Entry> entry) {
+    Shard& shard = shard_for(key);
+    const std::size_t shard_cap =
+        std::max<std::size_t>(1, capacity_.load(std::memory_order_relaxed) /
+                                     kShardCount);
+    const std::scoped_lock lock{shard.mu};
+    if (shard.map.size() >= shard_cap &&
+        shard.map.find(key) == shard.map.end()) {
+      // Full: drop an arbitrary resident entry (hash order ~ random). The
+      // DSE working set is far below the cap; this is an overflow valve,
+      // not an LRU.
+      shard.map.erase(shard.map.begin());
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+      PRCOST_COUNT("plan_cache.evictions");
+    }
+    return shard.map.try_emplace(key, std::move(entry)).first->second;
+  }
+
+  void clear() {
+    for (Shard& shard : shards_) {
+      const std::scoped_lock lock{shard.mu};
+      shard.map.clear();
+    }
+  }
+
+  PlanCacheStats stats() const {
+    PlanCacheStats out;
+    out.hits = hits_.load(std::memory_order_relaxed);
+    out.misses = misses_.load(std::memory_order_relaxed);
+    out.evictions = evictions_.load(std::memory_order_relaxed);
+    for (const Shard& shard : shards_) {
+      const std::scoped_lock lock{shard.mu};
+      out.entries += shard.map.size();
+    }
+    return out;
+  }
+
+  void set_capacity(std::size_t max_entries) {
+    capacity_.store(std::max<std::size_t>(kShardCount, max_entries),
+                    std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr std::size_t kShardCount = 16;
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<Key, std::shared_ptr<const Entry>, KeyHash> map;
+  };
+
+  Shard& shard_for(const Key& key) {
+    return shards_[KeyHash{}(key)&(kShardCount - 1)];
+  }
+
+  std::array<Shard, kShardCount> shards_;
+  std::atomic<u64> hits_{0};
+  std::atomic<u64> misses_{0};
+  std::atomic<u64> evictions_{0};
+  std::atomic<std::size_t> capacity_{1u << 16};
+};
+
+}  // namespace
+
+bool plan_cache_enabled() noexcept {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+void set_plan_cache_enabled(bool on) noexcept {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::optional<PrrPlan> find_prr_cached(const PrmRequirements& req,
+                                       const Fabric& fabric,
+                                       const SearchOptions& options) {
+  Key key;
+  key.fabric_id = fabric.identity();
+  key.req = req;
+  key.max_height = options.max_height;
+  key.objective = static_cast<u32>(options.objective);
+  key.kind = EntryKind::kFindPrr;
+  if (const auto entry = Cache::instance().lookup(key)) return entry->plan;
+  auto entry = std::make_shared<Entry>();
+  entry->plan = find_prr_uncached(req, fabric, options);
+  return Cache::instance().insert(key, std::move(entry))->plan;
+}
+
+std::shared_ptr<const std::vector<PrrPlan>> placement_candidates(
+    const PrmRequirements& req, const Fabric& fabric,
+    SearchObjective objective) {
+  if (!plan_cache_enabled()) {
+    return std::make_shared<const std::vector<PrrPlan>>(
+        placement_candidates_uncached(req, fabric, objective));
+  }
+  Key key;
+  key.fabric_id = fabric.identity();
+  key.req = req;
+  key.objective = static_cast<u32>(objective);
+  key.kind = EntryKind::kCandidates;
+  if (const auto entry = Cache::instance().lookup(key)) {
+    return entry->candidates;
+  }
+  auto entry = std::make_shared<Entry>();
+  entry->candidates = std::make_shared<const std::vector<PrrPlan>>(
+      placement_candidates_uncached(req, fabric, objective));
+  return Cache::instance().insert(key, std::move(entry))->candidates;
+}
+
+std::shared_ptr<const std::vector<PrrPlan>> widened_candidates(
+    const PrmRequirements& req, const Fabric& fabric,
+    SearchObjective objective) {
+  if (!plan_cache_enabled()) {
+    return std::make_shared<const std::vector<PrrPlan>>(widen_candidates(
+        placement_candidates_uncached(req, fabric, objective), req, fabric));
+  }
+  Key key;
+  key.fabric_id = fabric.identity();
+  key.req = req;
+  key.objective = static_cast<u32>(objective);
+  key.kind = EntryKind::kWidened;
+  if (const auto entry = Cache::instance().lookup(key)) {
+    return entry->candidates;
+  }
+  auto entry = std::make_shared<Entry>();
+  entry->candidates = std::make_shared<const std::vector<PrrPlan>>(
+      widen_candidates(*placement_candidates(req, fabric, objective), req,
+                       fabric));
+  return Cache::instance().insert(key, std::move(entry))->candidates;
+}
+
+void plan_cache_clear() { Cache::instance().clear(); }
+
+PlanCacheStats plan_cache_stats() { return Cache::instance().stats(); }
+
+void set_plan_cache_capacity(std::size_t max_entries) {
+  Cache::instance().set_capacity(max_entries);
+}
+
+}  // namespace prcost

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "cost/plan_cache.hpp"
 #include "obs/obs.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
@@ -84,7 +85,72 @@ std::optional<PrrPlan> find_prr(const PrmRequirements& req,
   if (req.lut_ff_pairs == 0 && req.dsps == 0 && req.brams == 0) {
     return std::nullopt;  // empty PRM: nothing to place
   }
+  if (plan_cache_enabled()) return find_prr_cached(req, fabric, options);
   return search(req, fabric, options);
+}
+
+std::optional<PrrPlan> find_prr_uncached(const PrmRequirements& req,
+                                         const Fabric& fabric,
+                                         const SearchOptions& options) {
+  if (req.lut_ff_pairs == 0 && req.dsps == 0 && req.brams == 0) {
+    return std::nullopt;
+  }
+  return search(req, fabric, options);
+}
+
+std::vector<PrrPlan> placement_candidates_uncached(const PrmRequirements& req,
+                                                   const Fabric& fabric,
+                                                   SearchObjective objective) {
+  std::vector<PrrPlan> candidates;
+  const bool single_dsp = fabric.column_count(ColumnType::kDsp) == 1;
+  for (u32 h = 1; h <= fabric.rows(); ++h) {
+    const auto org =
+        organization_for_height(req, fabric.traits(), h, single_dsp);
+    if (!org) continue;
+    PrrPlan plan;
+    plan.organization = *org;
+    plan.available = availability(*org, fabric.traits());
+    plan.ru = utilization(req, plan.available, fabric.traits());
+    plan.bitstream = estimate_bitstream(*org, fabric.traits());
+    candidates.push_back(std::move(plan));
+  }
+  const auto key = [&](const PrrPlan& p) {
+    switch (objective) {
+      case SearchObjective::kMinArea:
+        return std::pair<u64, u64>{p.organization.size(), p.organization.h};
+      case SearchObjective::kFirstFeasible:
+        return std::pair<u64, u64>{p.organization.h, 0};
+      case SearchObjective::kMinBitstream:
+        return std::pair<u64, u64>{p.bitstream.total_bytes, p.organization.h};
+    }
+    throw ContractError{"placement_candidates: unknown objective"};
+  };
+  std::stable_sort(
+      candidates.begin(), candidates.end(),
+      [&](const PrrPlan& a, const PrrPlan& b) { return key(a) < key(b); });
+  return candidates;
+}
+
+std::vector<PrrPlan> widen_candidates(const std::vector<PrrPlan>& candidates,
+                                      const PrmRequirements& req,
+                                      const Fabric& fabric) {
+  std::vector<PrrPlan> widened;
+  for (const PrrPlan& candidate : candidates) {
+    for (u32 width = candidate.organization.width();
+         width <= fabric.num_columns(); ++width) {
+      for (const ColumnWindow& window : fabric.find_all_windows_superset(
+               candidate.organization.columns, width)) {
+        PrrPlan plan = candidate;
+        plan.window = window;
+        plan.organization.columns = fabric.window_composition(window);
+        plan.available = availability(plan.organization, fabric.traits());
+        plan.bitstream = estimate_bitstream(plan.organization, fabric.traits());
+        plan.ru = utilization(req, plan.available, fabric.traits());
+        widened.push_back(std::move(plan));
+      }
+    }
+  }
+  return widened;
 }
 
 std::optional<PrrPlan> find_shared_prr(std::span<const PrmRequirements> reqs,

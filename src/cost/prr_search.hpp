@@ -46,10 +46,45 @@ struct PrrPlan {
 
 /// Search one PRM. Returns nullopt when no feasible PRR exists on the
 /// fabric at any height. The Eq. (4) single-DSP-column rule is applied
-/// automatically when the fabric has exactly one DSP column.
+/// automatically when the fabric has exactly one DSP column. Results are
+/// memoized in the process-wide plan cache (src/cost/plan_cache.hpp) when
+/// it is enabled; the search is a pure function of its arguments, so the
+/// memoized result is identical to a fresh search.
 std::optional<PrrPlan> find_prr(const PrmRequirements& req,
                                 const Fabric& fabric,
                                 const SearchOptions& options = {});
+
+/// Cache-bypassing variant of find_prr: always runs the full Fig. 1
+/// height sweep. find_prr delegates here on a cache miss (or when the
+/// plan cache is disabled).
+std::optional<PrrPlan> find_prr_uncached(const PrmRequirements& req,
+                                         const Fabric& fabric,
+                                         const SearchOptions& options = {});
+
+/// Every candidate organization for `req` at heights 1..rows, sorted by
+/// `objective` but not window-placed (window/first_row are defaults): the
+/// raw material Floorplanner::place tries against concrete fabric windows.
+/// Unlike enumerate_prrs this does NOT pre-filter on exact-window
+/// existence, because a candidate with no exact span can still be placed
+/// through a superset window. Memoized via the plan cache; this is the
+/// uncached compute.
+std::vector<PrrPlan> placement_candidates_uncached(const PrmRequirements& req,
+                                                   const Fabric& fabric,
+                                                   SearchObjective objective);
+
+/// Flatten the superset-window pass over `candidates` (the output of
+/// placement_candidates_uncached for `req`): for each candidate, each
+/// window width from the candidate's own width up to the fabric width,
+/// and each superset window at that width (left-most first), emit the
+/// widened plan - organization rewritten to the window's real column
+/// composition, with availability/utilization/bitstream recomputed for
+/// the surplus columns and `window` filled in. This is exactly the
+/// sequence Floorplanner::place tries in its pass 2, precomputed; it is a
+/// pure function of (fabric, req, candidate order) and is memoized via
+/// the plan cache (widened_candidates).
+std::vector<PrrPlan> widen_candidates(const std::vector<PrrPlan>& candidates,
+                                      const PrmRequirements& req,
+                                      const Fabric& fabric);
 
 /// Search a PRR shared by several time-multiplexed PRMs. Per the paper:
 /// "the largest W_CLB, W_DSP, and W_BRAM across all of the PRR's

@@ -1,13 +1,61 @@
 #include "device/fabric.hpp"
 
-#include <algorithm>
+#include <map>
+#include <mutex>
+#include <shared_mutex>
+#include <tuple>
+#include <unordered_map>
 
 #include "util/error.hpp"
 
 namespace prcost {
+namespace {
+
+/// Process-wide fabric interning: identical (family, pattern, rows) triples
+/// map to one id, so cache keys can carry a u64 instead of the layout and
+/// still never collide across distinct fabrics.
+u64 intern_fabric(Family family, const std::string& pattern, u32 rows) {
+  static std::mutex mu;
+  static std::map<std::tuple<int, u32, std::string>, u64> ids;
+  const std::scoped_lock lock{mu};
+  const auto [it, inserted] = ids.try_emplace(
+      std::tuple{static_cast<int>(family), rows, pattern}, ids.size() + 1);
+  return it->second;
+}
+
+/// Packs a (demand, width) query into one map key. Component counts are
+/// bounded by the column count (narrow<u32> of a string length), far below
+/// 2^16 for any real device pattern.
+constexpr u64 pack_query(const ColumnDemand& demand, u32 width) {
+  return (u64{demand.clb_cols} << 0) | (u64{demand.dsp_cols} << 16) |
+         (u64{demand.bram_cols} << 32) | (u64{width} << 48);
+}
+
+constexpr bool packable(const ColumnDemand& demand, u32 width) {
+  return demand.clb_cols < (1u << 16) && demand.dsp_cols < (1u << 16) &&
+         demand.bram_cols < (1u << 16) && width < (1u << 16);
+}
+
+}  // namespace
+
+/// Thread-safe per-demand window memo. Queries are pure functions of the
+/// immutable column sequence, so memoization is exact; the map is capped to
+/// keep pathological demand streams from growing it without bound (past the
+/// cap, queries simply fall back to the scan).
+struct Fabric::WindowIndex {
+  static constexpr std::size_t kMaxEntries = 1u << 15;
+  mutable std::shared_mutex mu;
+  std::unordered_map<u64, std::shared_ptr<const std::vector<ColumnWindow>>>
+      exact;
+  std::unordered_map<u64, std::shared_ptr<const std::vector<ColumnWindow>>>
+      superset;
+};
 
 Fabric::Fabric(Family family, std::string_view column_pattern, u32 rows)
-    : family_(family), traits_(&prcost::traits(family)), rows_(rows) {
+    : family_(family),
+      traits_(&prcost::traits(family)),
+      rows_(rows),
+      index_(std::make_shared<WindowIndex>()) {
   if (column_pattern.empty()) {
     throw ContractError{"Fabric: empty column pattern"};
   }
@@ -16,6 +64,23 @@ Fabric::Fabric(Family family, std::string_view column_pattern, u32 rows)
   for (const char code : column_pattern) {
     columns_.push_back(parse_column_code(code));
   }
+  identity_ = intern_fabric(family, std::string{column_pattern}, rows);
+
+  prefix_.resize(columns_.size() + 1);
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    const ColumnType type = columns_[i];
+    ++type_counts_[static_cast<std::size_t>(type)];
+    ColumnPrefix next = prefix_[i];
+    switch (type) {
+      case ColumnType::kClb: ++next.clb; break;
+      case ColumnType::kDsp: ++next.dsp; break;
+      case ColumnType::kBram: ++next.bram; break;
+      case ColumnType::kIob:
+      case ColumnType::kClk: ++next.blocked; break;
+    }
+    next.frames = checked_add(next.frames, config_frames(type, *traits_));
+    prefix_[i + 1] = next;
+  }
 }
 
 std::string Fabric::pattern() const {
@@ -23,10 +88,6 @@ std::string Fabric::pattern() const {
   out.reserve(columns_.size());
   for (const auto type : columns_) out += column_code(type);
   return out;
-}
-
-u32 Fabric::column_count(ColumnType type) const {
-  return narrow<u32>(std::count(columns_.begin(), columns_.end(), type));
 }
 
 u64 Fabric::total_resources(ColumnType type) const {
@@ -42,97 +103,110 @@ u64 Fabric::total_ffs() const {
   return checked_mul(total_resources(ColumnType::kClb), traits_->ff_clb);
 }
 
-namespace {
-
-struct WindowCounts {
-  u32 clb = 0;
-  u32 dsp = 0;
-  u32 bram = 0;
-  u32 blocked = 0;  // IOB/CLK columns in the window
-
-  void adjust(ColumnType type, int delta) {
-    const auto d = static_cast<u32>(delta);
-    switch (type) {
-      case ColumnType::kClb: clb += d; break;
-      case ColumnType::kDsp: dsp += d; break;
-      case ColumnType::kBram: bram += d; break;
-      case ColumnType::kIob:
-      case ColumnType::kClk: blocked += d; break;
-    }
-  }
-
-  bool matches(const ColumnDemand& demand) const {
-    return blocked == 0 && clb == demand.clb_cols && dsp == demand.dsp_cols &&
-           bram == demand.bram_cols;
-  }
-};
-
-}  // namespace
-
-std::vector<ColumnWindow> Fabric::find_all_windows(
+std::vector<ColumnWindow> Fabric::scan_windows_exact(
     const ColumnDemand& demand) const {
   std::vector<ColumnWindow> out;
   const u32 width = demand.width();
   if (width == 0 || width > num_columns()) return out;
-
-  WindowCounts counts;
-  for (u32 c = 0; c < width; ++c) counts.adjust(columns_[c], +1);
-  for (u32 start = 0;; ++start) {
-    if (counts.matches(demand)) out.push_back(ColumnWindow{start, width});
-    if (start + width >= num_columns()) break;
-    counts.adjust(columns_[start], -1);
-    counts.adjust(columns_[start + width], +1);
+  for (u32 start = 0; start + width <= num_columns(); ++start) {
+    const ColumnPrefix& lo = prefix_[start];
+    const ColumnPrefix& hi = prefix_[start + width];
+    if (hi.blocked == lo.blocked && hi.clb - lo.clb == demand.clb_cols &&
+        hi.dsp - lo.dsp == demand.dsp_cols &&
+        hi.bram - lo.bram == demand.bram_cols) {
+      out.push_back(ColumnWindow{start, width});
+    }
   }
   return out;
 }
 
-std::optional<ColumnWindow> Fabric::find_window(
-    const ColumnDemand& demand) const {
-  const u32 width = demand.width();
-  if (width == 0 || width > num_columns()) return std::nullopt;
-
-  WindowCounts counts;
-  for (u32 c = 0; c < width; ++c) counts.adjust(columns_[c], +1);
-  for (u32 start = 0;; ++start) {
-    if (counts.matches(demand)) return ColumnWindow{start, width};
-    if (start + width >= num_columns()) break;
-    counts.adjust(columns_[start], -1);
-    counts.adjust(columns_[start + width], +1);
-  }
-  return std::nullopt;
-}
-
-namespace {
-
-bool covers(const WindowCounts& counts, const ColumnDemand& demand) {
-  return counts.blocked == 0 && counts.clb >= demand.clb_cols &&
-         counts.dsp >= demand.dsp_cols && counts.bram >= demand.bram_cols;
-}
-
-}  // namespace
-
-std::vector<ColumnWindow> Fabric::find_all_windows_superset(
+std::vector<ColumnWindow> Fabric::scan_windows_superset(
     const ColumnDemand& demand, u32 width) const {
   std::vector<ColumnWindow> out;
   if (width < demand.width() || width == 0 || width > num_columns()) {
     return out;
   }
-  WindowCounts counts;
-  for (u32 c = 0; c < width; ++c) counts.adjust(columns_[c], +1);
-  for (u32 start = 0;; ++start) {
-    if (covers(counts, demand)) out.push_back(ColumnWindow{start, width});
-    if (start + width >= num_columns()) break;
-    counts.adjust(columns_[start], -1);
-    counts.adjust(columns_[start + width], +1);
+  for (u32 start = 0; start + width <= num_columns(); ++start) {
+    const ColumnPrefix& lo = prefix_[start];
+    const ColumnPrefix& hi = prefix_[start + width];
+    if (hi.blocked == lo.blocked && hi.clb - lo.clb >= demand.clb_cols &&
+        hi.dsp - lo.dsp >= demand.dsp_cols &&
+        hi.bram - lo.bram >= demand.bram_cols) {
+      out.push_back(ColumnWindow{start, width});
+    }
   }
   return out;
+}
+
+std::shared_ptr<const std::vector<ColumnWindow>> Fabric::exact_windows(
+    const ColumnDemand& demand) const {
+  if (!packable(demand, 0)) {
+    return std::make_shared<const std::vector<ColumnWindow>>(
+        scan_windows_exact(demand));
+  }
+  const u64 key = pack_query(demand, 0);
+  {
+    const std::shared_lock lock{index_->mu};
+    const auto it = index_->exact.find(key);
+    if (it != index_->exact.end()) return it->second;
+  }
+  auto windows = std::make_shared<const std::vector<ColumnWindow>>(
+      scan_windows_exact(demand));
+  {
+    const std::unique_lock lock{index_->mu};
+    if (index_->exact.size() < WindowIndex::kMaxEntries) {
+      return index_->exact.try_emplace(key, std::move(windows)).first->second;
+    }
+  }
+  return windows;
+}
+
+std::shared_ptr<const std::vector<ColumnWindow>> Fabric::superset_windows(
+    const ColumnDemand& demand, u32 width) const {
+  if (!packable(demand, width)) {
+    return std::make_shared<const std::vector<ColumnWindow>>(
+        scan_windows_superset(demand, width));
+  }
+  const u64 key = pack_query(demand, width);
+  {
+    const std::shared_lock lock{index_->mu};
+    const auto it = index_->superset.find(key);
+    if (it != index_->superset.end()) return it->second;
+  }
+  auto windows = std::make_shared<const std::vector<ColumnWindow>>(
+      scan_windows_superset(demand, width));
+  {
+    const std::unique_lock lock{index_->mu};
+    if (index_->superset.size() < WindowIndex::kMaxEntries) {
+      return index_->superset.try_emplace(key, std::move(windows))
+          .first->second;
+    }
+  }
+  return windows;
+}
+
+std::vector<ColumnWindow> Fabric::find_all_windows(
+    const ColumnDemand& demand) const {
+  return *exact_windows(demand);
+}
+
+std::optional<ColumnWindow> Fabric::find_window(
+    const ColumnDemand& demand) const {
+  const auto windows = exact_windows(demand);
+  if (windows->empty()) return std::nullopt;
+  return windows->front();
+}
+
+std::vector<ColumnWindow> Fabric::find_all_windows_superset(
+    const ColumnDemand& demand, u32 width) const {
+  return *superset_windows(demand, width);
 }
 
 std::optional<ColumnWindow> Fabric::find_window_superset(
     const ColumnDemand& demand) const {
   for (u32 width = demand.width(); width <= num_columns(); ++width) {
-    const auto windows = find_all_windows_superset(demand, width);
-    if (!windows.empty()) return windows.front();
+    const auto windows = superset_windows(demand, width);
+    if (!windows->empty()) return windows->front();
   }
   return std::nullopt;
 }
@@ -141,27 +215,17 @@ ColumnDemand Fabric::window_composition(const ColumnWindow& window) const {
   if (window.first_col + window.width > num_columns()) {
     throw ContractError{"window_composition: window out of range"};
   }
-  ColumnDemand demand;
-  for (u32 c = window.first_col; c < window.first_col + window.width; ++c) {
-    switch (columns_[c]) {
-      case ColumnType::kClb: ++demand.clb_cols; break;
-      case ColumnType::kDsp: ++demand.dsp_cols; break;
-      case ColumnType::kBram: ++demand.bram_cols; break;
-      default: break;
-    }
-  }
-  return demand;
+  const ColumnPrefix& lo = prefix_[window.first_col];
+  const ColumnPrefix& hi = prefix_[window.first_col + window.width];
+  return ColumnDemand{hi.clb - lo.clb, hi.dsp - lo.dsp, hi.bram - lo.bram};
 }
 
 u64 Fabric::window_config_frames(const ColumnWindow& window) const {
   if (window.first_col + window.width > num_columns()) {
     throw ContractError{"window_config_frames: window out of range"};
   }
-  u64 frames = 0;
-  for (u32 c = window.first_col; c < window.first_col + window.width; ++c) {
-    frames = checked_add(frames, config_frames(columns_[c], *traits_));
-  }
-  return frames;
+  return prefix_[window.first_col + window.width].frames -
+         prefix_[window.first_col].frames;
 }
 
 }  // namespace prcost

@@ -6,8 +6,17 @@
 // and contributes `resources_per_row(type)` primitives in each row. PRRs
 // are rectangles: H contiguous rows by W contiguous columns, with no
 // IOB/CLK column inside.
+//
+// The fabric is immutable, so expensive derived data is computed once in
+// the constructor (per-type column counts, per-position prefix sums) and
+// pure window queries are memoized per demand in a thread-safe window
+// index shared by copies. The Fig. 1 height sweep asks for the same
+// column-demand windows thousands of times during DSE; each distinct
+// demand pays for one sliding-window pass, every repeat is a hash lookup.
 #pragma once
 
+#include <array>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -46,6 +55,12 @@ class Fabric {
   Family family() const { return family_; }
   const FamilyTraits& traits() const { return *traits_; }
 
+  /// Stable process-wide identity: fabrics constructed from the same
+  /// (family, pattern, rows) triple share one id, distinct contents get
+  /// distinct ids (interned, no hash collisions). Cache keys (the plan
+  /// cache in src/cost) use this instead of hashing the whole layout.
+  u64 identity() const { return identity_; }
+
   /// Number of clock-region rows R (the paper: "the target device has R
   /// rows"; LX110T has 8, LX75T has 3).
   u32 rows() const { return rows_; }
@@ -56,8 +71,10 @@ class Fabric {
   /// Column pattern as a code string (round-trips the constructor input).
   std::string pattern() const;
 
-  /// Number of columns of `type` on the whole device.
-  u32 column_count(ColumnType type) const;
+  /// Number of columns of `type` on the whole device (precomputed).
+  u32 column_count(ColumnType type) const {
+    return type_counts_[static_cast<std::size_t>(type)];
+  }
 
   /// Total primitives of a resource column type on the device
   /// (columns x rows x per-row density).
@@ -90,19 +107,47 @@ class Fabric {
   std::vector<ColumnWindow> find_all_windows_superset(
       const ColumnDemand& demand, u32 width) const;
 
-  /// The column-type composition of a window as a ColumnDemand.
+  /// The column-type composition of a window as a ColumnDemand. O(1) via
+  /// the per-position prefix sums.
   ColumnDemand window_composition(const ColumnWindow& window) const;
 
   /// Configuration frames covered by one row of the given window
   /// (sum of config_frames over its columns) - the quantity behind
-  /// Eqs. (19)-(22).
+  /// Eqs. (19)-(22). O(1) via the per-position prefix sums.
   u64 window_config_frames(const ColumnWindow& window) const;
 
  private:
+  /// Running totals over columns_[0, i); prefix_[i] holds the counts for
+  /// the first i columns, so any window aggregate is one subtraction.
+  struct ColumnPrefix {
+    u32 clb = 0;
+    u32 dsp = 0;
+    u32 bram = 0;
+    u32 blocked = 0;  ///< IOB/CLK columns
+    u64 frames = 0;   ///< config frames per row
+  };
+
+  struct WindowIndex;  // thread-safe memo, shared between copies
+
+  /// Uncached sliding-window scans backing the memoized queries.
+  std::vector<ColumnWindow> scan_windows_exact(const ColumnDemand& demand) const;
+  std::vector<ColumnWindow> scan_windows_superset(const ColumnDemand& demand,
+                                                  u32 width) const;
+  /// Memoized lookups: one scan per distinct demand (/width), then hash
+  /// hits. The returned vector is owned by the index and immutable.
+  std::shared_ptr<const std::vector<ColumnWindow>> exact_windows(
+      const ColumnDemand& demand) const;
+  std::shared_ptr<const std::vector<ColumnWindow>> superset_windows(
+      const ColumnDemand& demand, u32 width) const;
+
   Family family_;
   const FamilyTraits* traits_;
   std::vector<ColumnType> columns_;
   u32 rows_;
+  u64 identity_ = 0;
+  std::array<u32, 5> type_counts_{};
+  std::vector<ColumnPrefix> prefix_;  ///< size num_columns() + 1
+  std::shared_ptr<WindowIndex> index_;
 };
 
 }  // namespace prcost

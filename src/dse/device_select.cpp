@@ -5,53 +5,71 @@
 #include "cost/floorplan.hpp"
 #include "device/device_db.hpp"
 #include "obs/obs.hpp"
+#include "util/parallel.hpp"
 
 namespace prcost {
+namespace {
+
+DeviceChoice evaluate_device(const Device& device,
+                             const std::vector<PrmInfo>& prms,
+                             const std::vector<HwTask>& workload,
+                             const DeviceSelectOptions& options) {
+  PRCOST_TRACE_SPAN("device_select_eval");
+  PRCOST_COUNT("dse.devices_ranked");
+  DeviceChoice choice;
+  choice.device = device.name;
+
+  Floorplanner floorplanner{device.fabric};
+  if (options.reserve_static_row) {
+    floorplanner.reserve(0, device.fabric.num_columns(), 0, 1);
+  }
+  std::vector<PrmInfo> sized = prms;
+  bool feasible = true;
+  for (std::size_t p = 0; p < prms.size(); ++p) {
+    const auto placed = floorplanner.place(prms[p].name, prms[p].req);
+    if (!placed) {
+      choice.reason = "cannot place " + prms[p].name;
+      feasible = false;
+      break;
+    }
+    sized[p].bitstream_bytes = placed->plan.bitstream.total_bytes;
+    choice.total_prr_cells += placed->plan.organization.size();
+    choice.total_bitstream_bytes += placed->plan.bitstream.total_bytes;
+  }
+  if (feasible) {
+    choice.feasible = true;
+    choice.fabric_fraction =
+        static_cast<double>(choice.total_prr_cells) /
+        static_cast<double>(u64{device.fabric.rows()} *
+                            device.fabric.num_columns());
+    SimConfig config;
+    config.prr_count = narrow<u32>(prms.size());
+    config.policy = options.policy;
+    config.media = options.media;
+    choice.makespan_s = simulate(sized, workload, config).makespan_s;
+  } else {
+    PRCOST_COUNT("dse.devices_infeasible");
+  }
+  return choice;
+}
+
+}  // namespace
 
 std::vector<DeviceChoice> rank_devices(const std::vector<PrmInfo>& prms,
                                        const std::vector<HwTask>& workload,
                                        const DeviceSelectOptions& options) {
   PRCOST_TRACE_SPAN("device_select");
-  std::vector<DeviceChoice> choices;
-  for (const Device& device : DeviceDb::instance().all()) {
-    PRCOST_TRACE_SPAN("device_select_eval");
-    PRCOST_COUNT("dse.devices_ranked");
-    DeviceChoice choice;
-    choice.device = device.name;
-
-    Floorplanner floorplanner{device.fabric};
-    if (options.reserve_static_row) {
-      floorplanner.reserve(0, device.fabric.num_columns(), 0, 1);
-    }
-    std::vector<PrmInfo> sized = prms;
-    bool feasible = true;
-    for (std::size_t p = 0; p < prms.size(); ++p) {
-      const auto placed = floorplanner.place(prms[p].name, prms[p].req);
-      if (!placed) {
-        choice.reason = "cannot place " + prms[p].name;
-        feasible = false;
-        break;
-      }
-      sized[p].bitstream_bytes = placed->plan.bitstream.total_bytes;
-      choice.total_prr_cells += placed->plan.organization.size();
-      choice.total_bitstream_bytes += placed->plan.bitstream.total_bytes;
-    }
-    if (feasible) {
-      choice.feasible = true;
-      choice.fabric_fraction =
-          static_cast<double>(choice.total_prr_cells) /
-          static_cast<double>(u64{device.fabric.rows()} *
-                              device.fabric.num_columns());
-      SimConfig config;
-      config.prr_count = narrow<u32>(prms.size());
-      config.policy = options.policy;
-      config.media = options.media;
-      choice.makespan_s = simulate(sized, workload, config).makespan_s;
-    } else {
-      PRCOST_COUNT("dse.devices_infeasible");
-    }
-    choices.push_back(std::move(choice));
-  }
+  const std::vector<Device>& devices = DeviceDb::instance().all();
+  // Evaluations are independent; each writes its catalog-index slot, so
+  // parallel execution preserves the catalog order the stable sort below
+  // uses as its tie-break.
+  std::vector<DeviceChoice> choices(devices.size());
+  parallel_for(
+      devices.size(),
+      [&](std::size_t i) {
+        choices[i] = evaluate_device(devices[i], prms, workload, options);
+      },
+      options.workers);
 
   std::stable_sort(choices.begin(), choices.end(),
                    [](const DeviceChoice& a, const DeviceChoice& b) {

@@ -32,6 +32,8 @@ struct DeviceSelectOptions {
   StorageMedia media = StorageMedia::kDdrSdram;
   /// Reserve the bottom fabric row for the static region before placing.
   bool reserve_static_row = true;
+  /// parallel_for workers for the per-device evaluations (0 = auto).
+  std::size_t workers = 0;
 };
 
 /// Evaluate every catalog device for `prms` under `workload`. The result

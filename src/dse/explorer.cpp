@@ -1,6 +1,7 @@
 #include "dse/explorer.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "obs/obs.hpp"
 #include "util/parallel.hpp"
@@ -92,27 +93,37 @@ std::vector<DesignPoint> explore(const std::vector<PrmInfo>& prms,
 }
 
 std::vector<DesignPoint> pareto_front(const std::vector<DesignPoint>& points) {
-  std::vector<DesignPoint> feasible;
+  // O(n log n) sort-and-sweep instead of the all-pairs dominance test.
+  // Sorted by (area asc, makespan asc), a point survives iff it has the
+  // smallest makespan of its area group AND beats the best makespan of
+  // every strictly smaller area. Ties in both coordinates are mutually
+  // non-dominating (no strict inequality), so a whole tied group survives
+  // together - same semantics as the quadratic scan.
+  std::vector<const DesignPoint*> feasible;
+  feasible.reserve(points.size());
   for (const DesignPoint& p : points) {
-    if (p.feasible) feasible.push_back(p);
+    if (p.feasible) feasible.push_back(&p);
   }
+  std::stable_sort(feasible.begin(), feasible.end(),
+                   [](const DesignPoint* a, const DesignPoint* b) {
+                     if (a->total_prr_area != b->total_prr_area) {
+                       return a->total_prr_area < b->total_prr_area;
+                     }
+                     return a->makespan_s < b->makespan_s;
+                   });
   std::vector<DesignPoint> front;
-  for (const DesignPoint& candidate : feasible) {
-    const bool dominated = std::any_of(
-        feasible.begin(), feasible.end(), [&](const DesignPoint& other) {
-          const bool no_worse = other.total_prr_area <= candidate.total_prr_area &&
-                                other.makespan_s <= candidate.makespan_s;
-          const bool strictly_better =
-              other.total_prr_area < candidate.total_prr_area ||
-              other.makespan_s < candidate.makespan_s;
-          return no_worse && strictly_better;
-        });
-    if (!dominated) front.push_back(candidate);
+  double best_makespan = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < feasible.size();) {
+    const u64 area = feasible[i]->total_prr_area;
+    const double group_makespan = feasible[i]->makespan_s;  // group minimum
+    for (; i < feasible.size() && feasible[i]->total_prr_area == area; ++i) {
+      if (feasible[i]->makespan_s == group_makespan &&
+          group_makespan < best_makespan) {
+        front.push_back(*feasible[i]);
+      }
+    }
+    best_makespan = std::min(best_makespan, group_makespan);
   }
-  std::sort(front.begin(), front.end(),
-            [](const DesignPoint& a, const DesignPoint& b) {
-              return a.total_prr_area < b.total_prr_area;
-            });
   return front;
 }
 

@@ -115,12 +115,15 @@ MapStats map_netlist(Netlist& nl, Family family) {
     const u64 b_width = cell.param1;
     const u64 count = dsp_count_for_mul(a_width, b_width, arch);
     const std::vector<NetId> shared_inputs = cell.inputs;
+    // Copy the name before add_cell: growing the cell vector invalidates
+    // `cell` (and any other reference into it).
+    const std::string base_name = cell.name;
     cell.kind = CellKind::kDsp48;
     cell.param0 = preadded ? 2 : 1;  // fused op count
     ++stats.muls_mapped;
     stats.dsps_emitted += count;
     for (u64 extra = 1; extra < count; ++extra) {
-      nl.add_cell(CellKind::kDsp48, cell.name + "_t" + std::to_string(extra),
+      nl.add_cell(CellKind::kDsp48, base_name + "_t" + std::to_string(extra),
                   shared_inputs, 1, 1);
     }
   }
@@ -142,8 +145,10 @@ MapStats map_netlist(Netlist& nl, Family family) {
       cell.kind = CellKind::kBram36;
     }
     const u64 extras = (count.bram36 > 0 ? count.bram36 : count.bram18) - 1;
+    const CellKind mapped_kind = cell.kind;
+    const std::string base_name = cell.name;  // add_cell invalidates `cell`
     for (u64 extra = 0; extra < extras; ++extra) {
-      nl.add_cell(cell.kind, cell.name + "_t" + std::to_string(extra),
+      nl.add_cell(mapped_kind, base_name + "_t" + std::to_string(extra),
                   shared_inputs, 1, depth, width);
     }
   }

@@ -2,17 +2,137 @@
 
 #include <algorithm>
 #include <atomic>
+#include <condition_variable>
 #include <exception>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 namespace prcost {
+namespace {
+
+// Set while a thread executes batch chunks (pool worker or submitter).
+thread_local bool t_in_region = false;
+
+/// One parallel_for invocation, shared between the submitting thread and
+/// the pool workers that join it. Lives on the submitter's stack; workers
+/// only reach it through Pool::batch_ under the pool mutex, and the
+/// submitter does not return before every joined worker has left.
+struct Batch {
+  std::size_t count = 0;
+  std::size_t grain = 1;
+  const std::function<void(std::size_t)>* body = nullptr;
+  std::atomic<std::size_t> next{0};    ///< chunk claim counter
+  std::atomic<bool> failed{false};     ///< short-circuit after first throw
+  std::size_t in_flight = 0;           ///< joined workers (pool mutex)
+  std::exception_ptr error;            ///< first error (error_mu)
+  std::mutex error_mu;
+};
+
+/// Claim and run chunks until the batch drains (or fails). Runs on both
+/// the submitter and the pool workers.
+void run_batch(Batch& batch) {
+  t_in_region = true;
+  while (!batch.failed.load(std::memory_order_relaxed)) {
+    const std::size_t begin =
+        batch.next.fetch_add(batch.grain, std::memory_order_relaxed);
+    if (begin >= batch.count) break;
+    const std::size_t end = std::min(batch.count, begin + batch.grain);
+    for (std::size_t i = begin; i < end; ++i) {
+      try {
+        (*batch.body)(i);
+      } catch (...) {
+        {
+          const std::scoped_lock lock{batch.error_mu};
+          if (!batch.error) batch.error = std::current_exception();
+        }
+        batch.failed.store(true, std::memory_order_relaxed);
+        t_in_region = false;
+        return;
+      }
+    }
+  }
+  t_in_region = false;
+}
+
+/// Lazily started persistent worker pool. One batch runs at a time;
+/// concurrent submitters queue on submit_cv_. Threads are joined when the
+/// process-wide instance is destroyed at exit.
+class Pool {
+ public:
+  static Pool& instance() {
+    static Pool pool;
+    return pool;
+  }
+
+  void run(Batch& batch, std::size_t max_helpers) {
+    std::unique_lock lock{mu_};
+    submit_cv_.wait(lock, [&] { return batch_ == nullptr; });
+    batch_ = &batch;
+    wanted_ = std::min(max_helpers, threads_.size());
+    const bool has_helpers = wanted_ > 0;
+    lock.unlock();
+    if (has_helpers) work_cv_.notify_all();
+    run_batch(batch);  // the submitter is always a participant
+    lock.lock();
+    done_cv_.wait(lock, [&] { return batch.in_flight == 0; });
+    batch_ = nullptr;
+    lock.unlock();
+    submit_cv_.notify_one();
+  }
+
+ private:
+  Pool() {
+    const std::size_t helpers = parallel_worker_count() - 1;
+    threads_.reserve(helpers);
+    for (std::size_t i = 0; i < helpers; ++i) {
+      threads_.emplace_back([this] { worker(); });
+    }
+  }
+
+  ~Pool() {
+    {
+      const std::scoped_lock lock{mu_};
+      stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto& thread : threads_) thread.join();
+  }
+
+  void worker() {
+    std::unique_lock lock{mu_};
+    for (;;) {
+      work_cv_.wait(lock,
+                    [&] { return stop_ || (batch_ != nullptr && wanted_ > 0); });
+      if (stop_) return;
+      --wanted_;
+      Batch& batch = *batch_;
+      ++batch.in_flight;
+      lock.unlock();
+      run_batch(batch);
+      lock.lock();
+      if (--batch.in_flight == 0) done_cv_.notify_one();
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;    ///< workers wait for a batch
+  std::condition_variable done_cv_;    ///< submitter waits for stragglers
+  std::condition_variable submit_cv_;  ///< next submitter waits its turn
+  Batch* batch_ = nullptr;             ///< current batch (mu_)
+  std::size_t wanted_ = 0;             ///< helper slots left to claim (mu_)
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace
 
 std::size_t parallel_worker_count() {
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : hw;
 }
+
+bool in_parallel_region() noexcept { return t_in_region; }
 
 void parallel_for(std::size_t count,
                   const std::function<void(std::size_t)>& body,
@@ -20,40 +140,31 @@ void parallel_for(std::size_t count,
   if (count == 0) return;
   if (workers == 0) workers = parallel_worker_count();
   workers = std::min(workers, count);
-  if (workers <= 1) {
-    for (std::size_t i = 0; i < count; ++i) body(i);
+  if (workers <= 1 || t_in_region) {
+    // Serial path; also taken for nested calls so a body that fans out
+    // again cannot wait on the pool it is itself running on. The region
+    // flag is still set so in_parallel_region() is true inside any
+    // parallel_for body, whatever path executed it.
+    const bool was_in_region = t_in_region;
+    t_in_region = true;
+    try {
+      for (std::size_t i = 0; i < count; ++i) body(i);
+    } catch (...) {
+      t_in_region = was_in_region;
+      throw;
+    }
+    t_in_region = was_in_region;
     return;
   }
 
-  std::atomic<std::size_t> next{0};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
+  Batch batch;
+  batch.count = count;
+  batch.body = &body;
   // Dynamic scheduling with modest grain: sweep items (full search flows,
   // simulated anneals) have highly variable cost.
-  const std::size_t grain = std::max<std::size_t>(1, count / (workers * 8));
-
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (std::size_t w = 0; w < workers; ++w) {
-    pool.emplace_back([&] {
-      while (true) {
-        const std::size_t begin = next.fetch_add(grain);
-        if (begin >= count) return;
-        const std::size_t end = std::min(count, begin + grain);
-        for (std::size_t i = begin; i < end; ++i) {
-          try {
-            body(i);
-          } catch (...) {
-            const std::scoped_lock lock{error_mutex};
-            if (!first_error) first_error = std::current_exception();
-            return;
-          }
-        }
-      }
-    });
-  }
-  for (auto& t : pool) t.join();
-  if (first_error) std::rethrow_exception(first_error);
+  batch.grain = std::max<std::size_t>(1, count / (workers * 8));
+  Pool::instance().run(batch, workers - 1);
+  if (batch.error) std::rethrow_exception(batch.error);
 }
 
 }  // namespace prcost

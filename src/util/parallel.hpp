@@ -1,9 +1,12 @@
 // Data-parallel helper for DSE sweeps and property-style test sweeps.
 //
-// Follows the OpenMP worksharing idea (static chunking over an index range)
-// but implemented with std::thread so the library has no extra build
-// dependencies. Bodies must be free of shared mutable state; results are
-// written to per-index slots by the caller.
+// parallel_for runs on a lazily-started persistent worker pool (one pool
+// per process, hardware_concurrency - 1 threads; the calling thread always
+// participates) instead of spawning fresh threads per call. Chunks are
+// claimed dynamically off a shared atomic counter, so the highly skewed
+// item costs of DSE sweeps (early-infeasible partitions vs. full
+// simulations) load-balance across workers. Bodies must be free of shared
+// mutable state; results are written to per-index slots by the caller.
 #pragma once
 
 #include <cstddef>
@@ -14,10 +17,19 @@ namespace prcost {
 /// Number of workers parallel_for will use (>= 1; hardware concurrency).
 std::size_t parallel_worker_count();
 
-/// Invoke body(i) for i in [0, count), distributing contiguous chunks over
-/// `workers` threads (0 = auto). Exceptions from bodies are captured and the
-/// first one is rethrown on the calling thread after the pool joins.
+/// Invoke body(i) for i in [0, count), distributing dynamically sized
+/// chunks over at most `workers` threads (0 = auto). Exceptions from
+/// bodies are captured and the first one is rethrown on the calling thread
+/// after the batch drains; once a body throws, workers stop claiming new
+/// chunks. Nested calls (a body invoking parallel_for) are safe: they run
+/// serially inline on the calling thread, so the pool can never deadlock
+/// on itself.
 void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body,
                   std::size_t workers = 0);
+
+/// True while the calling thread is executing a parallel_for body (on the
+/// pool or as the participating submitter). Nested parallel_for calls
+/// observe this and degrade to the serial path.
+bool in_parallel_region() noexcept;
 
 }  // namespace prcost

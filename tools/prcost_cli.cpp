@@ -20,6 +20,7 @@
 
 #include "bitstream/generator.hpp"
 #include "bitstream/parser.hpp"
+#include "cost/plan_cache.hpp"
 #include "cost/shaped_prr.hpp"
 #include "device/device_db.hpp"
 #include "dse/device_select.hpp"
@@ -46,14 +47,17 @@ using namespace prcost;
       "  prcost plan <prm> --device <name> [--report file.srp]\n"
       "              [--objective area|height|bitstream] [--shaped]\n"
       "  prcost bitstream <prm> --device <name> [-o out.bit]\n"
-      "  prcost explore --device <name> <prm> <prm> [...]\n"
+      "  prcost explore --device <name> <prm> <prm> [...] [--workers N]\n"
       "  prcost netlist <prm> [-o design.net]\n"
-      "  prcost rank <prm> <prm> [...]\n"
+      "  prcost rank <prm> <prm> [...] [--workers N]\n"
       "global flags (any command):\n"
       "  --trace-out FILE    record spans, write Chrome trace-event JSON\n"
       "                      (open at https://ui.perfetto.dev)\n"
       "  --metrics-out FILE  write the metrics registry as JSON\n"
       "  --log-level LVL     debug|info|warn|error|off (default warn)\n"
+      "  --no-plan-cache     disable PRR plan memoization (escape hatch;\n"
+      "                      results are identical either way)\n"
+      "  --workers N         parallel workers for explore/rank (0 = auto)\n"
       "prms: fir mips sdram aes crc32 uart matmul sobel fft\n"
       "netlist files: prcost netlist <prm> -o design.net; then --netlist design.net\n";
   std::exit(2);
@@ -90,7 +94,7 @@ Args parse_args(int argc, char** argv, int first) {
     if (token.rfind("--", 0) == 0 || token == "-o") {
       const std::string key = token.rfind("--", 0) == 0 ? token.substr(2)
                                                         : "out";
-      if (key == "shaped") {  // boolean flag
+      if (key == "shaped" || key == "no-plan-cache") {  // boolean flags
         args.flags[key] = "1";
         continue;
       }
@@ -135,6 +139,16 @@ int cmd_synth(const Args& args) {
     std::cout << text;
   }
   return 0;
+}
+
+/// Parse the --workers flag (0 = auto) or exit with usage on junk.
+std::size_t workers_flag(const Args& args) {
+  const std::string value = args.get("workers", "0");
+  try {
+    return std::stoul(value);
+  } catch (const std::exception&) {
+    usage("--workers needs a non-negative integer, got '" + value + "'");
+  }
 }
 
 Netlist load_netlist_file(const std::string& path_name) {
@@ -305,7 +319,9 @@ int cmd_rank(const Args& args) {
   WorkloadParams wp;
   wp.count = 100;
   wp.prm_count = narrow<u32>(prms.size());
-  const auto choices = rank_devices(prms, make_workload(wp));
+  DeviceSelectOptions options;
+  options.workers = workers_flag(args);
+  const auto choices = rank_devices(prms, make_workload(wp), options);
   TextTable table{{"rank", "device", "feasible", "fabric used",
                    "bitstream total", "makespan (ms)"}};
   int rank = 1;
@@ -354,7 +370,9 @@ int cmd_explore(const Args& args) {
   WorkloadParams wp;
   wp.count = 100;
   wp.prm_count = narrow<u32>(prms.size());
-  const auto points = explore(prms, device.fabric, make_workload(wp));
+  ExploreOptions options;
+  options.workers = workers_flag(args);
+  const auto points = explore(prms, device.fabric, make_workload(wp), options);
   TextTable table{{"partitioning", "area", "makespan (ms)", "feasible"}};
   for (const DesignPoint& point : points) {
     std::string partition;
@@ -462,6 +480,7 @@ int main(int argc, char** argv) {
   try {
     const Args args = parse_args(argc, argv, 2);
     const ObsOptions obs_options = configure_obs(args);
+    if (args.has("no-plan-cache")) set_plan_cache_enabled(false);
     int rc = 0;
     if (command == "devices") {
       rc = cmd_devices();
