@@ -1,63 +1,80 @@
-// Quickstart: the paper's core use case in ~40 lines of API.
+// Quickstart: the paper's core use case through the Engine facade.
 //
-//   1. Build (or load) a PR module as a netlist.
-//   2. "Run XST": synthesize to get the resource requirements.
-//   3. Apply the PRR size/organization cost model (Eqs. 1-17).
-//   4. Apply the partial bitstream size cost model (Eqs. 18-23).
-//   5. Estimate the reconfiguration time - all without a PR design flow.
+//   1. Build an Engine - it owns the device catalog, plan cache, worker
+//      pool, and metrics registry.
+//   2. Issue one typed PlanRequest: synthesis (Table I), the PRR
+//      size/organization cost model (Eqs. 1-17), and the partial
+//      bitstream size model (Eqs. 18-23) run in a single call.
+//   3. Estimate the reconfiguration time - all without a PR design flow.
+//
+// Failures arrive as the structured taxonomy from util/error.hpp
+// (NotFoundError for an unknown device, InfeasibleError when no PRR
+// fits), so embedders can branch on error kind instead of parsing text.
 //
 // Run: ./quickstart [device]   (default: xc5vlx110t)
 #include <cstdio>
 #include <iostream>
 
-#include "cost/prr_search.hpp"
-#include "device/device_db.hpp"
-#include "netlist/generators.hpp"
+#include "api/engine.hpp"
 #include "reconfig/controllers.hpp"
-#include "synth/synthesizer.hpp"
+#include "synth/report.hpp"
+#include "util/error.hpp"
 #include "util/strings.hpp"
 
 int main(int argc, char** argv) {
   using namespace prcost;
-  const std::string device_name = argc > 1 ? argv[1] : "xc5vlx110t";
-  const Device& device = DeviceDb::instance().get(device_name);
-  const Family family = device.fabric.family();
 
-  // 1-2. Design entry + synthesis report.
-  const SynthesisResult synth =
-      synthesize(make_fir(), SynthOptions{family, false});
-  std::cout << report_to_text(synth.report) << '\n';
+  // 1. One Engine per process; requests are plain structs.
+  const api::Engine engine;
+  api::PlanRequest request;
+  request.device = argc > 1 ? argv[1] : "xc5vlx110t";
+  request.source.prm = "fir";
 
-  // 3. PRR size/organization model + Fig. 1 fabric search.
-  const PrmRequirements req = PrmRequirements::from_report(synth.report);
-  const auto plan = find_prr(req, device.fabric);
-  if (!plan) {
-    std::cerr << "no feasible PRR on " << device.name << '\n';
+  // 2. Synthesis + PRR search + bitstream model in one call.
+  api::PlanResponse response;
+  try {
+    response = engine.plan(request);
+  } catch (const InfeasibleError& error) {
+    std::cerr << error.what() << '\n';
     return 1;
   }
-  std::cout << "Smallest PRR on " << device.name << ": H="
-            << plan->organization.h << ", W_CLB="
-            << plan->organization.columns.clb_cols << ", W_DSP="
-            << plan->organization.columns.dsp_cols << ", W_BRAM="
-            << plan->organization.columns.bram_cols << "  (PRR size "
-            << plan->organization.size() << ", window at column "
-            << plan->window.first_col << ")\n";
-  std::cout << "Utilization: CLB " << format_fixed(plan->ru.clb, 0)
-            << "%  FF " << format_fixed(plan->ru.ff, 0) << "%  LUT "
-            << format_fixed(plan->ru.lut, 0) << "%  DSP "
-            << format_fixed(plan->ru.dsp, 0) << "%  BRAM "
-            << format_fixed(plan->ru.bram, 0) << "%\n";
 
-  // 4. Partial bitstream size - no PR design flow needed.
-  std::cout << "Partial bitstream: " << plan->bitstream.total_bytes
+  const api::SynthResponse synth =
+      engine.synth({request.source,
+                    engine.devices().get(request.device).fabric.family()});
+  std::cout << report_to_text(synth.report) << '\n';
+
+  const PrrPlan& plan = response.plan;
+  std::cout << "Smallest PRR on " << response.device << ": H="
+            << plan.organization.h << ", W_CLB="
+            << plan.organization.columns.clb_cols << ", W_DSP="
+            << plan.organization.columns.dsp_cols << ", W_BRAM="
+            << plan.organization.columns.bram_cols << "  (PRR size "
+            << plan.organization.size() << ", window at column "
+            << plan.window.first_col << ")\n";
+  std::cout << "Utilization: CLB " << format_fixed(plan.ru.clb, 0)
+            << "%  FF " << format_fixed(plan.ru.ff, 0) << "%  LUT "
+            << format_fixed(plan.ru.lut, 0) << "%  DSP "
+            << format_fixed(plan.ru.dsp, 0) << "%  BRAM "
+            << format_fixed(plan.ru.bram, 0) << "%\n";
+  std::cout << "Partial bitstream: " << plan.bitstream.total_bytes
             << " bytes (" << format_bytes(static_cast<double>(
-                                 plan->bitstream.total_bytes))
+                                 plan.bitstream.total_bytes))
             << ")\n";
 
-  // 5. Reconfiguration time over a DMA ICAP controller from DDR.
+  // The plan call also cross-checked the model against a generated
+  // bitstream and a real place-and-route into the chosen region.
+  if (response.generated_bytes) {
+    std::cout << "Generated bitstream matches model: "
+              << (response.generated_matches_model() ? "yes" : "NO") << '\n';
+  }
+
+  // 3. Reconfiguration time over a DMA ICAP controller from DDR.
+  const Family family =
+      engine.devices().get(response.device).fabric.family();
   const DmaIcapController dma{default_icap(family)};
   const auto estimate =
-      dma.estimate(plan->bitstream.total_bytes, StorageMedia::kDdrSdram);
+      dma.estimate(plan.bitstream.total_bytes, StorageMedia::kDdrSdram);
   std::cout << "Reconfiguration time (DMA-ICAP, DDR): "
             << format_fixed(estimate.total_s * 1e6, 1) << " us\n";
   return 0;

@@ -1,0 +1,124 @@
+#include "api/batch.hpp"
+
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/parallel.hpp"
+
+namespace prcost::api {
+namespace {
+
+Json error_envelope(ErrorCode code, const std::string& message) {
+  Json error = Json::object();
+  error.set("code", std::string{error_code_name(code)}).set("message", message);
+  Json envelope = Json::object();
+  envelope.set("error", std::move(error));
+  return envelope;
+}
+
+/// Copy "op" and "id" from the request into the envelope (when present)
+/// so batch consumers can correlate out-of-band.
+void echo_request_keys(const Json& request, Json& envelope) {
+  Json tagged = Json::object();
+  if (const Json* op = request.find("op")) {
+    if (op->is_string()) tagged.set("op", *op);
+  }
+  if (const Json* id = request.find("id")) tagged.set("id", *id);
+  for (const auto& [key, value] : envelope.as_object()) {
+    tagged.set(key, value);
+  }
+  envelope = std::move(tagged);
+}
+
+Json dispatch_by_op(const Engine& engine, const Json& request) {
+  const Json* op = request.find("op");
+  if (op == nullptr) throw UsageError{"request needs an \"op\" member"};
+  const std::string& name = op->as_string();
+  if (name == "devices") return to_json(engine.list_devices());
+  if (name == "synth") {
+    return to_json(engine.synth(synth_request_from_json(request)));
+  }
+  if (name == "plan") {
+    return to_json(engine.plan(plan_request_from_json(request)));
+  }
+  if (name == "bitstream") {
+    return to_json(engine.bitstream(bitstream_request_from_json(request)));
+  }
+  if (name == "explore") {
+    return to_json(engine.explore(explore_request_from_json(request)));
+  }
+  if (name == "rank") {
+    return to_json(engine.rank(rank_request_from_json(request)));
+  }
+  throw NotFoundError{"unknown op '" + name +
+                      "' (known: devices synth plan bitstream explore rank)"};
+}
+
+}  // namespace
+
+Json dispatch_request(const Engine& engine, const Json& request) {
+  Json envelope = Json::object();
+  try {
+    if (!request.is_object()) {
+      throw UsageError{"request must be a JSON object"};
+    }
+    Json result = dispatch_by_op(engine, request);
+    envelope.set("result", std::move(result));
+  } catch (const Error& error) {
+    envelope = error_envelope(error.code(), error.what());
+  } catch (const std::exception& error) {
+    envelope = error_envelope(ErrorCode::kInternal, error.what());
+  }
+  if (request.is_object()) echo_request_keys(request, envelope);
+  return envelope;
+}
+
+Json dispatch_line(const Engine& engine, std::string_view line) {
+  Json request;
+  try {
+    request = Json::parse(line);
+  } catch (const ParseError& error) {
+    return error_envelope(ErrorCode::kParse, error.what());
+  }
+  return dispatch_request(engine, request);
+}
+
+BatchStats run_batch(const Engine& engine, std::istream& in, std::ostream& out,
+                     const BatchOptions& options) {
+  // Slurp the stream first: responses must come back in input order, and
+  // reading up front lets the dispatch fan out over all lines at once.
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) {
+    lines.push_back(std::move(line));
+  }
+
+  std::vector<std::string> responses(lines.size());
+  // Not vector<bool>: workers write distinct indices concurrently, and
+  // vector<bool> packs adjacent indices into one shared byte.
+  std::vector<unsigned char> ok(lines.size(), 0);
+  parallel_for(
+      lines.size(),
+      [&](std::size_t i) {
+        const Json envelope = dispatch_line(engine, lines[i]);
+        ok[i] = envelope.find("error") == nullptr;
+        responses[i] = envelope.dump();
+      },
+      options.workers != 0 ? options.workers : engine.options().workers);
+
+  BatchStats stats;
+  stats.requests = lines.size();
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    out << responses[i] << '\n';
+    if (ok[i]) {
+      ++stats.succeeded;
+    } else {
+      ++stats.failed;
+    }
+  }
+  return stats;
+}
+
+}  // namespace prcost::api

@@ -1,0 +1,222 @@
+#include "api/engine.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "bitstream/generator.hpp"
+#include "cost/plan_cache.hpp"
+#include "cost/shaped_prr.hpp"
+#include "multitask/workload.hpp"
+#include "netlist/serialize.hpp"
+#include "par/par.hpp"
+#include "synth/synthesizer.hpp"
+#include "util/error.hpp"
+
+namespace prcost::api {
+namespace {
+
+std::string slurp(const std::string& path, const char* what) {
+  std::ifstream in{path};
+  if (!in) throw IoError{std::string{"cannot open "} + what + " file"};
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Model input plus, when we synthesized it ourselves, the mapped netlist
+/// (used by plan's PAR cross-check).
+struct PlanInput {
+  PrmRequirements req;
+  std::optional<SynthesisResult> synth;
+};
+
+PlanInput load_plan_input(const PrmSource& source, Family family) {
+  source.validate();
+  if (!source.netlist_path.empty()) {
+    SynthesisResult result =
+        synthesize(netlist_from_text(slurp(source.netlist_path, "netlist")),
+                   SynthOptions{family});
+    PrmRequirements req = PrmRequirements::from_report(result.report);
+    return PlanInput{req, std::move(result)};
+  }
+  if (!source.report_path.empty()) {
+    return PlanInput{PrmRequirements::from_report(
+                         parse_report(slurp(source.report_path, "report"))),
+                     std::nullopt};
+  }
+  SynthesisResult result =
+      synthesize(make_builtin_prm(source.prm), SynthOptions{family});
+  PrmRequirements req = PrmRequirements::from_report(result.report);
+  return PlanInput{req, std::move(result)};
+}
+
+/// Synthesize each named built-in PRM for `family` into a PrmInfo table.
+std::vector<PrmInfo> synthesize_prms(const std::vector<std::string>& names,
+                                     Family family) {
+  std::vector<PrmInfo> prms;
+  prms.reserve(names.size());
+  for (const std::string& name : names) {
+    const SynthesisResult result =
+        synthesize(make_builtin_prm(name), SynthOptions{family});
+    prms.push_back(
+        PrmInfo{name, PrmRequirements::from_report(result.report), 0});
+  }
+  return prms;
+}
+
+}  // namespace
+
+Engine::Engine() : Engine(Options{}) {}
+
+Engine::Engine(const Options& options) : options_(options) {
+  set_plan_cache_enabled(options_.plan_cache);
+}
+
+const Device& Engine::resolve_device(const std::string& name) const {
+  if (name.empty()) throw UsageError{"request needs a device"};
+  return devices().get(name);
+}
+
+std::size_t Engine::effective_workers(std::size_t requested) const {
+  return requested != 0 ? requested : options_.workers;
+}
+
+SynthResponse Engine::synth(const SynthRequest& request) const {
+  if (request.source.prm.empty() && request.source.netlist_path.empty()) {
+    throw UsageError{"synth needs a PRM"};
+  }
+  request.source.validate();
+  const Netlist design =
+      request.source.prm.empty()
+          ? netlist_from_text(slurp(request.source.netlist_path, "netlist"))
+          : make_builtin_prm(request.source.prm);
+  return SynthResponse{
+      synthesize(design, SynthOptions{request.family}).report};
+}
+
+PlanResponse Engine::plan(const PlanRequest& request) const {
+  const Device& device = resolve_device(request.device);
+  PlanInput input = load_plan_input(request.source, device.fabric.family());
+
+  SearchOptions options;
+  options.objective = request.objective;
+  const auto plan = find_prr(input.req, device.fabric, options);
+  if (!plan) throw InfeasibleError{"no feasible PRR on " + device.name};
+
+  PlanResponse response;
+  response.device = device.name;
+  response.plan = *plan;
+
+  if (request.cross_check) {
+    // Full-flow cross-checks: place & route into the chosen PRR (when the
+    // netlist came from our own synthesis) and a generated bitstream whose
+    // byte size must match the model prediction.
+    if (input.synth) {
+      const ParResult par = place_and_route(std::move(input.synth->netlist),
+                                            *plan, device.fabric, ParOptions{});
+      ParCrossCheck check;
+      check.routed = par.routed;
+      check.failure_reason = par.failure_reason;
+      check.placed_cells = par.placement.placed_cells;
+      check.hpwl_initial = par.placement.hpwl_initial;
+      check.hpwl_final = par.placement.hpwl_final;
+      check.critical_path_ns = par.placement.critical_path_ns;
+      response.par = check;
+    }
+    const auto words = generate_bitstream(*plan, device.fabric.family());
+    response.generated_bytes =
+        static_cast<u64>(words.size()) * device.fabric.traits().bytes_word;
+  }
+
+  if (request.shaped) {
+    const auto shaped = find_l_shaped_prr(input.req, device.fabric);
+    ShapedAlternative alt;
+    if (shaped && shaped->shape.size() < plan->organization.size()) {
+      alt.beats_rectangle = true;
+      alt.cells = shaped->shape.size();
+      alt.bitstream_bytes = shaped->bitstream.total_bytes;
+      alt.cells_saved = plan->organization.size() - shaped->shape.size();
+    }
+    response.shaped = alt;
+  }
+  return response;
+}
+
+BitstreamResponse Engine::bitstream(const BitstreamRequest& request) const {
+  const Device& device = resolve_device(request.device);
+  const PrmRequirements req =
+      load_plan_input(request.source, device.fabric.family()).req;
+  const auto plan = find_prr(req, device.fabric);
+  if (!plan) throw InfeasibleError{"no feasible PRR on " + device.name};
+
+  BitstreamResponse response;
+  response.device = device.name;
+  response.family = device.fabric.family();
+  response.plan = *plan;
+  response.words = generate_bitstream(*plan, response.family);
+  response.total_bytes = static_cast<u64>(response.words.size()) *
+                         device.fabric.traits().bytes_word;
+  return response;
+}
+
+ExploreResponse Engine::explore(const ExploreRequest& request) const {
+  if (request.prms.size() < 2) {
+    throw UsageError{"explore needs at least two PRMs"};
+  }
+  const Device& device = resolve_device(request.device);
+  const std::vector<PrmInfo> prms =
+      synthesize_prms(request.prms, device.fabric.family());
+
+  WorkloadParams wp;
+  wp.count = request.tasks;
+  wp.prm_count = narrow<u32>(prms.size());
+  wp.seed = request.seed;
+  ExploreOptions options;
+  options.workers = effective_workers(request.workers);
+  options.max_groups = request.max_groups;
+
+  ExploreResponse response;
+  response.device = device.name;
+  response.prms = request.prms;
+  response.points = prcost::explore(prms, device.fabric, make_workload(wp),
+                                    options);
+  response.pareto_count = pareto_front(response.points).size();
+  return response;
+}
+
+RankResponse Engine::rank(const RankRequest& request) const {
+  if (request.prms.empty()) throw UsageError{"rank needs at least one PRM"};
+  // Requirements are family-specific; synthesize per candidate family is
+  // overkill for a ranking - use Virtex-5 as the canonical mapper.
+  const std::vector<PrmInfo> prms =
+      synthesize_prms(request.prms, Family::kVirtex5);
+
+  WorkloadParams wp;
+  wp.count = request.tasks;
+  wp.prm_count = narrow<u32>(prms.size());
+  wp.seed = request.seed;
+  DeviceSelectOptions options;
+  options.workers = effective_workers(request.workers);
+  return RankResponse{rank_devices(prms, make_workload(wp), options)};
+}
+
+DevicesResponse Engine::list_devices() const {
+  DevicesResponse response;
+  for (const Device& dev : devices().all()) {
+    DeviceSummary summary;
+    summary.name = dev.name;
+    summary.family = std::string{family_name(dev.fabric.family())};
+    summary.rows = dev.fabric.rows();
+    summary.clb_cols = dev.fabric.column_count(ColumnType::kClb);
+    summary.dsp_cols = dev.fabric.column_count(ColumnType::kDsp);
+    summary.bram_cols = dev.fabric.column_count(ColumnType::kBram);
+    summary.clbs = dev.fabric.total_resources(ColumnType::kClb);
+    summary.dsps = dev.fabric.total_resources(ColumnType::kDsp);
+    summary.bram36s = dev.fabric.total_resources(ColumnType::kBram);
+    response.devices.push_back(std::move(summary));
+  }
+  return response;
+}
+
+}  // namespace prcost::api

@@ -1,0 +1,73 @@
+// Engine: the library-first facade over the whole evaluation path.
+//
+// One Engine owns the process-wide machinery every request needs - the
+// device catalog, the PRR plan cache, the persistent parallel_for worker
+// pool, and the observability registry - and exposes each paper workflow
+// as a typed request -> typed response call. The CLI commands, the JSONL
+// batch front-end, and embedding consumers (partitioners, schedulers,
+// services) all go through the same five calls, so device lookup,
+// synthesis-report loading, and error mapping live in exactly one place.
+//
+// Failures are reported through the structured taxonomy in
+// util/error.hpp: UsageError for malformed requests, NotFoundError for
+// unknown devices/PRMs, IoError for unreadable files, InfeasibleError
+// when no PRR fits, ParseError for malformed file/JSON content.
+#pragma once
+
+#include <cstddef>
+
+#include "api/requests.hpp"
+#include "device/device_db.hpp"
+#include "obs/metrics.hpp"
+
+namespace prcost::api {
+
+class Engine {
+ public:
+  struct Options {
+    /// Enable the process-wide PRR plan cache (results are identical
+    /// either way; off is an escape hatch for benchmarking).
+    bool plan_cache = true;
+    /// Default worker count for explore/rank and batch dispatch when the
+    /// request leaves its own `workers` at 0 (0 = one per hardware thread).
+    std::size_t workers = 0;
+  };
+
+  Engine();  ///< default Options
+  explicit Engine(const Options& options);
+
+  const Options& options() const noexcept { return options_; }
+
+  /// The device catalog this engine evaluates against.
+  const DeviceDb& devices() const noexcept { return DeviceDb::instance(); }
+
+  /// The metrics registry populated by the instrumented hot paths.
+  obs::Registry& metrics() const noexcept { return obs::registry(); }
+
+  /// Synthesize a PRM and return the Table I report.
+  SynthResponse synth(const SynthRequest& request) const;
+
+  /// Size a PRR for one PRM on one device (Fig. 1 flow), with optional
+  /// full-flow cross-checks; throws InfeasibleError when nothing fits.
+  PlanResponse plan(const PlanRequest& request) const;
+
+  /// Plan + generate the concrete partial bitstream words.
+  BitstreamResponse bitstream(const BitstreamRequest& request) const;
+
+  /// Evaluate every partitioning of the PRMs on one device.
+  ExploreResponse explore(const ExploreRequest& request) const;
+
+  /// Rank the whole catalog for a PRM set.
+  RankResponse rank(const RankRequest& request) const;
+
+  /// The catalog, summarized row-per-device.
+  DevicesResponse list_devices() const;
+
+ private:
+  const Device& resolve_device(const std::string& name) const;
+  std::size_t effective_workers(std::size_t requested) const;
+
+  Options options_;
+};
+
+}  // namespace prcost::api

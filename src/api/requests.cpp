@@ -1,0 +1,367 @@
+#include "api/requests.hpp"
+
+#include "netlist/generators.hpp"
+#include "util/error.hpp"
+
+namespace prcost::api {
+namespace {
+
+/// Join the builtin PRM names for error messages.
+std::string prm_name_list() {
+  std::string out;
+  for (const std::string& name : builtin_prm_names()) {
+    if (!out.empty()) out += ' ';
+    out += name;
+  }
+  return out;
+}
+
+std::string get_string(const Json& j, std::string_view key,
+                       const std::string& fallback = {}) {
+  const Json* member = j.find(key);
+  return member == nullptr ? fallback : member->as_string();
+}
+
+u64 get_u64(const Json& j, std::string_view key, u64 fallback) {
+  const Json* member = j.find(key);
+  return member == nullptr ? fallback : member->as_u64();
+}
+
+bool get_bool(const Json& j, std::string_view key, bool fallback) {
+  const Json* member = j.find(key);
+  return member == nullptr ? fallback : member->as_bool();
+}
+
+PrmSource source_from_json(const Json& j) {
+  PrmSource source;
+  source.prm = get_string(j, "prm");
+  source.netlist_path = get_string(j, "netlist");
+  source.report_path = get_string(j, "report");
+  return source;
+}
+
+std::vector<std::string> prms_from_json(const Json& j) {
+  const Json* member = j.find("prms");
+  if (member == nullptr) return {};
+  std::vector<std::string> prms;
+  for (const Json& name : member->as_array()) prms.push_back(name.as_string());
+  return prms;
+}
+
+void set_source(Json& j, const PrmSource& source) {
+  if (!source.prm.empty()) j.set("prm", source.prm);
+  if (!source.netlist_path.empty()) j.set("netlist", source.netlist_path);
+  if (!source.report_path.empty()) j.set("report", source.report_path);
+}
+
+Json prms_to_json(const std::vector<std::string>& prms) {
+  Json array = Json::array();
+  for (const std::string& name : prms) array.push_back(name);
+  return array;
+}
+
+Json organization_to_json(const PrrOrganization& org) {
+  Json j = Json::object();
+  j.set("h", org.h)
+      .set("clb_cols", org.columns.clb_cols)
+      .set("dsp_cols", org.columns.dsp_cols)
+      .set("bram_cols", org.columns.bram_cols)
+      .set("width", org.width())
+      .set("size", org.size());
+  return j;
+}
+
+Json plan_to_json(const PrrPlan& plan) {
+  Json j = Json::object();
+  j.set("organization", organization_to_json(plan.organization));
+  Json window = Json::object();
+  window.set("first_col", plan.window.first_col)
+      .set("width", plan.window.width);
+  j.set("window", std::move(window));
+  j.set("first_row", plan.first_row);
+  Json ru = Json::object();
+  ru.set("clb", plan.ru.clb)
+      .set("ff", plan.ru.ff)
+      .set("lut", plan.ru.lut)
+      .set("dsp", plan.ru.dsp)
+      .set("bram", plan.ru.bram);
+  j.set("utilization", std::move(ru));
+  Json bs = Json::object();
+  bs.set("total_words", plan.bitstream.total_words)
+      .set("total_bytes", plan.bitstream.total_bytes)
+      .set("config_frames_per_row", plan.bitstream.config_frames_per_row);
+  j.set("bitstream", std::move(bs));
+  return j;
+}
+
+Json report_to_json(const SynthesisReport& report) {
+  Json j = Json::object();
+  j.set("module", report.module_name)
+      .set("family", std::string{family_name(report.family)})
+      .set("lut_ff_pairs", report.lut_ff_pairs)
+      .set("slice_luts", report.slice_luts)
+      .set("slice_ffs", report.slice_ffs)
+      .set("dsps", report.dsps)
+      .set("brams", report.brams)
+      .set("bonded_iobs", report.bonded_iobs);
+  return j;
+}
+
+}  // namespace
+
+void PrmSource::validate() const {
+  const int set_count = (prm.empty() ? 0 : 1) + (netlist_path.empty() ? 0 : 1) +
+                        (report_path.empty() ? 0 : 1);
+  if (set_count == 0) throw UsageError{"need a PRM or --report file"};
+  if (set_count > 1) {
+    throw UsageError{"give exactly one of a PRM name, --netlist, --report"};
+  }
+}
+
+Netlist make_builtin_prm(const std::string& name) {
+  if (name == "fir") return make_fir();
+  if (name == "mips") return make_mips5();
+  if (name == "sdram") return make_sdram_ctrl();
+  if (name == "aes") return make_aes_round();
+  if (name == "crc32") return make_crc32();
+  if (name == "uart") return make_uart();
+  if (name == "matmul") return make_matmul();
+  if (name == "sobel") return make_sobel();
+  if (name == "fft") return make_fft_stage();
+  throw NotFoundError{"unknown PRM '" + name + "' (known: " + prm_name_list() +
+                      ")"};
+}
+
+const std::vector<std::string>& builtin_prm_names() {
+  static const std::vector<std::string> names{
+      "fir", "mips", "sdram", "aes", "crc32", "uart", "matmul", "sobel",
+      "fft"};
+  return names;
+}
+
+SearchObjective parse_objective(const std::string& name) {
+  if (name == "area") return SearchObjective::kMinArea;
+  if (name == "height") return SearchObjective::kFirstFeasible;
+  if (name == "bitstream") return SearchObjective::kMinBitstream;
+  throw UsageError{"unknown objective '" + name + "'"};
+}
+
+std::string_view objective_name(SearchObjective objective) {
+  switch (objective) {
+    case SearchObjective::kMinArea:       return "area";
+    case SearchObjective::kFirstFeasible: return "height";
+    case SearchObjective::kMinBitstream:  return "bitstream";
+  }
+  return "area";
+}
+
+SynthRequest synth_request_from_json(const Json& j) {
+  SynthRequest request;
+  request.source = source_from_json(j);
+  request.family = parse_family(get_string(j, "family", "v5"));
+  return request;
+}
+
+PlanRequest plan_request_from_json(const Json& j) {
+  PlanRequest request;
+  request.device = get_string(j, "device");
+  request.source = source_from_json(j);
+  request.objective = parse_objective(get_string(j, "objective", "area"));
+  request.shaped = get_bool(j, "shaped", false);
+  request.cross_check = get_bool(j, "cross_check", true);
+  return request;
+}
+
+BitstreamRequest bitstream_request_from_json(const Json& j) {
+  BitstreamRequest request;
+  request.device = get_string(j, "device");
+  request.source = source_from_json(j);
+  return request;
+}
+
+ExploreRequest explore_request_from_json(const Json& j) {
+  ExploreRequest request;
+  request.device = get_string(j, "device");
+  request.prms = prms_from_json(j);
+  request.workers = get_u64(j, "workers", 0);
+  request.max_groups = narrow<u32>(get_u64(j, "max_groups", 0));
+  request.tasks = narrow<u32>(get_u64(j, "tasks", 100));
+  request.seed = get_u64(j, "seed", 42);
+  return request;
+}
+
+RankRequest rank_request_from_json(const Json& j) {
+  RankRequest request;
+  request.prms = prms_from_json(j);
+  request.workers = get_u64(j, "workers", 0);
+  request.tasks = narrow<u32>(get_u64(j, "tasks", 100));
+  request.seed = get_u64(j, "seed", 42);
+  return request;
+}
+
+Json to_json(const SynthResponse& r) {
+  Json j = Json::object();
+  j.set("report", report_to_json(r.report));
+  return j;
+}
+
+Json to_json(const PlanResponse& r) {
+  Json j = Json::object();
+  j.set("device", r.device);
+  j.set("plan", plan_to_json(r.plan));
+  if (r.par) {
+    Json par = Json::object();
+    par.set("routed", r.par->routed);
+    if (r.par->routed) {
+      par.set("placed_cells", r.par->placed_cells)
+          .set("hpwl_initial", r.par->hpwl_initial)
+          .set("hpwl_final", r.par->hpwl_final)
+          .set("critical_path_ns", r.par->critical_path_ns);
+    } else {
+      par.set("failure_reason", r.par->failure_reason);
+    }
+    j.set("par", std::move(par));
+  }
+  if (r.generated_bytes) {
+    j.set("generated_bytes", *r.generated_bytes);
+    j.set("model_match", r.generated_matches_model());
+  }
+  if (r.shaped) {
+    Json shaped = Json::object();
+    shaped.set("beats_rectangle", r.shaped->beats_rectangle)
+        .set("cells", r.shaped->cells)
+        .set("bitstream_bytes", r.shaped->bitstream_bytes)
+        .set("cells_saved", r.shaped->cells_saved);
+    j.set("shaped", std::move(shaped));
+  }
+  return j;
+}
+
+Json to_json(const BitstreamResponse& r) {
+  Json j = Json::object();
+  j.set("device", r.device)
+      .set("family", std::string{family_name(r.family)})
+      .set("plan", plan_to_json(r.plan))
+      .set("words", static_cast<u64>(r.words.size()))
+      .set("total_bytes", r.total_bytes);
+  return j;
+}
+
+Json to_json(const ExploreResponse& r) {
+  Json j = Json::object();
+  j.set("device", r.device);
+  j.set("prms", prms_to_json(r.prms));
+  Json points = Json::array();
+  for (const DesignPoint& point : r.points) {
+    Json p = Json::object();
+    Json partition = Json::array();
+    for (const auto& group : point.partition) {
+      Json names = Json::array();
+      for (const u32 prm : group) names.push_back(r.prms[prm]);
+      partition.push_back(std::move(names));
+    }
+    p.set("partition", std::move(partition));
+    p.set("feasible", point.feasible);
+    if (point.feasible) {
+      p.set("total_prr_area", point.total_prr_area)
+          .set("total_bitstream_bytes", point.total_bitstream_bytes)
+          .set("makespan_s", point.makespan_s)
+          .set("total_reconfig_s", point.total_reconfig_s);
+    } else {
+      p.set("reason", point.infeasible_reason);
+    }
+    points.push_back(std::move(p));
+  }
+  j.set("points", std::move(points));
+  j.set("pareto_count", static_cast<u64>(r.pareto_count));
+  return j;
+}
+
+Json to_json(const RankResponse& r) {
+  Json j = Json::object();
+  Json choices = Json::array();
+  for (const DeviceChoice& choice : r.choices) {
+    Json c = Json::object();
+    c.set("device", choice.device).set("feasible", choice.feasible);
+    if (choice.feasible) {
+      c.set("total_prr_cells", choice.total_prr_cells)
+          .set("fabric_fraction", choice.fabric_fraction)
+          .set("total_bitstream_bytes", choice.total_bitstream_bytes)
+          .set("makespan_s", choice.makespan_s);
+    } else {
+      c.set("reason", choice.reason);
+    }
+    choices.push_back(std::move(c));
+  }
+  j.set("choices", std::move(choices));
+  return j;
+}
+
+Json to_json(const DevicesResponse& r) {
+  Json j = Json::object();
+  Json devices = Json::array();
+  for (const DeviceSummary& dev : r.devices) {
+    Json d = Json::object();
+    d.set("name", dev.name)
+        .set("family", dev.family)
+        .set("rows", dev.rows)
+        .set("clb_cols", dev.clb_cols)
+        .set("dsp_cols", dev.dsp_cols)
+        .set("bram_cols", dev.bram_cols)
+        .set("clbs", dev.clbs)
+        .set("dsps", dev.dsps)
+        .set("bram36s", dev.bram36s);
+    devices.push_back(std::move(d));
+  }
+  j.set("devices", std::move(devices));
+  return j;
+}
+
+Json to_json(const SynthRequest& r) {
+  Json j = Json::object();
+  j.set("op", "synth");
+  set_source(j, r.source);
+  j.set("family", std::string{family_name(r.family)});
+  return j;
+}
+
+Json to_json(const PlanRequest& r) {
+  Json j = Json::object();
+  j.set("op", "plan").set("device", r.device);
+  set_source(j, r.source);
+  j.set("objective", std::string{objective_name(r.objective)})
+      .set("shaped", r.shaped)
+      .set("cross_check", r.cross_check);
+  return j;
+}
+
+Json to_json(const BitstreamRequest& r) {
+  Json j = Json::object();
+  j.set("op", "bitstream").set("device", r.device);
+  set_source(j, r.source);
+  return j;
+}
+
+Json to_json(const ExploreRequest& r) {
+  Json j = Json::object();
+  j.set("op", "explore")
+      .set("device", r.device)
+      .set("prms", prms_to_json(r.prms))
+      .set("workers", static_cast<u64>(r.workers))
+      .set("max_groups", r.max_groups)
+      .set("tasks", r.tasks)
+      .set("seed", r.seed);
+  return j;
+}
+
+Json to_json(const RankRequest& r) {
+  Json j = Json::object();
+  j.set("op", "rank")
+      .set("prms", prms_to_json(r.prms))
+      .set("workers", static_cast<u64>(r.workers))
+      .set("tasks", r.tasks)
+      .set("seed", r.seed);
+  return j;
+}
+
+}  // namespace prcost::api

@@ -1,0 +1,183 @@
+// Typed request/response layer of the library-first engine API.
+//
+// Each CLI command (and each JSONL batch op) is a plain struct in and a
+// plain struct out, with JSON (de)serialization alongside, so the same
+// evaluation path serves the shell, a batch stream, and an embedding
+// partitioner/scheduler without re-deriving device lookup, synthesis
+// loading, or output formatting per entry point. The wire schema is
+// documented in README.md ("Batch mode & the JSONL API").
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cost/prr_search.hpp"
+#include "dse/device_select.hpp"
+#include "dse/explorer.hpp"
+#include "netlist/netlist.hpp"
+#include "synth/report.hpp"
+#include "util/json.hpp"
+
+namespace prcost::api {
+
+/// Where a request's PRM comes from. Exactly one member is set; validate()
+/// enforces that and throws UsageError otherwise.
+struct PrmSource {
+  std::string prm;           ///< built-in generator name ("fir", "mips"...)
+  std::string netlist_path;  ///< .net file to load and synthesize
+  std::string report_path;   ///< .srp synthesis report (no netlist => no PAR)
+
+  void validate() const;     ///< throws UsageError unless exactly one is set
+};
+
+/// Construct a built-in PRM netlist by name; throws NotFoundError listing
+/// the known names. The single source of truth for the generator catalog.
+Netlist make_builtin_prm(const std::string& name);
+
+/// Built-in PRM names, in canonical (usage-banner) order.
+const std::vector<std::string>& builtin_prm_names();
+
+/// "area" | "height" | "bitstream" -> objective; throws UsageError.
+SearchObjective parse_objective(const std::string& name);
+std::string_view objective_name(SearchObjective objective);
+
+// ---------------------------------------------------------------- synth --
+
+struct SynthRequest {
+  PrmSource source;
+  Family family = Family::kVirtex5;
+};
+
+struct SynthResponse {
+  SynthesisReport report;
+};
+
+// ----------------------------------------------------------------- plan --
+
+struct PlanRequest {
+  std::string device;        ///< part name (shorthands accepted)
+  PrmSource source;
+  SearchObjective objective = SearchObjective::kMinArea;
+  bool shaped = false;       ///< also evaluate the L-shaped alternative
+  /// Run the full-flow cross-checks (PAR when a netlist is available, and
+  /// always a generated bitstream compared byte-wise against the model).
+  bool cross_check = true;
+};
+
+/// PAR cross-check summary (only when the netlist was synthesized here).
+struct ParCrossCheck {
+  bool routed = false;
+  std::string failure_reason;
+  u64 placed_cells = 0;
+  u64 hpwl_initial = 0;
+  u64 hpwl_final = 0;
+  double critical_path_ns = 0;
+};
+
+/// L-shaped alternative summary (only when PlanRequest::shaped).
+struct ShapedAlternative {
+  bool beats_rectangle = false;
+  u64 cells = 0;
+  u64 bitstream_bytes = 0;
+  u64 cells_saved = 0;       ///< vs the rectangular plan (0 when not better)
+};
+
+struct PlanResponse {
+  std::string device;        ///< canonical part name
+  PrrPlan plan;
+  std::optional<ParCrossCheck> par;
+  std::optional<u64> generated_bytes;  ///< set when cross_check ran
+  std::optional<ShapedAlternative> shaped;
+
+  bool generated_matches_model() const {
+    return generated_bytes && *generated_bytes == plan.bitstream.total_bytes;
+  }
+};
+
+// ------------------------------------------------------------ bitstream --
+
+struct BitstreamRequest {
+  std::string device;
+  PrmSource source;
+};
+
+struct BitstreamResponse {
+  std::string device;
+  Family family = Family::kVirtex5;
+  PrrPlan plan;
+  std::vector<u32> words;    ///< the generated partial bitstream
+  u64 total_bytes = 0;       ///< words serialized at traits.bytes_word
+};
+
+// -------------------------------------------------------------- explore --
+
+struct ExploreRequest {
+  std::string device;
+  std::vector<std::string> prms;  ///< built-in PRM names (>= 2)
+  std::size_t workers = 0;        ///< 0 = engine default
+  u32 max_groups = 0;             ///< cap PRR count (0 = #PRMs)
+  u32 tasks = 100;                ///< workload size (CLI default)
+  u64 seed = 42;                  ///< workload seed
+};
+
+struct ExploreResponse {
+  std::string device;
+  std::vector<std::string> prms;
+  std::vector<DesignPoint> points;
+  std::size_t pareto_count = 0;
+};
+
+// ----------------------------------------------------------------- rank --
+
+struct RankRequest {
+  std::vector<std::string> prms;  ///< built-in PRM names (>= 1)
+  std::size_t workers = 0;
+  u32 tasks = 100;
+  u64 seed = 42;
+};
+
+struct RankResponse {
+  std::vector<DeviceChoice> choices;  ///< sorted as rank_devices returns
+};
+
+// -------------------------------------------------------------- devices --
+
+struct DeviceSummary {
+  std::string name;
+  std::string family;
+  u32 rows = 0;
+  u32 clb_cols = 0;
+  u32 dsp_cols = 0;
+  u32 bram_cols = 0;
+  u64 clbs = 0;
+  u64 dsps = 0;
+  u64 bram36s = 0;
+};
+
+struct DevicesResponse {
+  std::vector<DeviceSummary> devices;
+};
+
+// --------------------------------------------------- JSON (de)serialization
+
+SynthRequest synth_request_from_json(const Json& j);
+PlanRequest plan_request_from_json(const Json& j);
+BitstreamRequest bitstream_request_from_json(const Json& j);
+ExploreRequest explore_request_from_json(const Json& j);
+RankRequest rank_request_from_json(const Json& j);
+
+Json to_json(const SynthResponse& r);
+Json to_json(const PlanResponse& r);
+Json to_json(const BitstreamResponse& r);
+Json to_json(const ExploreResponse& r);
+Json to_json(const RankResponse& r);
+Json to_json(const DevicesResponse& r);
+
+Json to_json(const SynthRequest& r);
+Json to_json(const PlanRequest& r);
+Json to_json(const BitstreamRequest& r);
+Json to_json(const ExploreRequest& r);
+Json to_json(const RankRequest& r);
+
+}  // namespace prcost::api

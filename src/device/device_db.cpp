@@ -189,7 +189,7 @@ const Device& DeviceDb::get(std::string_view name) const {
       devices_.begin(), devices_.end(),
       [&](const Device& d) { return d.name == lower || d.name == canonical; });
   if (it == devices_.end()) {
-    throw ContractError{"DeviceDb: unknown device '" + std::string{name} +
+    throw NotFoundError{"DeviceDb: unknown device '" + std::string{name} +
                         "'"};
   }
   return *it;

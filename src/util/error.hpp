@@ -1,27 +1,107 @@
-// Library-wide exception types.
+// Library-wide exception types and the structured error taxonomy.
+//
+// Every error carries a machine-readable ErrorCode so callers (the CLI,
+// the JSONL batch front-end, embedding services) can map failures to
+// stable wire names and exit codes instead of string-matching messages.
+// The taxonomy distinguishes *usage* errors (the request itself is
+// malformed - the only category that earns the CLI usage banner and exit
+// code 2) from *runtime* errors (a well-formed request that cannot be
+// satisfied: unknown name, unreadable file, infeasible model - exit 1).
 #pragma once
 
 #include <stdexcept>
 #include <string>
+#include <string_view>
 
 namespace prcost {
 
-/// Base class for all prcost errors; carries a human-readable message.
+/// Machine-readable error category. Wire names (error_code_name) are part
+/// of the batch response schema documented in README.md - append only.
+enum class ErrorCode {
+  kInternal = 0,  ///< unexpected condition (bug escape hatch)
+  kUsage,         ///< malformed request/invocation (bad flag, missing arg)
+  kNotFound,      ///< a named entity is absent (device, PRM, op)
+  kInfeasible,    ///< the model says no (no feasible PRR on the fabric)
+  kIo,            ///< a file could not be opened, read, or written
+  kParse,         ///< malformed input content (report, netlist, JSON...)
+  kContract,      ///< a model/device contract was violated
+};
+
+/// Stable lower-case wire name, e.g. "not_found".
+constexpr std::string_view error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kInternal:   return "internal";
+    case ErrorCode::kUsage:      return "usage";
+    case ErrorCode::kNotFound:   return "not_found";
+    case ErrorCode::kInfeasible: return "infeasible";
+    case ErrorCode::kIo:         return "io";
+    case ErrorCode::kParse:      return "parse";
+    case ErrorCode::kContract:   return "contract";
+  }
+  return "internal";
+}
+
+/// Base class for all prcost errors; carries a human-readable message and
+/// the taxonomy code.
 class Error : public std::runtime_error {
  public:
-  explicit Error(const std::string& what) : std::runtime_error(what) {}
+  explicit Error(const std::string& what,
+                 ErrorCode code = ErrorCode::kInternal)
+      : std::runtime_error(what), code_(code) {}
+
+  ErrorCode code() const noexcept { return code_; }
+
+ private:
+  ErrorCode code_;
 };
 
 /// A model/device contract was violated (bad parameter, unknown family...).
 class ContractError : public Error {
  public:
-  explicit ContractError(const std::string& what) : Error(what) {}
+  explicit ContractError(const std::string& what)
+      : Error(what, ErrorCode::kContract) {}
+
+ protected:
+  /// For subclasses refining the category (NotFoundError).
+  ContractError(const std::string& what, ErrorCode code) : Error(what, code) {}
 };
 
-/// Malformed input while parsing (synthesis report, bitstream...).
+/// Malformed input while parsing (synthesis report, bitstream, JSON...).
 class ParseError : public Error {
  public:
-  explicit ParseError(const std::string& what) : Error(what) {}
+  explicit ParseError(const std::string& what)
+      : Error(what, ErrorCode::kParse) {}
+};
+
+/// The request itself is malformed: unknown command, bad flag, missing
+/// argument. The only category the CLI answers with the usage banner and
+/// exit code 2.
+class UsageError : public Error {
+ public:
+  explicit UsageError(const std::string& what)
+      : Error(what, ErrorCode::kUsage) {}
+};
+
+/// A named entity is absent: unknown device, unknown PRM, unknown batch
+/// op. Derives from ContractError because lookups (DeviceDb::get) used to
+/// throw that; existing catch sites keep working.
+class NotFoundError : public ContractError {
+ public:
+  explicit NotFoundError(const std::string& what)
+      : ContractError(what, ErrorCode::kNotFound) {}
+};
+
+/// A well-formed request the model cannot satisfy (no feasible PRR).
+class InfeasibleError : public Error {
+ public:
+  explicit InfeasibleError(const std::string& what)
+      : Error(what, ErrorCode::kInfeasible) {}
+};
+
+/// A file could not be opened, read, or written.
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what, ErrorCode::kIo) {}
 };
 
 }  // namespace prcost

@@ -1,0 +1,404 @@
+// Engine request/response round-trips, the JSON layer, the structured
+// error taxonomy, and the JSONL batch dispatch.
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "api/batch.hpp"
+#include "api/engine.hpp"
+#include "api/requests.hpp"
+#include "cost/prr_search.hpp"
+#include "device/device_db.hpp"
+#include "synth/report.hpp"
+#include "synth/synthesizer.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace prcost {
+namespace {
+
+using api::Engine;
+
+// ----------------------------------------------------------------- Json --
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_EQ(Json::parse("true").as_bool(), true);
+  EXPECT_EQ(Json::parse("false").as_bool(), false);
+  EXPECT_EQ(Json::parse("42").as_i64(), 42);
+  EXPECT_EQ(Json::parse("-7").as_i64(), -7);
+  EXPECT_DOUBLE_EQ(Json::parse("2.5").as_double(), 2.5);
+  EXPECT_DOUBLE_EQ(Json::parse("1e3").as_double(), 1000.0);
+  EXPECT_EQ(Json::parse("\"hi\\n\\\"there\\\"\"").as_string(),
+            "hi\n\"there\"");
+}
+
+TEST(Json, IntegersStayExact) {
+  const u64 big = 9007199254740993ull;  // 2^53 + 1: not double-representable
+  Json j{big};
+  EXPECT_EQ(Json::parse(j.dump()).as_u64(), big);
+}
+
+TEST(Json, ObjectPreservesInsertionOrder) {
+  Json j = Json::object();
+  j.set("zebra", 1).set("apple", 2).set("mango", 3);
+  EXPECT_EQ(j.dump(), "{\"zebra\":1,\"apple\":2,\"mango\":3}");
+  j.set("apple", 9);  // overwrite keeps position
+  EXPECT_EQ(j.dump(), "{\"zebra\":1,\"apple\":9,\"mango\":3}");
+}
+
+TEST(Json, RoundTripsNestedDocuments) {
+  const std::string text =
+      "{\"a\":[1,2.5,\"x\",null,true],\"b\":{\"c\":[{\"d\":-1}]}}";
+  EXPECT_EQ(Json::parse(text).dump(), text);
+}
+
+TEST(Json, FindAndTypedAccessErrors) {
+  const Json j = Json::parse("{\"s\":\"v\",\"n\":1}");
+  ASSERT_NE(j.find("s"), nullptr);
+  EXPECT_EQ(j.find("s")->as_string(), "v");
+  EXPECT_EQ(j.find("missing"), nullptr);
+  EXPECT_THROW(j.find("s")->as_i64(), ParseError);
+  EXPECT_THROW(j.find("n")->as_string(), ParseError);
+  EXPECT_THROW(Json::parse("-1").as_u64(), ParseError);
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW(Json::parse(""), ParseError);
+  EXPECT_THROW(Json::parse("{"), ParseError);
+  EXPECT_THROW(Json::parse("{\"a\":}"), ParseError);
+  EXPECT_THROW(Json::parse("[1,]"), ParseError);
+  EXPECT_THROW(Json::parse("tru"), ParseError);
+  EXPECT_THROW(Json::parse("\"unterminated"), ParseError);
+  EXPECT_THROW(Json::parse("1 2"), ParseError);  // trailing garbage
+}
+
+TEST(Json, EscapesControlCharacters) {
+  Json j = Json::object();
+  j.set("k", std::string{"a\tb\x01"});
+  EXPECT_EQ(j.dump(), "{\"k\":\"a\\tb\\u0001\"}");
+}
+
+// ------------------------------------------------------- error taxonomy --
+
+TEST(ErrorTaxonomy, CodesAndWireNames) {
+  EXPECT_EQ(UsageError{"x"}.code(), ErrorCode::kUsage);
+  EXPECT_EQ(NotFoundError{"x"}.code(), ErrorCode::kNotFound);
+  EXPECT_EQ(InfeasibleError{"x"}.code(), ErrorCode::kInfeasible);
+  EXPECT_EQ(IoError{"x"}.code(), ErrorCode::kIo);
+  EXPECT_EQ(ParseError{"x"}.code(), ErrorCode::kParse);
+  EXPECT_EQ(ContractError{"x"}.code(), ErrorCode::kContract);
+  EXPECT_EQ(error_code_name(ErrorCode::kUsage), "usage");
+  EXPECT_EQ(error_code_name(ErrorCode::kNotFound), "not_found");
+  EXPECT_EQ(error_code_name(ErrorCode::kInfeasible), "infeasible");
+  EXPECT_EQ(error_code_name(ErrorCode::kIo), "io");
+  EXPECT_EQ(error_code_name(ErrorCode::kParse), "parse");
+  EXPECT_EQ(error_code_name(ErrorCode::kContract), "contract");
+  EXPECT_EQ(error_code_name(ErrorCode::kInternal), "internal");
+}
+
+TEST(ErrorTaxonomy, NotFoundIsAContractError) {
+  // Pre-taxonomy catch sites caught ContractError from lookups; the
+  // refinement must not break them.
+  EXPECT_THROW(DeviceDb::instance().get("xc2v1000"), ContractError);
+  EXPECT_THROW(DeviceDb::instance().get("xc2v1000"), NotFoundError);
+}
+
+// --------------------------------------------------------------- Engine --
+
+TEST(Engine, PlanMatchesDirectSearch) {
+  const Engine engine;
+  api::PlanRequest request;
+  request.device = "xc5vlx110t";
+  request.source.prm = "fir";
+  const api::PlanResponse response = engine.plan(request);
+
+  const Device& device = DeviceDb::instance().get("xc5vlx110t");
+  const SynthesisResult synth =
+      synthesize(api::make_builtin_prm("fir"), SynthOptions{Family::kVirtex5});
+  const auto direct =
+      find_prr(PrmRequirements::from_report(synth.report), device.fabric);
+  ASSERT_TRUE(direct.has_value());
+
+  EXPECT_EQ(response.device, "xc5vlx110t");
+  EXPECT_EQ(response.plan.organization.h, direct->organization.h);
+  EXPECT_EQ(response.plan.organization.size(), direct->organization.size());
+  EXPECT_EQ(response.plan.bitstream.total_bytes,
+            direct->bitstream.total_bytes);
+  ASSERT_TRUE(response.generated_bytes.has_value());
+  EXPECT_TRUE(response.generated_matches_model());
+  ASSERT_TRUE(response.par.has_value());
+  EXPECT_TRUE(response.par->routed);
+}
+
+TEST(Engine, PlanSkipsParForReportSource) {
+  const Engine engine;
+  // Render a report, consume it via the report path: no netlist => no PAR.
+  const SynthesisResult synth =
+      synthesize(api::make_builtin_prm("uart"), SynthOptions{Family::kVirtex5});
+  const std::string path = testing::TempDir() + "/uart_api_test.srp";
+  {
+    std::ofstream out{path};
+    out << report_to_text(synth.report);
+  }
+  api::PlanRequest request;
+  request.device = "v5lx110t";
+  request.source.report_path = path;
+  const api::PlanResponse response = engine.plan(request);
+  EXPECT_FALSE(response.par.has_value());
+  EXPECT_TRUE(response.generated_matches_model());
+}
+
+TEST(Engine, ErrorCodeMapping) {
+  const Engine engine;
+  api::PlanRequest request;
+
+  // Missing device: usage.
+  request.source.prm = "fir";
+  EXPECT_THROW(engine.plan(request), UsageError);
+
+  // Unknown device: not_found.
+  request.device = "bogus";
+  EXPECT_THROW(engine.plan(request), NotFoundError);
+
+  // Unknown PRM: not_found.
+  request.device = "xc5vlx110t";
+  request.source.prm = "zzz";
+  EXPECT_THROW(engine.plan(request), NotFoundError);
+
+  // Unreadable file: io.
+  request.source = {};
+  request.source.report_path = "/nonexistent/file.srp";
+  EXPECT_THROW(engine.plan(request), IoError);
+
+  // No source at all: usage.
+  request.source = {};
+  EXPECT_THROW(engine.plan(request), UsageError);
+
+  // Two sources: usage.
+  request.source.prm = "fir";
+  request.source.report_path = "x.srp";
+  EXPECT_THROW(engine.plan(request), UsageError);
+
+  // Infeasible: the matmul DSP demand cannot fit the LX110T's single DSP
+  // column.
+  request.source = {};
+  request.source.prm = "matmul";
+  EXPECT_THROW(engine.plan(request), InfeasibleError);
+
+  // explore/rank shape validation: usage.
+  api::ExploreRequest explore_request;
+  explore_request.device = "xc5vlx110t";
+  explore_request.prms = {"fir"};
+  EXPECT_THROW(engine.explore(explore_request), UsageError);
+  EXPECT_THROW(engine.rank(api::RankRequest{}), UsageError);
+}
+
+TEST(Engine, SynthMatchesDirectCall) {
+  const Engine engine;
+  api::SynthRequest request;
+  request.source.prm = "fir";
+  request.family = Family::kVirtex6;
+  const api::SynthResponse response = engine.synth(request);
+  const SynthesisResult direct =
+      synthesize(api::make_builtin_prm("fir"), SynthOptions{Family::kVirtex6});
+  EXPECT_EQ(response.report.lut_ff_pairs, direct.report.lut_ff_pairs);
+  EXPECT_EQ(response.report.dsps, direct.report.dsps);
+  EXPECT_EQ(response.report.brams, direct.report.brams);
+}
+
+TEST(Engine, ExploreAndRankAreDeterministic) {
+  const Engine engine;
+  api::ExploreRequest request;
+  request.device = "xc6vlx240t";
+  request.prms = {"fir", "uart"};
+  const api::ExploreResponse a = engine.explore(request);
+  request.workers = 2;
+  const api::ExploreResponse b = engine.explore(request);
+  ASSERT_EQ(a.points.size(), b.points.size());
+  EXPECT_EQ(a.pareto_count, b.pareto_count);
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    EXPECT_EQ(a.points[i].feasible, b.points[i].feasible);
+    EXPECT_EQ(a.points[i].total_prr_area, b.points[i].total_prr_area);
+    EXPECT_DOUBLE_EQ(a.points[i].makespan_s, b.points[i].makespan_s);
+  }
+
+  api::RankRequest rank_request;
+  rank_request.prms = {"fir", "sdram"};
+  const api::RankResponse ranked = engine.rank(rank_request);
+  ASSERT_FALSE(ranked.choices.empty());
+  // Feasible parts sort before infeasible ones.
+  bool seen_infeasible = false;
+  for (const DeviceChoice& choice : ranked.choices) {
+    if (!choice.feasible) seen_infeasible = true;
+    if (seen_infeasible) {
+      EXPECT_FALSE(choice.feasible);
+    }
+  }
+}
+
+TEST(Engine, DevicesMatchesCatalog) {
+  const Engine engine;
+  const api::DevicesResponse response = engine.list_devices();
+  const auto& all = DeviceDb::instance().all();
+  ASSERT_EQ(response.devices.size(), all.size());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(response.devices[i].name, all[i].name);
+    EXPECT_EQ(response.devices[i].rows, all[i].fabric.rows());
+  }
+}
+
+// ------------------------------------------------- request JSON round trip
+
+TEST(RequestJson, PlanRoundTrip) {
+  api::PlanRequest request;
+  request.device = "xc6vlx75t";
+  request.source.prm = "mips";
+  request.objective = SearchObjective::kMinBitstream;
+  request.shaped = true;
+  request.cross_check = false;
+  const Json wire = api::to_json(request);
+  const api::PlanRequest parsed =
+      api::plan_request_from_json(Json::parse(wire.dump()));
+  EXPECT_EQ(parsed.device, request.device);
+  EXPECT_EQ(parsed.source.prm, request.source.prm);
+  EXPECT_EQ(parsed.objective, request.objective);
+  EXPECT_EQ(parsed.shaped, request.shaped);
+  EXPECT_EQ(parsed.cross_check, request.cross_check);
+}
+
+TEST(RequestJson, ExploreAndRankRoundTrip) {
+  api::ExploreRequest explore_request;
+  explore_request.device = "xc6vlx240t";
+  explore_request.prms = {"fir", "uart", "crc32"};
+  explore_request.workers = 4;
+  explore_request.max_groups = 2;
+  const api::ExploreRequest explore_parsed = api::explore_request_from_json(
+      Json::parse(api::to_json(explore_request).dump()));
+  EXPECT_EQ(explore_parsed.device, explore_request.device);
+  EXPECT_EQ(explore_parsed.prms, explore_request.prms);
+  EXPECT_EQ(explore_parsed.workers, explore_request.workers);
+  EXPECT_EQ(explore_parsed.max_groups, explore_request.max_groups);
+
+  api::RankRequest rank_request;
+  rank_request.prms = {"fir"};
+  rank_request.tasks = 7;
+  const api::RankRequest rank_parsed = api::rank_request_from_json(
+      Json::parse(api::to_json(rank_request).dump()));
+  EXPECT_EQ(rank_parsed.prms, rank_request.prms);
+  EXPECT_EQ(rank_parsed.tasks, rank_request.tasks);
+}
+
+TEST(RequestJson, DefaultsApply) {
+  const api::PlanRequest request = api::plan_request_from_json(
+      Json::parse("{\"device\":\"v5lx110t\",\"prm\":\"fir\"}"));
+  EXPECT_EQ(request.objective, SearchObjective::kMinArea);
+  EXPECT_FALSE(request.shaped);
+  EXPECT_TRUE(request.cross_check);
+}
+
+TEST(ResponseJson, PlanResponseFields) {
+  const Engine engine;
+  api::PlanRequest request;
+  request.device = "xc5vlx110t";
+  request.source.prm = "fir";
+  request.shaped = true;
+  const Json j = api::to_json(engine.plan(request));
+  const Json parsed = Json::parse(j.dump());
+  EXPECT_EQ(parsed.find("device")->as_string(), "xc5vlx110t");
+  const Json* plan = parsed.find("plan");
+  ASSERT_NE(plan, nullptr);
+  EXPECT_GT(plan->find("organization")->find("size")->as_u64(), 0u);
+  EXPECT_GT(plan->find("bitstream")->find("total_bytes")->as_u64(), 0u);
+  EXPECT_TRUE(parsed.find("model_match")->as_bool());
+  ASSERT_NE(parsed.find("shaped"), nullptr);
+}
+
+// ---------------------------------------------------------------- batch --
+
+TEST(Batch, DispatchEnvelopes) {
+  const Engine engine;
+  const Json ok = api::dispatch_line(
+      engine, "{\"op\":\"plan\",\"device\":\"v5lx110t\",\"prm\":\"fir\","
+              "\"id\":\"r1\"}");
+  EXPECT_EQ(ok.find("id")->as_string(), "r1");
+  EXPECT_EQ(ok.find("op")->as_string(), "plan");
+  EXPECT_NE(ok.find("result"), nullptr);
+  EXPECT_EQ(ok.find("error"), nullptr);
+
+  const auto error_code = [&](std::string_view line) {
+    const Json envelope = api::dispatch_line(engine, line);
+    const Json* error = envelope.find("error");
+    EXPECT_NE(error, nullptr) << line;
+    return error == nullptr ? std::string{} : error->find("code")->as_string();
+  };
+  EXPECT_EQ(error_code("{\"op\":\"plan\",\"device\":\"nope\",\"prm\":\"fir\"}"),
+            "not_found");
+  EXPECT_EQ(error_code(
+                "{\"op\":\"plan\",\"device\":\"v5lx110t\",\"prm\":\"matmul\"}"),
+            "infeasible");
+  EXPECT_EQ(error_code("{\"op\":\"plan\",\"prm\":\"fir\"}"), "usage");
+  EXPECT_EQ(error_code("{\"op\":\"nope\"}"), "not_found");
+  EXPECT_EQ(error_code("{\"device\":\"v5lx110t\"}"), "usage");
+  EXPECT_EQ(error_code("this is not json"), "parse");
+  EXPECT_EQ(error_code("[\"an\",\"array\"]"), "usage");
+  EXPECT_EQ(error_code("{\"op\":\"plan\",\"device\":\"v5lx110t\","
+                       "\"report\":\"/no/such/file\"}"),
+            "io");
+}
+
+TEST(Batch, OneResponsePerLineInInputOrder) {
+  const Engine engine;
+  std::stringstream in;
+  const int count = 40;
+  for (int i = 0; i < count; ++i) {
+    switch (i % 4) {
+      case 0:
+        in << "{\"op\":\"plan\",\"device\":\"v5lx110t\",\"prm\":\"fir\","
+              "\"id\":" << i << "}\n";
+        break;
+      case 1:
+        in << "{\"op\":\"plan\",\"device\":\"v5lx110t\",\"prm\":\"matmul\","
+              "\"id\":" << i << "}\n";
+        break;
+      case 2:
+        in << "malformed line " << i << "\n";
+        break;
+      case 3:
+        in << "{\"op\":\"synth\",\"prm\":\"uart\",\"id\":" << i << "}\n";
+        break;
+    }
+  }
+  std::stringstream out;
+  const api::BatchStats stats = api::run_batch(engine, in, out, {});
+  EXPECT_EQ(stats.requests, static_cast<std::size_t>(count));
+  EXPECT_EQ(stats.succeeded + stats.failed, stats.requests);
+  EXPECT_EQ(stats.failed, static_cast<std::size_t>(count / 2));
+
+  int lines = 0;
+  for (std::string line; std::getline(out, line); ++lines) {
+    ASSERT_LT(lines, count);
+    const Json envelope = Json::parse(line);  // every line is valid JSON
+    const bool is_error = envelope.find("error") != nullptr;
+    switch (lines % 4) {
+      case 0:
+      case 3:
+        EXPECT_FALSE(is_error) << line;
+        EXPECT_EQ(envelope.find("id")->as_i64(), lines);  // input order
+        break;
+      case 1:
+        EXPECT_EQ(envelope.find("error")->find("code")->as_string(),
+                  "infeasible");
+        EXPECT_EQ(envelope.find("id")->as_i64(), lines);
+        break;
+      case 2:
+        EXPECT_EQ(envelope.find("error")->find("code")->as_string(), "parse");
+        break;
+    }
+  }
+  EXPECT_EQ(lines, count);
+}
+
+}  // namespace
+}  // namespace prcost

@@ -1,0 +1,66 @@
+# CLI exit-code contract: 0 = success, 1 = runtime failure (message
+# only, no usage banner), 2 = usage error (message + banner).
+#
+# Usage: cmake -DCLI=<prcost> -P exit_codes_test.cmake
+
+function(expect_rc rc want label)
+  if(NOT rc EQUAL ${want})
+    message(FATAL_ERROR "${label}: exited ${rc}, want ${want}")
+  endif()
+endfunction()
+
+# No command: usage error with banner.
+execute_process(COMMAND ${CLI} RESULT_VARIABLE rc ERROR_VARIABLE err
+                OUTPUT_QUIET)
+expect_rc(${rc} 2 "bare invocation")
+if(NOT err MATCHES "usage:")
+  message(FATAL_ERROR "bare invocation: banner missing: ${err}")
+endif()
+
+# Unknown command: usage error with banner.
+execute_process(COMMAND ${CLI} frobnicate RESULT_VARIABLE rc
+                ERROR_VARIABLE err OUTPUT_QUIET)
+expect_rc(${rc} 2 "unknown command")
+if(NOT err MATCHES "unknown command" OR NOT err MATCHES "usage:")
+  message(FATAL_ERROR "unknown command: bad diagnostics: ${err}")
+endif()
+
+# Missing required flag: usage error.
+execute_process(COMMAND ${CLI} plan fir RESULT_VARIABLE rc
+                ERROR_VARIABLE err OUTPUT_QUIET)
+expect_rc(${rc} 2 "plan without --device")
+
+# Malformed --workers value: usage error carrying the parse failure.
+execute_process(COMMAND ${CLI} explore --device xc6vlx240t fir sdram
+                --workers 3x RESULT_VARIABLE rc ERROR_VARIABLE err
+                OUTPUT_QUIET)
+expect_rc(${rc} 2 "malformed --workers")
+if(NOT err MATCHES "--workers" OR NOT err MATCHES "3x")
+  message(FATAL_ERROR "malformed --workers: error not surfaced: ${err}")
+endif()
+
+# Unknown device: runtime failure - message, no banner.
+execute_process(COMMAND ${CLI} plan fir --device bogus RESULT_VARIABLE rc
+                ERROR_VARIABLE err OUTPUT_QUIET)
+expect_rc(${rc} 1 "unknown device")
+if(NOT err MATCHES "unknown device 'bogus'" OR err MATCHES "usage:")
+  message(FATAL_ERROR "unknown device: bad diagnostics: ${err}")
+endif()
+
+# Unreadable batch input: runtime failure.
+execute_process(COMMAND ${CLI} batch /no/such/file.jsonl RESULT_VARIABLE rc
+                ERROR_VARIABLE err OUTPUT_QUIET)
+expect_rc(${rc} 1 "missing batch file")
+if(err MATCHES "usage:")
+  message(FATAL_ERROR "missing batch file: should not print banner: ${err}")
+endif()
+
+# Infeasible plan: runtime failure, verdict on stdout.
+execute_process(COMMAND ${CLI} plan matmul --device xc5vlx110t
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_QUIET)
+expect_rc(${rc} 1 "infeasible plan")
+if(NOT out MATCHES "no feasible PRR")
+  message(FATAL_ERROR "infeasible plan: verdict missing: ${out}")
+endif()
+
+message(STATUS "exit-code contract holds")

@@ -1,6 +1,8 @@
-// prcost command-line tool: drive the cost models from a shell the way the
-// paper's intended user would - synthesize (or load) a report, size a PRR
-// on a device, predict the bitstream, explore partitionings.
+// prcost command-line tool: thin adapters over the library Engine API
+// (src/api). Each subcommand maps flags onto a typed request, calls the
+// Engine, and renders the typed response; the same requests drive the
+// JSONL `batch` front-end and any embedding consumer, so no evaluation
+// logic lives here.
 //
 //   prcost devices
 //   prcost synth <prm> [--family v5] [-o report.srp]
@@ -8,28 +10,28 @@
 //                [--objective area|height|bitstream] [--shaped]
 //   prcost bitstream <prm> --device xc5vlx110t [-o out.bit]
 //   prcost explore --device xc6vlx240t <prm> <prm> ...
+//   prcost batch [requests.jsonl]
+//
+// Exit codes: 0 success, 1 runtime failure (unknown device/PRM, missing
+// file, infeasible PRR...), 2 usage error (only usage errors print the
+// usage banner).
 //
 // PRMs: fir mips sdram aes crc32 uart matmul
 #include <fstream>
 #include <iostream>
 #include <map>
-#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "api/batch.hpp"
+#include "api/engine.hpp"
+#include "api/requests.hpp"
 #include "bitstream/generator.hpp"
 #include "bitstream/parser.hpp"
-#include "cost/plan_cache.hpp"
-#include "cost/shaped_prr.hpp"
-#include "device/device_db.hpp"
-#include "dse/device_select.hpp"
-#include "dse/explorer.hpp"
-#include "netlist/generators.hpp"
 #include "netlist/serialize.hpp"
 #include "obs/obs.hpp"
-#include "par/par.hpp"
-#include "synth/synthesizer.hpp"
+#include "util/error.hpp"
 #include "util/log.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -37,10 +39,10 @@
 namespace {
 
 using namespace prcost;
+using api::Engine;
 
-[[noreturn]] void usage(const std::string& error = {}) {
-  if (!error.empty()) std::cerr << "error: " << error << "\n\n";
-  std::cerr <<
+void print_usage(std::ostream& out) {
+  out <<
       "usage:\n"
       "  prcost devices\n"
       "  prcost synth <prm> [--family v4|v5|v6|s7|s6] [-o report.srp]\n"
@@ -50,6 +52,9 @@ using namespace prcost;
       "  prcost explore --device <name> <prm> <prm> [...] [--workers N]\n"
       "  prcost netlist <prm> [-o design.net]\n"
       "  prcost rank <prm> <prm> [...] [--workers N]\n"
+      "  prcost batch [requests.jsonl] [--workers N] [-o responses.jsonl]\n"
+      "              (JSONL requests from the file or stdin; exactly one\n"
+      "               JSON response per line - see README \"Batch mode\")\n"
       "global flags (any command):\n"
       "  --trace-out FILE    record spans, write Chrome trace-event JSON\n"
       "                      (open at https://ui.perfetto.dev)\n"
@@ -57,23 +62,12 @@ using namespace prcost;
       "  --log-level LVL     debug|info|warn|error|off (default warn)\n"
       "  --no-plan-cache     disable PRR plan memoization (escape hatch;\n"
       "                      results are identical either way)\n"
-      "  --workers N         parallel workers for explore/rank (0 = auto)\n"
+      "  --workers N         parallel workers for explore/rank/batch\n"
+      "                      (0 = auto)\n"
       "prms: fir mips sdram aes crc32 uart matmul sobel fft\n"
-      "netlist files: prcost netlist <prm> -o design.net; then --netlist design.net\n";
-  std::exit(2);
-}
-
-Netlist make_prm(const std::string& name) {
-  if (name == "fir") return make_fir();
-  if (name == "mips") return make_mips5();
-  if (name == "sdram") return make_sdram_ctrl();
-  if (name == "aes") return make_aes_round();
-  if (name == "crc32") return make_crc32();
-  if (name == "uart") return make_uart();
-  if (name == "matmul") return make_matmul();
-  if (name == "sobel") return make_sobel();
-  if (name == "fft") return make_fft_stage();
-  usage("unknown PRM '" + name + "'");
+      "netlist files: prcost netlist <prm> -o design.net; "
+      "then --netlist design.net\n"
+      "exit codes: 0 ok, 1 runtime failure, 2 usage error\n";
 }
 
 /// Tiny flag parser: positional args plus --key value / -o value pairs.
@@ -98,7 +92,7 @@ Args parse_args(int argc, char** argv, int first) {
         args.flags[key] = "1";
         continue;
       }
-      if (i + 1 >= argc) usage("flag " + token + " needs a value");
+      if (i + 1 >= argc) throw UsageError{"flag " + token + " needs a value"};
       args.flags[key] = argv[++i];
     } else {
       args.positional.push_back(std::move(token));
@@ -107,30 +101,51 @@ Args parse_args(int argc, char** argv, int first) {
   return args;
 }
 
-int cmd_devices() {
+/// Parse the --workers flag (0 = auto). Malformed values surface the
+/// actual parse error, not a generic usage message.
+std::size_t workers_flag(const Args& args) {
+  const std::string value = args.get("workers", "0");
+  try {
+    return narrow<std::size_t>(parse_u64(value));
+  } catch (const std::exception& error) {
+    throw UsageError{"--workers: " + std::string{error.what()}};
+  }
+}
+
+/// Map the shared PRM-source flags onto a typed PrmSource (the Engine
+/// validates that exactly one is set).
+api::PrmSource prm_source(const Args& args) {
+  api::PrmSource source;
+  if (args.has("netlist")) {
+    source.netlist_path = args.get("netlist", "");
+  } else if (args.has("report")) {
+    source.report_path = args.get("report", "");
+  } else if (!args.positional.empty()) {
+    source.prm = args.positional[0];
+  }
+  return source;
+}
+
+int cmd_devices(const Engine& engine) {
   TextTable table{{"device", "family", "rows", "CLB cols", "DSP cols",
                    "BRAM cols", "CLBs", "DSPs", "BRAM36s"}};
-  for (const Device& dev : DeviceDb::instance().all()) {
-    table.add_row({dev.name, std::string{family_name(dev.fabric.family())},
-                   std::to_string(dev.fabric.rows()),
-                   std::to_string(dev.fabric.column_count(ColumnType::kClb)),
-                   std::to_string(dev.fabric.column_count(ColumnType::kDsp)),
-                   std::to_string(dev.fabric.column_count(ColumnType::kBram)),
-                   std::to_string(dev.fabric.total_resources(ColumnType::kClb)),
-                   std::to_string(dev.fabric.total_resources(ColumnType::kDsp)),
-                   std::to_string(
-                       dev.fabric.total_resources(ColumnType::kBram))});
+  for (const api::DeviceSummary& dev : engine.list_devices().devices) {
+    table.add_row({dev.name, dev.family, std::to_string(dev.rows),
+                   std::to_string(dev.clb_cols), std::to_string(dev.dsp_cols),
+                   std::to_string(dev.bram_cols), std::to_string(dev.clbs),
+                   std::to_string(dev.dsps), std::to_string(dev.bram36s)});
   }
   std::cout << table.to_ascii();
   return 0;
 }
 
-int cmd_synth(const Args& args) {
-  if (args.positional.empty()) usage("synth needs a PRM");
-  const Family family = parse_family(args.get("family", "v5"));
-  const SynthesisResult result =
-      synthesize(make_prm(args.positional[0]), SynthOptions{family});
-  const std::string text = report_to_text(result.report);
+int cmd_synth(const Engine& engine, const Args& args) {
+  if (args.positional.empty()) throw UsageError{"synth needs a PRM"};
+  api::SynthRequest request;
+  request.source.prm = args.positional[0];
+  request.family = parse_family(args.get("family", "v5"));
+  const api::SynthResponse response = engine.synth(request);
+  const std::string text = report_to_text(response.report);
   if (args.has("out")) {
     std::ofstream out{args.get("out", "")};
     out << text;
@@ -141,139 +156,68 @@ int cmd_synth(const Args& args) {
   return 0;
 }
 
-/// Parse the --workers flag (0 = auto) or exit with usage on junk.
-std::size_t workers_flag(const Args& args) {
-  const std::string value = args.get("workers", "0");
+int cmd_plan(const Engine& engine, const Args& args) {
+  if (!args.has("device")) throw UsageError{"plan needs --device"};
+  api::PlanRequest request;
+  request.device = args.get("device", "");
+  request.source = prm_source(args);
+  request.objective = api::parse_objective(args.get("objective", "area"));
+  request.shaped = args.has("shaped");
+
+  api::PlanResponse response;
   try {
-    return std::stoul(value);
-  } catch (const std::exception&) {
-    usage("--workers needs a non-negative integer, got '" + value + "'");
-  }
-}
-
-Netlist load_netlist_file(const std::string& path_name) {
-  std::ifstream in{path_name};
-  if (!in) usage("cannot open netlist file");
-  std::stringstream buffer;
-  buffer << in.rdbuf();
-  return netlist_from_text(buffer.str());
-}
-
-/// Model input plus, when we synthesized it ourselves, the mapped netlist
-/// (used by `plan` to run the PAR cross-check).
-struct PlanInput {
-  PrmRequirements req;
-  std::optional<SynthesisResult> synth;
-};
-
-PlanInput plan_input_for(const Args& args) {
-  if (args.has("netlist")) {
-    const Device& device = DeviceDb::instance().get(args.get("device", ""));
-    SynthesisResult result = synthesize(
-        load_netlist_file(args.get("netlist", "")),
-        SynthOptions{device.fabric.family()});
-    PrmRequirements req = PrmRequirements::from_report(result.report);
-    return PlanInput{req, std::move(result)};
-  }
-  if (args.has("report")) {
-    std::ifstream in{args.get("report", "")};
-    if (!in) usage("cannot open report file");
-    std::stringstream buffer;
-    buffer << in.rdbuf();
-    return PlanInput{
-        PrmRequirements::from_report(parse_report(buffer.str())),
-        std::nullopt};
-  }
-  if (args.positional.empty()) usage("need a PRM or --report file");
-  const Device& device = DeviceDb::instance().get(args.get("device", ""));
-  SynthesisResult result = synthesize(
-      make_prm(args.positional[0]), SynthOptions{device.fabric.family()});
-  PrmRequirements req = PrmRequirements::from_report(result.report);
-  return PlanInput{req, std::move(result)};
-}
-
-PrmRequirements requirements_for(const Args& args) {
-  return plan_input_for(args).req;
-}
-
-int cmd_plan(const Args& args) {
-  if (!args.has("device")) usage("plan needs --device");
-  const Device& device = DeviceDb::instance().get(args.get("device", ""));
-  PlanInput input = plan_input_for(args);
-  const PrmRequirements& req = input.req;
-
-  SearchOptions options;
-  const std::string objective = args.get("objective", "area");
-  if (objective == "area") {
-    options.objective = SearchObjective::kMinArea;
-  } else if (objective == "height") {
-    options.objective = SearchObjective::kFirstFeasible;
-  } else if (objective == "bitstream") {
-    options.objective = SearchObjective::kMinBitstream;
-  } else {
-    usage("unknown objective '" + objective + "'");
-  }
-
-  const auto plan = find_prr(req, device.fabric, options);
-  if (!plan) {
-    std::cout << "no feasible PRR on " << device.name << '\n';
+    response = engine.plan(request);
+  } catch (const InfeasibleError& error) {
+    std::cout << error.what() << '\n';
     return 1;
   }
-  TextTable table{{"quantity", "value"}};
-  table.add_row({"H x W", std::to_string(plan->organization.h) + " x " +
-                              std::to_string(plan->organization.width())});
-  table.add_row({"W_CLB / W_DSP / W_BRAM",
-                 std::to_string(plan->organization.columns.clb_cols) + " / " +
-                     std::to_string(plan->organization.columns.dsp_cols) +
-                     " / " +
-                     std::to_string(plan->organization.columns.bram_cols)});
-  table.add_row({"PRR size (cells)", std::to_string(plan->organization.size())});
-  table.add_row({"window first column", std::to_string(plan->window.first_col)});
-  table.add_row({"RU CLB/FF/LUT/DSP/BRAM",
-                 format_fixed(plan->ru.clb, 0) + "% / " +
-                     format_fixed(plan->ru.ff, 0) + "% / " +
-                     format_fixed(plan->ru.lut, 0) + "% / " +
-                     format_fixed(plan->ru.dsp, 0) + "% / " +
-                     format_fixed(plan->ru.bram, 0) + "%"});
-  table.add_row({"partial bitstream",
-                 std::to_string(plan->bitstream.total_bytes) + " bytes"});
+  const PrrPlan& plan = response.plan;
 
-  // Full-flow cross-checks: place & route into the chosen PRR (when the
-  // netlist came from our own synthesis) and a generated bitstream whose
-  // byte size must match the model prediction.
-  if (input.synth) {
-    const ParResult par = place_and_route(std::move(input.synth->netlist),
-                                          *plan, device.fabric, ParOptions{});
+  TextTable table{{"quantity", "value"}};
+  table.add_row({"H x W", std::to_string(plan.organization.h) + " x " +
+                              std::to_string(plan.organization.width())});
+  table.add_row({"W_CLB / W_DSP / W_BRAM",
+                 std::to_string(plan.organization.columns.clb_cols) + " / " +
+                     std::to_string(plan.organization.columns.dsp_cols) +
+                     " / " +
+                     std::to_string(plan.organization.columns.bram_cols)});
+  table.add_row({"PRR size (cells)", std::to_string(plan.organization.size())});
+  table.add_row({"window first column", std::to_string(plan.window.first_col)});
+  table.add_row({"RU CLB/FF/LUT/DSP/BRAM",
+                 format_fixed(plan.ru.clb, 0) + "% / " +
+                     format_fixed(plan.ru.ff, 0) + "% / " +
+                     format_fixed(plan.ru.lut, 0) + "% / " +
+                     format_fixed(plan.ru.dsp, 0) + "% / " +
+                     format_fixed(plan.ru.bram, 0) + "%"});
+  table.add_row({"partial bitstream",
+                 std::to_string(plan.bitstream.total_bytes) + " bytes"});
+
+  if (response.par) {
+    const api::ParCrossCheck& par = *response.par;
     if (par.routed) {
-      table.add_row(
-          {"PAR placed cells", std::to_string(par.placement.placed_cells)});
+      table.add_row({"PAR placed cells", std::to_string(par.placed_cells)});
       table.add_row({"PAR HPWL (initial -> final)",
-                     std::to_string(par.placement.hpwl_initial) + " -> " +
-                         std::to_string(par.placement.hpwl_final)});
+                     std::to_string(par.hpwl_initial) + " -> " +
+                         std::to_string(par.hpwl_final)});
       table.add_row({"PAR critical path",
-                     format_fixed(par.placement.critical_path_ns, 2) + " ns"});
+                     format_fixed(par.critical_path_ns, 2) + " ns"});
     } else {
       table.add_row({"PAR", "failed: " + par.failure_reason});
     }
   }
-  const auto words = generate_bitstream(*plan, device.fabric.family());
-  const u64 generated_bytes =
-      static_cast<u64>(words.size()) * device.fabric.traits().bytes_word;
   table.add_row({"generated bitstream",
-                 std::to_string(generated_bytes) + " bytes (" +
-                     (generated_bytes == plan->bitstream.total_bytes
+                 std::to_string(*response.generated_bytes) + " bytes (" +
+                     (response.generated_matches_model()
                           ? "matches model"
                           : "MODEL MISMATCH") +
                      ")"});
   std::cout << table.to_ascii();
 
-  if (args.has("shaped")) {
-    const auto shaped = find_l_shaped_prr(req, device.fabric);
-    if (shaped && shaped->shape.size() < plan->organization.size()) {
-      std::cout << "\nL-shaped alternative: " << shaped->shape.size()
-                << " cells, " << shaped->bitstream.total_bytes
-                << " bytes (saves "
-                << plan->organization.size() - shaped->shape.size()
+  if (response.shaped) {
+    if (response.shaped->beats_rectangle) {
+      std::cout << "\nL-shaped alternative: " << response.shaped->cells
+                << " cells, " << response.shaped->bitstream_bytes
+                << " bytes (saves " << response.shaped->cells_saved
                 << " cells)\n";
     } else {
       std::cout << "\nno L-shaped alternative beats the rectangle\n";
@@ -282,20 +226,22 @@ int cmd_plan(const Args& args) {
   return 0;
 }
 
-int cmd_bitstream(const Args& args) {
-  if (!args.has("device")) usage("bitstream needs --device");
-  const Device& device = DeviceDb::instance().get(args.get("device", ""));
-  const PrmRequirements req = requirements_for(args);
-  const auto plan = find_prr(req, device.fabric);
-  if (!plan) {
-    std::cout << "no feasible PRR on " << device.name << '\n';
+int cmd_bitstream(const Engine& engine, const Args& args) {
+  if (!args.has("device")) throw UsageError{"bitstream needs --device"};
+  api::BitstreamRequest request;
+  request.device = args.get("device", "");
+  request.source = prm_source(args);
+
+  api::BitstreamResponse response;
+  try {
+    response = engine.bitstream(request);
+  } catch (const InfeasibleError& error) {
+    std::cout << error.what() << '\n';
     return 1;
   }
-  const Family family = device.fabric.family();
-  const auto words = generate_bitstream(*plan, family);
-  std::cout << disassemble(words, family);
+  std::cout << disassemble(response.words, response.family);
   if (args.has("out")) {
-    const auto bytes = to_bytes(words, family);
+    const auto bytes = to_bytes(response.words, response.family);
     std::ofstream out{args.get("out", ""), std::ios::binary};
     out.write(reinterpret_cast<const char*>(bytes.data()),
               static_cast<std::streamsize>(bytes.size()));
@@ -305,27 +251,17 @@ int cmd_bitstream(const Args& args) {
   return 0;
 }
 
-int cmd_rank(const Args& args) {
-  if (args.positional.empty()) usage("rank needs at least one PRM");
-  std::vector<PrmInfo> prms;
-  for (const std::string& name : args.positional) {
-    // Requirements are family-specific; synthesize per candidate family is
-    // overkill for a ranking - use Virtex-5 as the canonical mapper.
-    const SynthesisResult result =
-        synthesize(make_prm(name), SynthOptions{Family::kVirtex5});
-    prms.push_back(
-        PrmInfo{name, PrmRequirements::from_report(result.report), 0});
-  }
-  WorkloadParams wp;
-  wp.count = 100;
-  wp.prm_count = narrow<u32>(prms.size());
-  DeviceSelectOptions options;
-  options.workers = workers_flag(args);
-  const auto choices = rank_devices(prms, make_workload(wp), options);
+int cmd_rank(const Engine& engine, const Args& args) {
+  if (args.positional.empty()) throw UsageError{"rank needs at least one PRM"};
+  api::RankRequest request;
+  request.prms = args.positional;
+  request.workers = workers_flag(args);
+  const api::RankResponse response = engine.rank(request);
+
   TextTable table{{"rank", "device", "feasible", "fabric used",
                    "bitstream total", "makespan (ms)"}};
   int rank = 1;
-  for (const DeviceChoice& choice : choices) {
+  for (const DeviceChoice& choice : response.choices) {
     table.add_row({std::to_string(rank++), choice.device,
                    choice.feasible ? "yes" : choice.reason,
                    choice.feasible
@@ -344,8 +280,9 @@ int cmd_rank(const Args& args) {
 }
 
 int cmd_netlist(const Args& args) {
-  if (args.positional.empty()) usage("netlist needs a PRM");
-  const std::string text = netlist_to_text(make_prm(args.positional[0]));
+  if (args.positional.empty()) throw UsageError{"netlist needs a PRM"};
+  const std::string text =
+      netlist_to_text(api::make_builtin_prm(args.positional[0]));
   if (args.has("out")) {
     std::ofstream out{args.get("out", "")};
     out << text;
@@ -356,31 +293,25 @@ int cmd_netlist(const Args& args) {
   return 0;
 }
 
-int cmd_explore(const Args& args) {
-  if (!args.has("device")) usage("explore needs --device");
-  if (args.positional.size() < 2) usage("explore needs at least two PRMs");
-  const Device& device = DeviceDb::instance().get(args.get("device", ""));
-  std::vector<PrmInfo> prms;
-  for (const std::string& name : args.positional) {
-    const SynthesisResult result =
-        synthesize(make_prm(name), SynthOptions{device.fabric.family()});
-    prms.push_back(PrmInfo{name, PrmRequirements::from_report(result.report),
-                           0});
+int cmd_explore(const Engine& engine, const Args& args) {
+  if (!args.has("device")) throw UsageError{"explore needs --device"};
+  if (args.positional.size() < 2) {
+    throw UsageError{"explore needs at least two PRMs"};
   }
-  WorkloadParams wp;
-  wp.count = 100;
-  wp.prm_count = narrow<u32>(prms.size());
-  ExploreOptions options;
-  options.workers = workers_flag(args);
-  const auto points = explore(prms, device.fabric, make_workload(wp), options);
+  api::ExploreRequest request;
+  request.device = args.get("device", "");
+  request.prms = args.positional;
+  request.workers = workers_flag(args);
+  const api::ExploreResponse response = engine.explore(request);
+
   TextTable table{{"partitioning", "area", "makespan (ms)", "feasible"}};
-  for (const DesignPoint& point : points) {
+  for (const DesignPoint& point : response.points) {
     std::string partition;
     for (const auto& group : point.partition) {
       partition += "{";
       for (std::size_t i = 0; i < group.size(); ++i) {
         if (i) partition += ",";
-        partition += prms[group[i]].name;
+        partition += response.prms[group[i]];
       }
       partition += "}";
     }
@@ -390,9 +321,39 @@ int cmd_explore(const Args& args) {
                    point.feasible ? "yes" : point.infeasible_reason});
   }
   std::cout << table.to_ascii();
-  const auto front = pareto_front(points);
-  std::cout << "pareto-optimal: " << front.size() << " of " << points.size()
-            << " partitionings\n";
+  std::cout << "pareto-optimal: " << response.pareto_count << " of "
+            << response.points.size() << " partitionings\n";
+  return 0;
+}
+
+int cmd_batch(const Engine& engine, const Args& args) {
+  api::BatchOptions options;
+  options.workers = workers_flag(args);
+
+  std::ifstream file;
+  std::istream* in = &std::cin;
+  if (!args.positional.empty()) {
+    file.open(args.positional[0]);
+    if (!file) {
+      throw IoError{"cannot open batch file '" + args.positional[0] + "'"};
+    }
+    in = &file;
+  }
+  std::ofstream out_file;
+  std::ostream* out = &std::cout;
+  if (args.has("out")) {
+    out_file.open(args.get("out", ""));
+    if (!out_file) {
+      throw IoError{"cannot open output file '" + args.get("out", "") + "'"};
+    }
+    out = &out_file;
+  }
+
+  const api::BatchStats stats = api::run_batch(engine, *in, *out, options);
+  // Tally on stderr so stdout stays pure JSONL. Per-request failures are
+  // structured responses, not process failures: exit 0 either way.
+  std::cerr << "batch: " << stats.requests << " requests, " << stats.succeeded
+            << " ok, " << stats.failed << " failed\n";
   return 0;
 }
 
@@ -406,7 +367,10 @@ struct ObsOptions {
 ObsOptions configure_obs(const Args& args) {
   if (args.has("log-level")) {
     const auto level = parse_log_level(args.get("log-level", ""));
-    if (!level) usage("unknown log level '" + args.get("log-level", "") + "'");
+    if (!level) {
+      throw UsageError{"unknown log level '" + args.get("log-level", "") +
+                       "'"};
+    }
     set_log_level(*level);
   }
   ObsOptions options;
@@ -475,33 +439,47 @@ int finalize_obs(const ObsOptions& options) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) usage();
+  if (argc < 2) {
+    print_usage(std::cerr);
+    return 2;
+  }
   const std::string command = argv[1];
   try {
     const Args args = parse_args(argc, argv, 2);
     const ObsOptions obs_options = configure_obs(args);
-    if (args.has("no-plan-cache")) set_plan_cache_enabled(false);
+    Engine::Options engine_options;
+    engine_options.plan_cache = !args.has("no-plan-cache");
+    const Engine engine{engine_options};
     int rc = 0;
     if (command == "devices") {
-      rc = cmd_devices();
+      rc = cmd_devices(engine);
     } else if (command == "synth") {
-      rc = cmd_synth(args);
+      rc = cmd_synth(engine, args);
     } else if (command == "plan") {
-      rc = cmd_plan(args);
+      rc = cmd_plan(engine, args);
     } else if (command == "bitstream") {
-      rc = cmd_bitstream(args);
+      rc = cmd_bitstream(engine, args);
     } else if (command == "explore") {
-      rc = cmd_explore(args);
+      rc = cmd_explore(engine, args);
     } else if (command == "netlist") {
       rc = cmd_netlist(args);
     } else if (command == "rank") {
-      rc = cmd_rank(args);
+      rc = cmd_rank(engine, args);
+    } else if (command == "batch") {
+      rc = cmd_batch(engine, args);
     } else {
-      usage("unknown command '" + command + "'");
+      throw UsageError{"unknown command '" + command + "'"};
     }
     const int obs_rc = finalize_obs(obs_options);
     return rc != 0 ? rc : obs_rc;
+  } catch (const UsageError& error) {
+    std::cerr << "error: " << error.what() << "\n\n";
+    print_usage(std::cerr);
+    return 2;
   } catch (const Error& error) {
+    std::cerr << "error: " << error.what() << '\n';
+    return 1;
+  } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << '\n';
     return 1;
   }
