@@ -1,9 +1,12 @@
 #include "api/engine.hpp"
 
 #include <fstream>
+#include <set>
 #include <sstream>
+#include <tuple>
 #include <utility>
 
+#include "bitstream/bitstream_cache.hpp"
 #include "bitstream/generator.hpp"
 #include "cost/plan_cache.hpp"
 #include "cost/shaped_prr.hpp"
@@ -12,6 +15,7 @@
 #include "par/par.hpp"
 #include "synth/synthesizer.hpp"
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 
 namespace prcost::api {
 namespace {
@@ -51,6 +55,18 @@ PlanInput load_plan_input(const PrmSource& source, Family family) {
   return PlanInput{req, std::move(result)};
 }
 
+/// Generate the bitstream for `plan` and return its word count. Served
+/// from the process-wide cache when enabled; otherwise generated into a
+/// thread-local scratch buffer so repeated cross-checks allocate nothing.
+u64 generated_word_count(const PrrPlan& plan, const Device& device) {
+  if (bitstream_cache_enabled()) {
+    return generate_bitstream_cached(plan, device.fabric.family())->size();
+  }
+  thread_local std::vector<u32> scratch;
+  generate_bitstream_into(scratch, plan, device.fabric.family());
+  return scratch.size();
+}
+
 /// Synthesize each named built-in PRM for `family` into a PrmInfo table.
 std::vector<PrmInfo> synthesize_prms(const std::vector<std::string>& names,
                                      Family family) {
@@ -71,6 +87,7 @@ Engine::Engine() : Engine(Options{}) {}
 
 Engine::Engine(const Options& options) : options_(options) {
   set_plan_cache_enabled(options_.plan_cache);
+  set_bitstream_cache_enabled(options_.bitstream_cache);
 }
 
 const Device& Engine::resolve_device(const std::string& name) const {
@@ -124,9 +141,8 @@ PlanResponse Engine::plan(const PlanRequest& request) const {
       check.critical_path_ns = par.placement.critical_path_ns;
       response.par = check;
     }
-    const auto words = generate_bitstream(*plan, device.fabric.family());
-    response.generated_bytes =
-        static_cast<u64>(words.size()) * device.fabric.traits().bytes_word;
+    response.generated_bytes = generated_word_count(*plan, device) *
+                               device.fabric.traits().bytes_word;
   }
 
   if (request.shaped) {
@@ -154,7 +170,11 @@ BitstreamResponse Engine::bitstream(const BitstreamRequest& request) const {
   response.device = device.name;
   response.family = device.fabric.family();
   response.plan = *plan;
-  response.words = generate_bitstream(*plan, response.family);
+  if (bitstream_cache_enabled()) {
+    response.words = *generate_bitstream_cached(*plan, response.family);
+  } else {
+    generate_bitstream_into(response.words, *plan, response.family);
+  }
   response.total_bytes = static_cast<u64>(response.words.size()) *
                          device.fabric.traits().bytes_word;
   return response;
@@ -181,7 +201,43 @@ ExploreResponse Engine::explore(const ExploreRequest& request) const {
   response.prms = request.prms;
   response.points = prcost::explore(prms, device.fabric, make_workload(wp),
                                     options);
-  response.pareto_count = pareto_front(response.points).size();
+  const std::vector<DesignPoint> front = pareto_front(response.points);
+  response.pareto_count = front.size();
+
+  if (request.cross_check) {
+    // Generate the bitstream of every distinct Pareto-front PRR plan (the
+    // plans a designer would act on) and compare each generated size
+    // against the Eq. (18) prediction. Independent generations fan out
+    // over the worker pool and land in the process-wide bitstream cache.
+    std::set<std::tuple<u32, u32, u32, u32, u32, u32>> seen;
+    std::vector<const PrrPlan*> plans;
+    for (const DesignPoint& point : front) {
+      for (const PrrPlan& plan : point.prr_plans) {
+        const auto key = std::make_tuple(
+            plan.organization.h, plan.organization.columns.clb_cols,
+            plan.organization.columns.dsp_cols,
+            plan.organization.columns.bram_cols, plan.window.first_col,
+            plan.first_row);
+        if (seen.insert(key).second) plans.push_back(&plan);
+      }
+    }
+    std::vector<unsigned char> match(plans.size(), 0);
+    parallel_for(
+        plans.size(),
+        [&](std::size_t i) {
+          const u64 words =
+              generate_bitstream_cached(*plans[i], device.fabric.family())
+                  ->size();
+          match[i] = words == plans[i]->bitstream.total_words ? 1 : 0;
+        },
+        options.workers);
+    ExploreBitstreamCheck check;
+    check.plans_checked = plans.size();
+    for (const unsigned char ok : match) {
+      check.all_match = check.all_match && ok != 0;
+    }
+    response.bitstream_check = check;
+  }
   return response;
 }
 

@@ -28,6 +28,9 @@ class Engine {
     /// Enable the process-wide PRR plan cache (results are identical
     /// either way; off is an escape hatch for benchmarking).
     bool plan_cache = true;
+    /// Enable the process-wide generated-bitstream cache (byte-identical
+    /// either way; off is an escape hatch for benchmarking).
+    bool bitstream_cache = true;
     /// Default worker count for explore/rank and batch dispatch when the
     /// request leaves its own `workers` at 0 (0 = one per hardware thread).
     std::size_t workers = 0;

@@ -187,6 +187,7 @@ ExploreRequest explore_request_from_json(const Json& j) {
   request.max_groups = narrow<u32>(get_u64(j, "max_groups", 0));
   request.tasks = narrow<u32>(get_u64(j, "tasks", 100));
   request.seed = get_u64(j, "seed", 42);
+  request.cross_check = get_bool(j, "cross_check", false);
   return request;
 }
 
@@ -274,6 +275,12 @@ Json to_json(const ExploreResponse& r) {
   }
   j.set("points", std::move(points));
   j.set("pareto_count", static_cast<u64>(r.pareto_count));
+  if (r.bitstream_check) {
+    Json check = Json::object();
+    check.set("plans_checked", r.bitstream_check->plans_checked)
+        .set("all_match", r.bitstream_check->all_match);
+    j.set("bitstream_check", std::move(check));
+  }
   return j;
 }
 
@@ -350,7 +357,8 @@ Json to_json(const ExploreRequest& r) {
       .set("workers", static_cast<u64>(r.workers))
       .set("max_groups", r.max_groups)
       .set("tasks", r.tasks)
-      .set("seed", r.seed);
+      .set("seed", r.seed)
+      .set("cross_check", r.cross_check);
   return j;
 }
 

@@ -119,6 +119,16 @@ struct ExploreRequest {
   u32 max_groups = 0;             ///< cap PRR count (0 = #PRMs)
   u32 tasks = 100;                ///< workload size (CLI default)
   u64 seed = 42;                  ///< workload seed
+  /// Generate the bitstream of every distinct Pareto-front PRR plan (in
+  /// parallel, through the bitstream cache) and compare each generated
+  /// size against the Eq. (18) model prediction.
+  bool cross_check = false;
+};
+
+/// Bitstream cross-check summary (only when ExploreRequest::cross_check).
+struct ExploreBitstreamCheck {
+  u64 plans_checked = 0;  ///< distinct Pareto-front PRR plans generated
+  bool all_match = true;  ///< every generated size == model prediction
 };
 
 struct ExploreResponse {
@@ -126,6 +136,7 @@ struct ExploreResponse {
   std::vector<std::string> prms;
   std::vector<DesignPoint> points;
   std::size_t pareto_count = 0;
+  std::optional<ExploreBitstreamCheck> bitstream_check;
 };
 
 // ----------------------------------------------------------------- rank --

@@ -1,0 +1,208 @@
+#include "bitstream/bitstream_cache.hpp"
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <mutex>
+#include <unordered_map>
+
+#include "obs/obs.hpp"
+
+namespace prcost {
+namespace {
+
+std::atomic<bool> g_enabled{true};
+
+/// Everything generate_bitstream reads: the family (interning the frame
+/// constants), the plan geometry that shapes the bursts, and the payload
+/// options. The window width is deliberately absent - generation only
+/// reads window.first_col.
+struct Key {
+  u32 family = 0;
+  u32 h = 0;
+  u32 clb_cols = 0;
+  u32 dsp_cols = 0;
+  u32 bram_cols = 0;
+  u32 first_col = 0;
+  u32 first_row = 0;
+  u64 payload_seed = 0;
+  u32 idcode = 0;
+  u32 payload_kind = 0;
+  u64 density_bits = 0;  ///< sparse_density, compared bit-exactly
+
+  bool operator==(const Key& other) const {
+    return family == other.family && h == other.h &&
+           clb_cols == other.clb_cols && dsp_cols == other.dsp_cols &&
+           bram_cols == other.bram_cols && first_col == other.first_col &&
+           first_row == other.first_row &&
+           payload_seed == other.payload_seed && idcode == other.idcode &&
+           payload_kind == other.payload_kind &&
+           density_bits == other.density_bits;
+  }
+};
+
+struct KeyHash {
+  std::size_t operator()(const Key& key) const noexcept {
+    // FNV-1a over the key fields (field-wise, not memcmp: Key has padding).
+    u64 h = 14695981039346656037ull;
+    const auto mix = [&h](u64 v) {
+      h ^= v;
+      h *= 1099511628211ull;
+    };
+    mix(key.family);
+    mix(key.h);
+    mix(key.clb_cols);
+    mix(key.dsp_cols);
+    mix(key.bram_cols);
+    mix(key.first_col);
+    mix(key.first_row);
+    mix(key.payload_seed);
+    mix(key.idcode);
+    mix(key.payload_kind);
+    mix(key.density_bits);
+    return static_cast<std::size_t>(h);
+  }
+};
+
+using Words = std::shared_ptr<const std::vector<u32>>;
+
+class Cache {
+ public:
+  static Cache& instance() {
+    static Cache cache;
+    return cache;
+  }
+
+  /// nullptr on miss. Shared entries: callers must not mutate.
+  Words lookup(const Key& key) {
+    Shard& shard = shard_for(key);
+    {
+      const std::scoped_lock lock{shard.mu};
+      const auto it = shard.map.find(key);
+      if (it != shard.map.end()) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        PRCOST_COUNT("bitstream_cache.hits");
+        return it->second;
+      }
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    PRCOST_COUNT("bitstream_cache.misses");
+    return nullptr;
+  }
+
+  /// Insert (first writer wins) and return the resident words.
+  Words insert(const Key& key, Words words) {
+    Shard& shard = shard_for(key);
+    const std::size_t shard_cap =
+        std::max<std::size_t>(1, capacity_.load(std::memory_order_relaxed) /
+                                     kShardCount);
+    const std::scoped_lock lock{shard.mu};
+    if (shard.map.size() >= shard_cap &&
+        shard.map.find(key) == shard.map.end()) {
+      // Full: drop an arbitrary resident entry (hash order ~ random). An
+      // overflow valve, not an LRU - the typical working set is a handful
+      // of PRMs per device.
+      shard.map.erase(shard.map.begin());
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+      PRCOST_COUNT("bitstream_cache.evictions");
+    }
+    return shard.map.try_emplace(key, std::move(words)).first->second;
+  }
+
+  void clear() {
+    for (Shard& shard : shards_) {
+      const std::scoped_lock lock{shard.mu};
+      shard.map.clear();
+    }
+  }
+
+  BitstreamCacheStats stats() const {
+    BitstreamCacheStats out;
+    out.hits = hits_.load(std::memory_order_relaxed);
+    out.misses = misses_.load(std::memory_order_relaxed);
+    out.evictions = evictions_.load(std::memory_order_relaxed);
+    for (const Shard& shard : shards_) {
+      const std::scoped_lock lock{shard.mu};
+      out.entries += shard.map.size();
+      for (const auto& [key, words] : shard.map) {
+        out.resident_words += words->size();
+      }
+    }
+    return out;
+  }
+
+  void set_capacity(std::size_t max_entries) {
+    capacity_.store(std::max<std::size_t>(kShardCount, max_entries),
+                    std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr std::size_t kShardCount = 8;
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<Key, Words, KeyHash> map;
+  };
+
+  Shard& shard_for(const Key& key) {
+    return shards_[KeyHash{}(key)&(kShardCount - 1)];
+  }
+
+  std::array<Shard, kShardCount> shards_;
+  std::atomic<u64> hits_{0};
+  std::atomic<u64> misses_{0};
+  std::atomic<u64> evictions_{0};
+  std::atomic<std::size_t> capacity_{128};
+};
+
+Key key_of(const PrrPlan& plan, Family family,
+           const GeneratorOptions& options) {
+  Key key;
+  key.family = static_cast<u32>(family);
+  key.h = plan.organization.h;
+  key.clb_cols = plan.organization.columns.clb_cols;
+  key.dsp_cols = plan.organization.columns.dsp_cols;
+  key.bram_cols = plan.organization.columns.bram_cols;
+  key.first_col = plan.window.first_col;
+  key.first_row = plan.first_row;
+  key.payload_seed = options.payload_seed;
+  key.idcode = options.idcode;
+  key.payload_kind = static_cast<u32>(options.payload);
+  key.density_bits = std::bit_cast<u64>(options.sparse_density);
+  return key;
+}
+
+}  // namespace
+
+bool bitstream_cache_enabled() noexcept {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+void set_bitstream_cache_enabled(bool on) noexcept {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::shared_ptr<const std::vector<u32>> generate_bitstream_cached(
+    const PrrPlan& plan, Family family, const GeneratorOptions& options) {
+  if (!bitstream_cache_enabled()) {
+    return std::make_shared<const std::vector<u32>>(
+        generate_bitstream(plan, family, options));
+  }
+  const Key key = key_of(plan, family, options);
+  if (Words words = Cache::instance().lookup(key)) return words;
+  auto words = std::make_shared<const std::vector<u32>>(
+      generate_bitstream(plan, family, options));
+  return Cache::instance().insert(key, std::move(words));
+}
+
+void bitstream_cache_clear() { Cache::instance().clear(); }
+
+BitstreamCacheStats bitstream_cache_stats() {
+  return Cache::instance().stats();
+}
+
+void set_bitstream_cache_capacity(std::size_t max_entries) {
+  Cache::instance().set_capacity(max_entries);
+}
+
+}  // namespace prcost

@@ -1,0 +1,62 @@
+// Process-wide memoization of generated bitstreams.
+//
+// Batch cross-checks, explore verification, and reconfiguration studies
+// regenerate the identical partial bitstream many times: every request
+// that plans the same PRM on the same device reaches generate_bitstream
+// with the same plan geometry and options. Generation is a pure function
+// of (family traits, PRR plan geometry, GeneratorOptions) - the family
+// enum interns the fabric's frame constants, and the plan's organization,
+// column window, and first row pin the burst layout - so the words can be
+// memoized process-wide, modeled on src/cost/plan_cache:
+//
+//   - sharded (mutex per shard) so parallel_for generation sweeps do not
+//     serialize on one lock;
+//   - bounded with an overflow-valve eviction (entries are whole
+//     bitstreams, so the default cap is small);
+//   - exact: a hit is byte-identical to a fresh generation, so results
+//     with the cache disabled match results with it enabled.
+//
+// Hit/miss/eviction counts are exported through the obs metrics registry
+// ("bitstream_cache.hits" / ".misses" / ".evictions") and through stats()
+// for callers that keep metrics off. The `prcost` CLI exposes
+// --no-bitstream-cache as the escape hatch.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "bitstream/generator.hpp"
+
+namespace prcost {
+
+/// Global switch, default on. Checked by generate_bitstream_cached.
+bool bitstream_cache_enabled() noexcept;
+void set_bitstream_cache_enabled(bool on) noexcept;
+
+/// Point-in-time cache counters (process lifetime, not reset by clear()).
+struct BitstreamCacheStats {
+  u64 hits = 0;
+  u64 misses = 0;
+  u64 evictions = 0;
+  u64 entries = 0;         ///< currently resident bitstreams
+  u64 resident_words = 0;  ///< total words held across all entries
+};
+
+/// Memoized generate_bitstream. The returned vector is shared and
+/// immutable; on a hit no generation (and no copy) happens. With the
+/// cache disabled this is a plain compute returning a fresh vector.
+std::shared_ptr<const std::vector<u32>> generate_bitstream_cached(
+    const PrrPlan& plan, Family family, const GeneratorOptions& options = {});
+
+/// Drop every cached bitstream (stats survive). Intended for tests and
+/// for benchmarks that need cold-cache timings.
+void bitstream_cache_clear();
+
+BitstreamCacheStats bitstream_cache_stats();
+
+/// Cap the total resident entries (approximate; enforced per shard).
+/// Entries are whole bitstreams, so the default is deliberately small:
+/// 128.
+void set_bitstream_cache_capacity(std::size_t max_entries);
+
+}  // namespace prcost

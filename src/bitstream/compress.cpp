@@ -7,9 +7,31 @@
 #include "util/error.hpp"
 
 namespace prcost {
+namespace {
+
+/// One scan counting the RLE runs in `words` (each run emits a
+/// (count, word) pair), shared by rle_compress and measure_rle.
+u64 count_runs(std::span<const u32> words) {
+  u64 runs = 0;
+  std::size_t i = 0;
+  while (i < words.size()) {
+    const u32 word = words[i];
+    std::size_t run = 1;
+    while (i + run < words.size() && words[i + run] == word &&
+           run < 0xFFFFFFFFu) {
+      ++run;
+    }
+    ++runs;
+    i += run;
+  }
+  return runs;
+}
+
+}  // namespace
 
 std::vector<u32> rle_compress(std::span<const u32> words) {
   std::vector<u32> out;
+  out.reserve(2 * count_runs(words));
   std::size_t i = 0;
   while (i < words.size()) {
     const u32 word = words[i];
@@ -29,7 +51,12 @@ std::vector<u32> rle_decompress(std::span<const u32> pairs) {
   if (pairs.size() % 2 != 0) {
     throw ParseError{"rle_decompress: odd pair stream"};
   }
+  u64 total = 0;
+  for (std::size_t i = 0; i < pairs.size(); i += 2) {
+    total = checked_add(total, pairs[i]);
+  }
   std::vector<u32> out;
+  out.reserve(total);
   for (std::size_t i = 0; i < pairs.size(); i += 2) {
     out.insert(out.end(), pairs[i], pairs[i + 1]);
   }
@@ -39,7 +66,7 @@ std::vector<u32> rle_decompress(std::span<const u32> pairs) {
 CompressionStats measure_rle(std::span<const u32> words) {
   CompressionStats stats;
   stats.original_words = words.size();
-  stats.compressed_words = rle_compress(words).size();
+  stats.compressed_words = 2 * count_runs(words);
   return stats;
 }
 

@@ -70,9 +70,12 @@ void ConfigMemory::write_burst(const FrameAddress& start,
                           frames_in_column(cursor.major, cursor.block) - 1);
   const u64 frame_count = words.size() / frame_size;
   for (u64 f = 0; f < frame_count; ++f) {
-    frames_[key_of(cursor)] =
-        Frame{words.begin() + static_cast<std::ptrdiff_t>(f * frame_size),
-              words.begin() + static_cast<std::ptrdiff_t>((f + 1) * frame_size)};
+    // assign() into the mapped slot reuses the frame's existing buffer on
+    // rewrite instead of allocating a fresh vector per frame.
+    Frame& frame = frames_[key_of(cursor)];
+    frame.assign(
+        words.begin() + static_cast<std::ptrdiff_t>(f * frame_size),
+        words.begin() + static_cast<std::ptrdiff_t>((f + 1) * frame_size));
     if (f + 1 < frame_count && !advance(cursor)) {
       throw ContractError{"write_burst: burst runs off the fabric row"};
     }

@@ -4,6 +4,94 @@ namespace prcost {
 namespace {
 
 constexpr u32 kPolynomial = 0x1EDC6F41;  // CRC-32C (Castagnoli)
+constexpr u32 kReflected = 0x82F63B78;   // kPolynomial bit-reversed
+
+constexpr u32 bit_reverse(u32 v) {
+  v = ((v >> 1) & 0x55555555u) | ((v & 0x55555555u) << 1);
+  v = ((v >> 2) & 0x33333333u) | ((v & 0x33333333u) << 2);
+  v = ((v >> 4) & 0x0F0F0F0Fu) | ((v & 0x0F0F0F0Fu) << 4);
+  v = ((v >> 8) & 0x00FF00FFu) | ((v & 0x00FF00FFu) << 8);
+  return (v >> 16) | (v << 16);
+}
+
+static_assert(bit_reverse(kPolynomial) == kReflected);
+
+/// Advance a reflected-domain accumulator by `n` zero input bits.
+constexpr u32 zero_steps(u32 s, u32 n) {
+  for (u32 i = 0; i < n; ++i) s = (s >> 1) ^ ((s & 1u) ? kReflected : 0u);
+  return s;
+}
+
+// Keeping the accumulator bit-reversed turns the hardware's LSB-first feed
+// (shift_in_bit in BitSerialConfigCrc below) into the classic reflected CRC
+// recurrence, so one 37-bit register write (32 data bits, then the 5-bit
+// register address) becomes
+//
+//   x  = state ^ data
+//   state = word[0][x & 0xFF] ^ word[1][(x >> 8) & 0xFF]
+//         ^ word[2][(x >> 16) & 0xFF] ^ word[3][x >> 24] ^ addr[reg]
+//
+// word[b] is the slice-by-4 table for byte b of the word with the five
+// trailing zero shifts of the address step pre-folded in (the fold is
+// legal because advancing by zero bits is linear over GF(2)); addr[] is
+// the address bits' own 5-bit contribution, separable for the same
+// linearity reason.
+struct Tables {
+  u32 word[4][256];
+  u32 addr[32];
+};
+
+constexpr Tables make_tables() {
+  // Base reflected byte table, then the three composed slice tables.
+  u32 sliced[4][256]{};
+  for (u32 i = 0; i < 256; ++i) sliced[0][i] = zero_steps(i, 8);
+  for (u32 k = 1; k < 4; ++k) {
+    for (u32 i = 0; i < 256; ++i) {
+      const u32 prev = sliced[k - 1][i];
+      sliced[k][i] = (prev >> 8) ^ sliced[0][prev & 0xFFu];
+    }
+  }
+  Tables t{};
+  // Byte 0 of the word is consumed first, so it is shifted over by the
+  // most later input: it takes the most-composed table.
+  for (u32 b = 0; b < 4; ++b) {
+    for (u32 i = 0; i < 256; ++i) {
+      t.word[b][i] = zero_steps(sliced[3 - b][i], 5);
+    }
+  }
+  for (u32 i = 0; i < 32; ++i) t.addr[i] = zero_steps(i, 5);
+  return t;
+}
+
+constexpr Tables kTables = make_tables();
+
+constexpr u32 write_step(u32 state, u32 addr_contribution, u32 data) {
+  const u32 x = state ^ data;
+  return kTables.word[0][x & 0xFFu] ^ kTables.word[1][(x >> 8) & 0xFFu] ^
+         kTables.word[2][(x >> 16) & 0xFFu] ^ kTables.word[3][x >> 24] ^
+         addr_contribution;
+}
+
+constexpr u32 addr_contribution(ConfigReg reg) {
+  return kTables.addr[static_cast<u32>(reg) & 0x1Fu];
+}
+
+}  // namespace
+
+void ConfigCrc::update(ConfigReg reg, u32 data) {
+  state_ = write_step(state_, addr_contribution(reg), data);
+}
+
+void ConfigCrc::update_span(ConfigReg reg, std::span<const u32> words) {
+  const u32 addr = addr_contribution(reg);
+  u32 s = state_;
+  for (const u32 word : words) s = write_step(s, addr, word);
+  state_ = s;
+}
+
+u32 ConfigCrc::value() const { return bit_reverse(state_); }
+
+namespace {
 
 constexpr u32 shift_in_bit(u32 crc, bool bit) {
   const bool msb = (crc & 0x80000000u) != 0;
@@ -14,7 +102,7 @@ constexpr u32 shift_in_bit(u32 crc, bool bit) {
 
 }  // namespace
 
-void ConfigCrc::update(ConfigReg reg, u32 data) {
+void BitSerialConfigCrc::update(ConfigReg reg, u32 data) {
   // 37-bit contribution: data bits 0..31 LSB-first, then the 5-bit
   // register address LSB-first.
   for (u32 i = 0; i < 32; ++i) {

@@ -7,23 +7,50 @@
 // contributes 37 bits (5-bit register address above the 32 data bits) fed
 // LSB-first into a CRC-32C (Castagnoli, 0x1EDC6F41) register, per the
 // Virtex-5 configuration user guide.
+//
+// ConfigCrc is a table-driven sliced implementation: the accumulator is
+// kept bit-reversed so the LSB-first feed becomes the classic reflected
+// CRC recurrence, one 37-bit register write collapses to four 256-entry
+// table lookups (slice-by-4 over the data word, with the five trailing
+// address bits folded into the tables) plus one 32-entry lookup for the
+// register address. BitSerialConfigCrc keeps the original bit-at-a-time
+// algorithm as the oracle the sliced tables are property-tested against.
 #pragma once
+
+#include <span>
 
 #include "bitstream/words.hpp"
 #include "util/ints.hpp"
 
 namespace prcost {
 
-/// Streaming configuration-CRC accumulator.
+/// Streaming configuration-CRC accumulator (sliced, table-driven).
 class ConfigCrc {
  public:
   /// Absorb one register write.
   void update(ConfigReg reg, u32 data);
 
+  /// Absorb a burst of writes to the same register (FDRI payloads).
+  /// Equivalent to calling update(reg, w) for each word in order.
+  void update_span(ConfigReg reg, std::span<const u32> words);
+
   /// Current CRC value.
-  u32 value() const { return crc_; }
+  u32 value() const;
 
   /// Reset (the RCRC command).
+  void reset() { state_ = 0; }
+
+ private:
+  u32 state_ = 0;  ///< accumulator in the bit-reversed (reflected) domain
+};
+
+/// Reference bit-at-a-time implementation of the same 37-bit scheme.
+/// Retained as the test oracle for ConfigCrc and as the baseline the
+/// throughput bench measures speedup against.
+class BitSerialConfigCrc {
+ public:
+  void update(ConfigReg reg, u32 data);
+  u32 value() const { return crc_; }
   void reset() { crc_ = 0; }
 
  private:

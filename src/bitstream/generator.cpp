@@ -1,5 +1,7 @@
 #include "bitstream/generator.hpp"
 
+#include <span>
+
 #include "bitstream/crc.hpp"
 #include "obs/obs.hpp"
 #include "util/error.hpp"
@@ -8,17 +10,85 @@
 namespace prcost {
 namespace {
 
-void push_cmd(std::vector<u32>& out, ConfigCrc& crc, ConfigCmd cmd) {
+void append_cmd(std::vector<u32>& out, ConfigCmd cmd) {
   out.push_back(type1(PacketOp::kWrite, ConfigReg::kCmd, 1));
   out.push_back(static_cast<u32>(cmd));
-  crc.update(ConfigReg::kCmd, static_cast<u32>(cmd));
 }
 
-void push_reg(std::vector<u32>& out, ConfigCrc& crc, ConfigReg reg,
-              u32 value) {
+void append_reg(std::vector<u32>& out, ConfigReg reg, u32 value) {
   out.push_back(type1(PacketOp::kWrite, reg, 1));
   out.push_back(value);
-  crc.update(reg, value);
+}
+
+/// Append the header and return the CRC mirror of its post-RCRC register
+/// writes, in stream order, so the parser's recomputation lands on the
+/// same check value.
+ConfigCrc begin_stream(std::vector<u32>& out, Family family, u32 idcode) {
+  append_header_words(out, family, idcode);
+  ConfigCrc crc;
+  crc.update(ConfigReg::kIdcode, idcode);
+  crc.update(ConfigReg::kCmd, static_cast<u32>(ConfigCmd::kWcfg));
+  crc.update(ConfigReg::kMask, 0);
+  if (family == Family::kVirtex6 || family == Family::kSeries7) {
+    crc.update(ConfigReg::kCtl0, 0);
+  }
+  return crc;
+}
+
+/// The LFRM command is written before the CRC register, so it is part of
+/// the checked prefix; then the trailer carries the final value.
+void end_stream(std::vector<u32>& out, Family family, ConfigCrc& crc) {
+  crc.update(ConfigReg::kCmd, static_cast<u32>(ConfigCmd::kLfrm));
+  append_trailer_words(out, family, crc.value());
+}
+
+/// Fill one FDRI payload span in bulk. Consumes the payload RNG in exactly
+/// the order the original per-word generator did (chance() then the value
+/// draw under kSparse), so streams stay byte-identical.
+void fill_payload(std::span<u32> dst, Rng& payload,
+                  const GeneratorOptions& options) {
+  switch (options.payload) {
+    case PayloadKind::kRandom:
+      for (u32& word : dst) word = static_cast<u32>(payload());
+      return;
+    case PayloadKind::kZeros:
+      return;  // the resize() that produced `dst` already zero-filled it
+    case PayloadKind::kSparse:
+      for (u32& word : dst) {
+        word = payload.chance(options.sparse_density)
+                   ? static_cast<u32>(payload())
+                   : 0u;
+      }
+      return;
+  }
+}
+
+void emit_burst(std::vector<u32>& out, ConfigCrc& crc, Rng& payload,
+                const GeneratorOptions& options, FrameBlock block, u32 row,
+                u32 first_col, u64 word_count) {
+  // FAR_FDRI = 5 words: NOOP, FAR write (2), FDRI type-1 header with
+  // zero count, type-2 header carrying the real count.
+  out.push_back(cfg::kNoop);
+  const u32 far = encode_far(FrameAddress{block, row, first_col, 0});
+  append_reg(out, ConfigReg::kFar, far);
+  crc.update(ConfigReg::kFar, far);
+  out.push_back(type1(PacketOp::kWrite, ConfigReg::kFdri, 0));
+  out.push_back(type2(PacketOp::kWrite, narrow<u32>(word_count)));
+  const std::size_t payload_at = out.size();
+  out.resize(payload_at + static_cast<std::size_t>(word_count));
+  const std::span<u32> dst{out.data() + payload_at,
+                           static_cast<std::size_t>(word_count)};
+  fill_payload(dst, payload, options);
+  crc.update_span(ConfigReg::kFdri, dst);
+}
+
+u32 resolve_idcode(const GeneratorOptions& options, Family family) {
+  return options.idcode != 0 ? options.idcode : default_idcode(family);
+}
+
+void count_generated(const std::vector<u32>& out) {
+  PRCOST_COUNT("bitstream.generated");
+  PRCOST_COUNT_N("bitstream.words_emitted", out.size());
 }
 
 }  // namespace
@@ -34,9 +104,7 @@ u32 default_idcode(Family family) {
   throw ContractError{"default_idcode: unknown family"};
 }
 
-std::vector<u32> header_words(Family family, u32 idcode) {
-  std::vector<u32> out;
-  ConfigCrc crc;  // header CRC contribution is discarded (RCRC resets it)
+void append_header_words(std::vector<u32>& out, Family family, u32 idcode) {
   if (family == Family::kSeries7) {
     out.push_back(cfg::kDummy);
     out.push_back(cfg::kDummy);
@@ -47,79 +115,71 @@ std::vector<u32> header_words(Family family, u32 idcode) {
   out.insert(out.end(), 2, cfg::kDummy);
   out.push_back(cfg::kSync);
   out.push_back(cfg::kNoop);
-  push_cmd(out, crc, ConfigCmd::kRcrc);
+  append_cmd(out, ConfigCmd::kRcrc);
   out.push_back(cfg::kNoop);
   const bool short_format =
       family == Family::kVirtex4 || family == Family::kSpartan6;
   if (!short_format) out.push_back(cfg::kNoop);
-  push_reg(out, crc, ConfigReg::kIdcode, idcode);
-  push_cmd(out, crc, ConfigCmd::kWcfg);
+  append_reg(out, ConfigReg::kIdcode, idcode);
+  append_cmd(out, ConfigCmd::kWcfg);
   out.push_back(cfg::kNoop);
-  push_reg(out, crc, ConfigReg::kMask, 0);
+  append_reg(out, ConfigReg::kMask, 0);
   if (family == Family::kVirtex6 || family == Family::kSeries7) {
-    push_reg(out, crc, ConfigReg::kCtl0, 0);
+    append_reg(out, ConfigReg::kCtl0, 0);
     out.push_back(cfg::kNoop);
   }
+}
+
+std::vector<u32> header_words(Family family, u32 idcode) {
+  std::vector<u32> out;
+  out.reserve(traits(family).iw);
+  append_header_words(out, family, idcode);
   return out;
 }
 
-std::vector<u32> trailer_words(Family family, u32 crc_value) {
-  std::vector<u32> out;
-  ConfigCrc crc;  // local; trailer writes no longer affect the check value
-  push_cmd(out, crc, ConfigCmd::kLfrm);
+void append_trailer_words(std::vector<u32>& out, Family family,
+                          u32 crc_value) {
+  append_cmd(out, ConfigCmd::kLfrm);
   const bool short_format =
       family == Family::kVirtex4 || family == Family::kSpartan6;
   out.insert(out.end(), short_format ? 2 : 3, cfg::kNoop);
   out.push_back(type1(PacketOp::kWrite, ConfigReg::kCrc, 1));
   out.push_back(crc_value);
-  push_cmd(out, crc, ConfigCmd::kDesync);
+  append_cmd(out, ConfigCmd::kDesync);
   const u32 pad_noops =
       (family == Family::kVirtex6 || family == Family::kSeries7) ? 5 : 4;
   out.insert(out.end(), pad_noops, cfg::kNoop);
   out.push_back(cfg::kDummy);
   out.push_back(cfg::kDummy);
+}
+
+std::vector<u32> trailer_words(Family family, u32 crc_value) {
+  std::vector<u32> out;
+  out.reserve(traits(family).fw);
+  append_trailer_words(out, family, crc_value);
   return out;
 }
 
-std::vector<u32> generate_bitstream(const PrrPlan& plan, Family family,
-                                    const GeneratorOptions& options) {
+void generate_bitstream_into(std::vector<u32>& out, const PrrPlan& plan,
+                             Family family, const GeneratorOptions& options) {
   PRCOST_TRACE_SPAN("bitstream_gen");
   const FamilyTraits& t = traits(family);
   const PrrOrganization& org = plan.organization;
   if (org.h == 0 || org.width() == 0) {
     throw ContractError{"generate_bitstream: empty PRR plan"};
   }
-  const u32 idcode =
-      options.idcode != 0 ? options.idcode : default_idcode(family);
+  const u32 idcode = resolve_idcode(options, family);
 
-  std::vector<u32> out = header_words(family, idcode);
+  // Eq. (18) predicts the exact word count, so the output is sized once up
+  // front and never reallocates.
+  const u64 total_words = estimate_bitstream(org, t).total_words;
+  out.clear();
+  out.reserve(static_cast<std::size_t>(total_words));
+
+  ConfigCrc crc = begin_stream(out, family, idcode);
   if (out.size() != t.iw) {
     throw ContractError{"generate_bitstream: header/IW mismatch"};
   }
-
-  // Mirror the register writes the header just emitted (everything after
-  // the RCRC reset), in stream order, so the parser's recomputation lands
-  // on the same check value.
-  ConfigCrc crc;
-  crc.update(ConfigReg::kIdcode, idcode);
-  crc.update(ConfigReg::kCmd, static_cast<u32>(ConfigCmd::kWcfg));
-  crc.update(ConfigReg::kMask, 0);
-  if (family == Family::kVirtex6 || family == Family::kSeries7) {
-    crc.update(ConfigReg::kCtl0, 0);
-  }
-
-  Rng payload{options.payload_seed};
-  const auto next_payload_word = [&]() -> u32 {
-    switch (options.payload) {
-      case PayloadKind::kRandom: return static_cast<u32>(payload());
-      case PayloadKind::kZeros: return 0;
-      case PayloadKind::kSparse:
-        return payload.chance(options.sparse_density)
-                   ? static_cast<u32>(payload())
-                   : 0u;
-    }
-    return 0;
-  };
 
   // Configuration frame words per row: (NCF_CLB + NCF_DSP + NCF_BRAM + 1)
   // frames - Eq. (19)'s data component.
@@ -133,173 +193,126 @@ std::vector<u32> generate_bitstream(const PrrPlan& plan, Family family,
           : 0;
   const u64 bram_words = checked_mul(bram_frames, t.frame_size);
 
-  const auto emit_burst = [&](FrameBlock block, u32 row, u64 word_count) {
-    // FAR_FDRI = 5 words: NOOP, FAR write (2), FDRI type-1 header with
-    // zero count, type-2 header carrying the real count.
-    out.push_back(cfg::kNoop);
-    const FrameAddress far{block, row, plan.window.first_col, 0};
-    push_reg(out, crc, ConfigReg::kFar, encode_far(far));
-    out.push_back(type1(PacketOp::kWrite, ConfigReg::kFdri, 0));
-    out.push_back(type2(PacketOp::kWrite, narrow<u32>(word_count)));
-    for (u64 w = 0; w < word_count; ++w) {
-      const u32 word = next_payload_word();
-      out.push_back(word);
-      crc.update(ConfigReg::kFdri, word);
-    }
-  };
-
+  Rng payload{options.payload_seed};
   for (u32 row = 0; row < org.h; ++row) {
-    emit_burst(FrameBlock::kInterconnect, plan.first_row + row, cfg_words);
+    emit_burst(out, crc, payload, options, FrameBlock::kInterconnect,
+               plan.first_row + row, plan.window.first_col, cfg_words);
     if (org.columns.bram_cols > 0) {
-      emit_burst(FrameBlock::kBramContent, plan.first_row + row, bram_words);
+      emit_burst(out, crc, payload, options, FrameBlock::kBramContent,
+                 plan.first_row + row, plan.window.first_col, bram_words);
     }
   }
 
-  // The LFRM command is written before the CRC register, so it is part of
-  // the checked prefix.
-  crc.update(ConfigReg::kCmd, static_cast<u32>(ConfigCmd::kLfrm));
-  const std::vector<u32> trailer = trailer_words(family, crc.value());
-  if (trailer.size() != t.fw) {
-    throw ContractError{"generate_bitstream: trailer/FW mismatch"};
+  end_stream(out, family, crc);
+  if (out.size() != total_words) {
+    throw ContractError{"generate_bitstream: Eq. (18) size mismatch"};
   }
-  out.insert(out.end(), trailer.begin(), trailer.end());
-  PRCOST_COUNT("bitstream.generated");
-  PRCOST_COUNT_N("bitstream.words_emitted", out.size());
+  count_generated(out);
+}
+
+std::vector<u32> generate_bitstream(const PrrPlan& plan, Family family,
+                                    const GeneratorOptions& options) {
+  std::vector<u32> out;
+  generate_bitstream_into(out, plan, family, options);
   return out;
 }
 
-std::vector<u32> generate_shaped_bitstream(const ShapedPrr& shape,
-                                           Family family,
-                                           const GeneratorOptions& options) {
+void generate_shaped_bitstream_into(std::vector<u32>& out,
+                                    const ShapedPrr& shape, Family family,
+                                    const GeneratorOptions& options) {
   PRCOST_TRACE_SPAN("bitstream_gen_shaped");
   const FamilyTraits& t = traits(family);
   if (shape.bands.empty()) {
     throw ContractError{"generate_shaped_bitstream: no bands"};
   }
-  const u32 idcode =
-      options.idcode != 0 ? options.idcode : default_idcode(family);
-  std::vector<u32> out = header_words(family, idcode);
+  const u32 idcode = resolve_idcode(options, family);
 
-  ConfigCrc crc;
-  crc.update(ConfigReg::kIdcode, idcode);
-  crc.update(ConfigReg::kCmd, static_cast<u32>(ConfigCmd::kWcfg));
-  crc.update(ConfigReg::kMask, 0);
-  if (family == Family::kVirtex6 || family == Family::kSeries7) {
-    crc.update(ConfigReg::kCtl0, 0);
-  }
+  const u64 total_words = estimate_shaped_bitstream(shape, t).total_words;
+  out.clear();
+  out.reserve(static_cast<std::size_t>(total_words));
 
+  ConfigCrc crc = begin_stream(out, family, idcode);
   Rng payload{options.payload_seed};
-  const auto next_payload_word = [&]() -> u32 {
-    switch (options.payload) {
-      case PayloadKind::kRandom: return static_cast<u32>(payload());
-      case PayloadKind::kZeros: return 0;
-      case PayloadKind::kSparse:
-        return payload.chance(options.sparse_density)
-                   ? static_cast<u32>(payload())
-                   : 0u;
-    }
-    return 0;
-  };
-
   for (const PrrBand& band : shape.bands) {
     const auto& columns = band.organization.columns;
     const u64 cfg_frames = checked_mul(columns.clb_cols, t.cf_clb) +
                            checked_mul(columns.dsp_cols, t.cf_dsp) +
                            checked_mul(columns.bram_cols, t.cf_bram) + 1;
+    const u64 cfg_words = checked_mul(cfg_frames, t.frame_size);
     const u64 bram_frames =
         columns.bram_cols > 0 ? checked_mul(columns.bram_cols, t.df_bram) + 1
                               : 0;
-    const auto emit_burst = [&](FrameBlock block, u32 row, u64 frame_count) {
-      out.push_back(cfg::kNoop);
-      const FrameAddress far{block, row, band.window.first_col, 0};
-      push_reg(out, crc, ConfigReg::kFar, encode_far(far));
-      out.push_back(type1(PacketOp::kWrite, ConfigReg::kFdri, 0));
-      const u64 word_count = checked_mul(frame_count, t.frame_size);
-      out.push_back(type2(PacketOp::kWrite, narrow<u32>(word_count)));
-      for (u64 w = 0; w < word_count; ++w) {
-        const u32 word = next_payload_word();
-        out.push_back(word);
-        crc.update(ConfigReg::kFdri, word);
-      }
-    };
+    const u64 bram_words = checked_mul(bram_frames, t.frame_size);
     for (u32 row = 0; row < band.organization.h; ++row) {
-      emit_burst(FrameBlock::kInterconnect, band.first_row + row, cfg_frames);
+      emit_burst(out, crc, payload, options, FrameBlock::kInterconnect,
+                 band.first_row + row, band.window.first_col, cfg_words);
       if (columns.bram_cols > 0) {
-        emit_burst(FrameBlock::kBramContent, band.first_row + row,
-                   bram_frames);
+        emit_burst(out, crc, payload, options, FrameBlock::kBramContent,
+                   band.first_row + row, band.window.first_col, bram_words);
       }
     }
   }
 
-  crc.update(ConfigReg::kCmd, static_cast<u32>(ConfigCmd::kLfrm));
-  const std::vector<u32> trailer = trailer_words(family, crc.value());
-  out.insert(out.end(), trailer.begin(), trailer.end());
-  PRCOST_COUNT("bitstream.generated");
-  PRCOST_COUNT_N("bitstream.words_emitted", out.size());
+  end_stream(out, family, crc);
+  if (out.size() != total_words) {
+    throw ContractError{"generate_shaped_bitstream: size model mismatch"};
+  }
+  count_generated(out);
+}
+
+std::vector<u32> generate_shaped_bitstream(const ShapedPrr& shape,
+                                           Family family,
+                                           const GeneratorOptions& options) {
+  std::vector<u32> out;
+  generate_shaped_bitstream_into(out, shape, family, options);
   return out;
 }
 
-std::vector<u32> generate_full_bitstream(const Fabric& fabric,
-                                         const GeneratorOptions& options) {
+void generate_full_bitstream_into(std::vector<u32>& out, const Fabric& fabric,
+                                  const GeneratorOptions& options) {
   PRCOST_TRACE_SPAN("bitstream_gen_full");
   const Family family = fabric.family();
   const FamilyTraits& t = traits(family);
-  const u32 idcode =
-      options.idcode != 0 ? options.idcode : default_idcode(family);
-  std::vector<u32> out = header_words(family, idcode);
-
-  ConfigCrc crc;
-  crc.update(ConfigReg::kIdcode, idcode);
-  crc.update(ConfigReg::kCmd, static_cast<u32>(ConfigCmd::kWcfg));
-  crc.update(ConfigReg::kMask, 0);
-  if (family == Family::kVirtex6 || family == Family::kSeries7) {
-    crc.update(ConfigReg::kCtl0, 0);
-  }
-
-  Rng payload{options.payload_seed};
-  const auto next_payload_word = [&]() -> u32 {
-    switch (options.payload) {
-      case PayloadKind::kRandom: return static_cast<u32>(payload());
-      case PayloadKind::kZeros: return 0;
-      case PayloadKind::kSparse:
-        return payload.chance(options.sparse_density)
-                   ? static_cast<u32>(payload())
-                   : 0u;
-    }
-    return 0;
-  };
+  const u32 idcode = resolve_idcode(options, family);
 
   // Every column of a row participates (IOB and CLK included), then one
   // flush frame - the same accounting as full_bitstream_bytes().
   const u64 cfg_frames =
       fabric.window_config_frames(ColumnWindow{0, fabric.num_columns()}) + 1;
+  const u64 cfg_words = checked_mul(cfg_frames, t.frame_size);
   const u64 bram_cols = fabric.column_count(ColumnType::kBram);
   const u64 bram_frames =
       bram_cols > 0 ? checked_mul(bram_cols, t.df_bram) + 1 : 0;
+  const u64 bram_words = checked_mul(bram_frames, t.frame_size);
+  const u64 row_words = t.far_fdri + cfg_words +
+                        (bram_cols > 0 ? t.far_fdri + bram_words : 0);
+  const u64 total_words =
+      t.iw + checked_mul(fabric.rows(), row_words) + t.fw;
+  out.clear();
+  out.reserve(static_cast<std::size_t>(total_words));
 
-  const auto emit_burst = [&](FrameBlock block, u32 row, u64 frame_count) {
-    out.push_back(cfg::kNoop);
-    const FrameAddress far{block, row, 0, 0};
-    push_reg(out, crc, ConfigReg::kFar, encode_far(far));
-    out.push_back(type1(PacketOp::kWrite, ConfigReg::kFdri, 0));
-    const u64 word_count = checked_mul(frame_count, t.frame_size);
-    out.push_back(type2(PacketOp::kWrite, narrow<u32>(word_count)));
-    for (u64 w = 0; w < word_count; ++w) {
-      const u32 word = next_payload_word();
-      out.push_back(word);
-      crc.update(ConfigReg::kFdri, word);
-    }
-  };
+  ConfigCrc crc = begin_stream(out, family, idcode);
+  Rng payload{options.payload_seed};
   for (u32 row = 0; row < fabric.rows(); ++row) {
-    emit_burst(FrameBlock::kInterconnect, row, cfg_frames);
-    if (bram_cols > 0) emit_burst(FrameBlock::kBramContent, row, bram_frames);
+    emit_burst(out, crc, payload, options, FrameBlock::kInterconnect, row, 0,
+               cfg_words);
+    if (bram_cols > 0) {
+      emit_burst(out, crc, payload, options, FrameBlock::kBramContent, row, 0,
+                 bram_words);
+    }
   }
 
-  crc.update(ConfigReg::kCmd, static_cast<u32>(ConfigCmd::kLfrm));
-  const std::vector<u32> trailer = trailer_words(family, crc.value());
-  out.insert(out.end(), trailer.begin(), trailer.end());
-  PRCOST_COUNT("bitstream.generated");
-  PRCOST_COUNT_N("bitstream.words_emitted", out.size());
+  end_stream(out, family, crc);
+  if (out.size() != total_words) {
+    throw ContractError{"generate_full_bitstream: size model mismatch"};
+  }
+  count_generated(out);
+}
+
+std::vector<u32> generate_full_bitstream(const Fabric& fabric,
+                                         const GeneratorOptions& options) {
+  std::vector<u32> out;
+  generate_full_bitstream_into(out, fabric, options);
   return out;
 }
 

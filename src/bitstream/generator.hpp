@@ -49,15 +49,31 @@ struct GeneratorOptions {
 /// traits(family).iw by construction - tested.
 std::vector<u32> header_words(Family family, u32 idcode);
 
+/// Append the header words to `out` (allocation-free when `out` has
+/// capacity).
+void append_header_words(std::vector<u32>& out, Family family, u32 idcode);
+
 /// Final words for `family` (the paper's FW), carrying the accumulated
 /// CRC. Length equals traits(family).fw.
 std::vector<u32> trailer_words(Family family, u32 crc);
+
+/// Append the trailer words to `out`.
+void append_trailer_words(std::vector<u32>& out, Family family, u32 crc);
 
 /// Generate the full partial bitstream for `plan` as 32-bit configuration
 /// words (for 16-bit families each entry still holds one configuration
 /// word; byte serialization honours traits.bytes_word).
 std::vector<u32> generate_bitstream(const PrrPlan& plan, Family family,
                                     const GeneratorOptions& options = {});
+
+/// Same, writing into a caller-owned buffer (cleared first). Hot callers
+/// pass a reused (e.g. thread-local) scratch vector so steady-state
+/// generation performs no allocation at all: the word count is known
+/// exactly up front from Eq. (18), so the buffer is reserved once and its
+/// capacity is reused across calls.
+void generate_bitstream_into(std::vector<u32>& out, const PrrPlan& plan,
+                             Family family,
+                             const GeneratorOptions& options = {});
 
 /// Serialize to wire bytes (big-endian, traits.bytes_word bytes per word).
 /// The result size is the quantity Table VII reports.
@@ -71,6 +87,11 @@ std::vector<u32> generate_shaped_bitstream(const ShapedPrr& shape,
                                            Family family,
                                            const GeneratorOptions& options = {});
 
+/// Buffer-reusing variant of generate_shaped_bitstream.
+void generate_shaped_bitstream_into(std::vector<u32>& out,
+                                    const ShapedPrr& shape, Family family,
+                                    const GeneratorOptions& options = {});
+
 /// Generate a FULL configuration bitstream for the whole fabric (every
 /// column of every row, including IOB and clock columns, plus all BRAM
 /// initialization) - the non-PR baseline artifact. Its byte size equals
@@ -78,6 +99,10 @@ std::vector<u32> generate_shaped_bitstream(const ShapedPrr& shape,
 /// model-vs-artifact loop Eq. (18) has for partial bitstreams.
 std::vector<u32> generate_full_bitstream(const Fabric& fabric,
                                          const GeneratorOptions& options = {});
+
+/// Buffer-reusing variant of generate_full_bitstream.
+void generate_full_bitstream_into(std::vector<u32>& out, const Fabric& fabric,
+                                  const GeneratorOptions& options = {});
 
 /// Default IDCODE per family (synthetic but stable).
 u32 default_idcode(Family family);

@@ -85,9 +85,11 @@ BitstreamLayout parse_bitstream(std::span<const u32> words, Family family) {
         }
         burst.frames = count / t.frame_size;
         burst.offset_words = cur.pos;
-        for (u32 i = 0; i < count; ++i) {
-          crc.update(ConfigReg::kFdri, cur.take());
+        if (cur.pos + count > words.size()) {
+          throw ParseError{"bitstream: truncated stream"};
         }
+        crc.update_span(ConfigReg::kFdri, words.subspan(cur.pos, count));
+        cur.pos += count;
         layout.bursts.push_back(burst);
         continue;
       }

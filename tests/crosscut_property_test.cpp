@@ -6,6 +6,8 @@
 
 #include <cmath>
 
+#include "bitstream/bitstream_cache.hpp"
+#include "bitstream/crc.hpp"
 #include "bitstream/generator.hpp"
 #include "bitstream/lint.hpp"
 #include "cost/prr_search.hpp"
@@ -52,12 +54,60 @@ TEST_P(RandomReqSweep, SearchResultsAreAlwaysSufficientAndExact) {
       EXPECT_EQ(words.size(), plan->bitstream.total_words) << device.name;
       EXPECT_TRUE(lint_bitstream(words, device.fabric.family()).empty())
           << device.name;
+      // Cached generation is byte-identical to the fresh one.
+      const auto cached =
+          generate_bitstream_cached(*plan, device.fabric.family());
+      EXPECT_EQ(*cached, words) << device.name;
     }
   }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomReqSweep,
                          ::testing::Values(101, 202, 303, 404));
+
+// ------------------------------------------------- CRC slicing oracle ---
+
+class SlicedCrcProperty : public ::testing::TestWithParam<u64> {};
+
+TEST_P(SlicedCrcProperty, MatchesBitSerialOracleOnRandomStreams) {
+  Rng rng{GetParam()};
+  ConfigCrc sliced;
+  BitSerialConfigCrc oracle;
+  for (int step = 0; step < 4000; ++step) {
+    const u32 data = static_cast<u32>(rng());
+    const auto reg = static_cast<ConfigReg>(rng() % 32);
+    sliced.update(reg, data);
+    oracle.update(reg, data);
+    ASSERT_EQ(sliced.value(), oracle.value()) << "step " << step;
+    if (rng.below(64) == 0) {
+      sliced.reset();
+      oracle.reset();
+      ASSERT_EQ(sliced.value(), oracle.value());
+    }
+  }
+}
+
+TEST_P(SlicedCrcProperty, SpanUpdateEqualsPerWordUpdates) {
+  Rng rng{GetParam() ^ 0x5Fa2u};
+  for (int trial = 0; trial < 32; ++trial) {
+    std::vector<u32> burst(1 + rng.below(600));
+    for (u32& word : burst) word = static_cast<u32>(rng());
+    const auto reg = static_cast<ConfigReg>(rng() % 32);
+    ConfigCrc span_crc;
+    ConfigCrc word_crc;
+    BitSerialConfigCrc oracle;
+    span_crc.update_span(reg, burst);
+    for (const u32 word : burst) {
+      word_crc.update(reg, word);
+      oracle.update(reg, word);
+    }
+    ASSERT_EQ(span_crc.value(), word_crc.value());
+    ASSERT_EQ(span_crc.value(), oracle.value());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SlicedCrcProperty,
+                         ::testing::Values(11, 22, 33, 44));
 
 TEST(MonotoneProperty, MoreDemandNeverShrinksThePrr) {
   const Fabric& fabric = DeviceDb::instance().get("xc6vlx240t").fabric;

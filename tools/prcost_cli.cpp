@@ -50,6 +50,8 @@ void print_usage(std::ostream& out) {
       "              [--objective area|height|bitstream] [--shaped]\n"
       "  prcost bitstream <prm> --device <name> [-o out.bit]\n"
       "  prcost explore --device <name> <prm> <prm> [...] [--workers N]\n"
+      "              [--cross-check]  (generate + verify Pareto-front\n"
+      "               bitstreams against the Eq. 18 model)\n"
       "  prcost netlist <prm> [-o design.net]\n"
       "  prcost rank <prm> <prm> [...] [--workers N]\n"
       "  prcost batch [requests.jsonl] [--workers N] [-o responses.jsonl]\n"
@@ -62,6 +64,8 @@ void print_usage(std::ostream& out) {
       "  --log-level LVL     debug|info|warn|error|off (default warn)\n"
       "  --no-plan-cache     disable PRR plan memoization (escape hatch;\n"
       "                      results are identical either way)\n"
+      "  --no-bitstream-cache  disable generated-bitstream memoization\n"
+      "                      (escape hatch; output is byte-identical)\n"
       "  --workers N         parallel workers for explore/rank/batch\n"
       "                      (0 = auto)\n"
       "prms: fir mips sdram aes crc32 uart matmul sobel fft\n"
@@ -88,7 +92,8 @@ Args parse_args(int argc, char** argv, int first) {
     if (token.rfind("--", 0) == 0 || token == "-o") {
       const std::string key = token.rfind("--", 0) == 0 ? token.substr(2)
                                                         : "out";
-      if (key == "shaped" || key == "no-plan-cache") {  // boolean flags
+      if (key == "shaped" || key == "no-plan-cache" ||
+          key == "no-bitstream-cache" || key == "cross-check") {  // booleans
         args.flags[key] = "1";
         continue;
       }
@@ -302,6 +307,7 @@ int cmd_explore(const Engine& engine, const Args& args) {
   request.device = args.get("device", "");
   request.prms = args.positional;
   request.workers = workers_flag(args);
+  request.cross_check = args.has("cross-check");
   const api::ExploreResponse response = engine.explore(request);
 
   TextTable table{{"partitioning", "area", "makespan (ms)", "feasible"}};
@@ -323,6 +329,15 @@ int cmd_explore(const Engine& engine, const Args& args) {
   std::cout << table.to_ascii();
   std::cout << "pareto-optimal: " << response.pareto_count << " of "
             << response.points.size() << " partitionings\n";
+  if (response.bitstream_check) {
+    std::cout << "bitstream cross-check: "
+              << response.bitstream_check->plans_checked
+              << " distinct PRR plans generated, "
+              << (response.bitstream_check->all_match ? "all match the model"
+                                                      : "MODEL MISMATCH")
+              << "\n";
+    if (!response.bitstream_check->all_match) return 1;
+  }
   return 0;
 }
 
@@ -449,6 +464,7 @@ int main(int argc, char** argv) {
     const ObsOptions obs_options = configure_obs(args);
     Engine::Options engine_options;
     engine_options.plan_cache = !args.has("no-plan-cache");
+    engine_options.bitstream_cache = !args.has("no-bitstream-cache");
     const Engine engine{engine_options};
     int rc = 0;
     if (command == "devices") {
