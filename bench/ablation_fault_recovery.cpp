@@ -1,0 +1,133 @@
+// Ablation: fault rate vs effective reconfiguration time.
+//
+// Sweeps the bitstream corruption probability of the deterministic
+// FaultInjector over the multitask workload and reports how the verified
+// transfer loop (CRC check + bounded retry + exponential backoff) inflates
+// the effective per-reconfiguration cost, alongside the closed-form
+// expectation E[attempts] = (1-p^n)/(1-p) from expected_retry_cost. At
+// rate 0 the simulation is bit-identical to the fault-free path, so the
+// first row doubles as a regression anchor.
+//
+// Reports JSON on stdout and writes it to --out (default
+// BENCH_fault_recovery.json, "-" disables the file).
+//
+//   ablation_fault_recovery [--tasks 150] [--out BENCH_fault_recovery.json]
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "cost/prr_search.hpp"
+#include "device/device_db.hpp"
+#include "multitask/simulator.hpp"
+#include "paperdata/paper_dataset.hpp"
+#include "reconfig/baselines.hpp"
+#include "reconfig/faults.hpp"
+#include "util/json.hpp"
+
+int main(int argc, char** argv) {
+  using namespace prcost;
+  std::string out_path = "BENCH_fault_recovery.json";
+  u32 task_count = 150;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    const std::string flag = argv[i];
+    const std::string value = argv[i + 1];
+    if (flag == "--out") {
+      out_path = value;
+    } else if (flag == "--tasks") {
+      task_count = narrow<u32>(parse_u64(value));
+    } else {
+      std::cerr << "unknown flag " << flag << "\n";
+      return 2;
+    }
+  }
+
+  const Device& device = DeviceDb::instance().get("xc5vlx110t");
+  std::vector<PrmInfo> prms;
+  for (const char* name : {"FIR", "MIPS", "SDRAM"}) {
+    const auto& rec = paperdata::table5_record(name, "xc5vlx110t");
+    const auto plan = find_prr(rec.req, device.fabric);
+    prms.push_back(PrmInfo{name, rec.req, plan->bitstream.total_bytes});
+  }
+
+  WorkloadParams wp;
+  wp.count = task_count;
+  wp.mean_interarrival_s = 1.0e-3;
+  wp.mean_exec_s = 2.0e-3;
+  const auto workload = make_workload(wp);
+
+  SimConfig base;
+  base.prr_count = 2;
+  base.policy = SchedPolicy::kFcfs;  // no scheduler rescue
+
+  // Fault-free anchor: the per-transfer cost the retry model expects.
+  const SimResult clean = simulate(prms, workload, base);
+  const double clean_reconfig_s =
+      clean.total_reconfig_s / static_cast<double>(clean.reconfig_count);
+
+  TextTable table{{"fault rate", "makespan (ms)", "reconfigs", "retries",
+                   "failed", "dropped", "eff. reconfig (us)",
+                   "model (us)", "model E[attempts]"}};
+  Json runs = Json::array();
+  for (const double rate : {0.0, 0.01, 0.05, 0.1, 0.2, 0.4}) {
+    FaultProfile profile;
+    profile.fault_rate = rate;
+    profile.seed = 0xFA017;
+    FaultInjector injector{profile};
+    SimConfig config = base;
+    if (profile.active()) config.faults = &injector;
+    const SimResult r = simulate(prms, workload, config);
+    const double eff =
+        r.reconfig_count != 0
+            ? r.total_reconfig_s / static_cast<double>(r.reconfig_count)
+            : 0.0;
+    const RetryExpectation model =
+        expected_retry_cost(clean_reconfig_s, rate, config.retry);
+    table.add_row({format_fixed(rate, 2),
+                   format_fixed(r.makespan_s * 1e3, 2),
+                   std::to_string(r.reconfig_count),
+                   std::to_string(r.retry_attempts),
+                   std::to_string(r.failed_reconfigs),
+                   std::to_string(r.dropped_tasks),
+                   format_fixed(eff * 1e6, 1),
+                   format_fixed(model.expected_time_s * 1e6, 1),
+                   format_fixed(model.expected_attempts, 3)});
+    Json run = Json::object();
+    run.set("fault_rate", rate)
+        .set("makespan_s", r.makespan_s)
+        .set("reconfig_count", r.reconfig_count)
+        .set("retry_attempts", r.retry_attempts)
+        .set("failed_reconfigs", r.failed_reconfigs)
+        .set("dropped_tasks", r.dropped_tasks)
+        .set("total_retry_backoff_s", r.total_retry_backoff_s)
+        .set("total_fault_wasted_s", r.total_fault_wasted_s)
+        .set("effective_reconfig_s", eff)
+        .set("model_expected_time_s", model.expected_time_s)
+        .set("model_expected_attempts", model.expected_attempts)
+        .set("model_success_probability", model.success_probability);
+    runs.push_back(std::move(run));
+  }
+  bench::print_table(
+      "Ablation: fault rate vs effective reconfiguration time "
+      "(verified transfer, retry budget 3)",
+      table);
+
+  Json doc = Json::object();
+  doc.set("bench", "ablation_fault_recovery")
+      .set("device", device.name)
+      .set("tasks", static_cast<u64>(task_count))
+      .set("clean_reconfig_s", clean_reconfig_s)
+      .set("runs", std::move(runs));
+  const std::string json = doc.dump();
+  std::cout << json << '\n';
+  if (out_path != "-") {
+    std::ofstream out{out_path};
+    out << json << '\n';
+    if (!out) {
+      std::cerr << "error: cannot write " << out_path << "\n";
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -53,8 +53,12 @@ Json dispatch_by_op(const Engine& engine, const Json& request) {
   if (name == "rank") {
     return to_json(engine.rank(rank_request_from_json(request)));
   }
-  throw NotFoundError{"unknown op '" + name +
-                      "' (known: devices synth plan bitstream explore rank)"};
+  if (name == "faults") {
+    return to_json(engine.faults(faults_request_from_json(request)));
+  }
+  throw NotFoundError{
+      "unknown op '" + name +
+      "' (known: devices synth plan bitstream explore rank faults)"};
 }
 
 }  // namespace

@@ -10,9 +10,11 @@
 #include "bitstream/generator.hpp"
 #include "cost/plan_cache.hpp"
 #include "cost/shaped_prr.hpp"
+#include "multitask/simulator.hpp"
 #include "multitask/workload.hpp"
 #include "netlist/serialize.hpp"
 #include "par/par.hpp"
+#include "reconfig/faults.hpp"
 #include "synth/synthesizer.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
@@ -255,6 +257,77 @@ RankResponse Engine::rank(const RankRequest& request) const {
   DeviceSelectOptions options;
   options.workers = effective_workers(request.workers);
   return RankResponse{rank_devices(prms, make_workload(wp), options)};
+}
+
+FaultsResponse Engine::faults(const FaultsRequest& request) const {
+  if (request.prms.empty()) throw UsageError{"faults needs at least one PRM"};
+  const Device& device = resolve_device(request.device);
+  std::vector<PrmInfo> prms =
+      synthesize_prms(request.prms, device.fabric.family());
+  for (PrmInfo& prm : prms) {
+    const auto plan = find_prr(prm.req, device.fabric);
+    if (!plan) {
+      throw InfeasibleError{"no feasible PRR for '" + prm.name + "' on " +
+                            device.name};
+    }
+    prm.bitstream_bytes = plan->bitstream.total_bytes;
+  }
+
+  FaultProfile profile;
+  profile.fault_rate = request.fault_rate.value_or(options_.fault_rate);
+  profile.stall_rate = request.stall_rate.value_or(options_.stall_rate);
+  profile.seed = request.fault_seed.value_or(options_.fault_seed);
+  FaultInjector injector{profile};
+
+  SimConfig config;
+  config.prr_count = request.prr_count;
+  config.media = parse_media(request.media);
+  config.retry.max_retries =
+      request.max_retries.value_or(options_.max_retries);
+  if (request.recovery == "drop") {
+    config.recovery = FaultRecovery::kDrop;
+  } else if (request.recovery == "reschedule") {
+    config.recovery = FaultRecovery::kReschedule;
+  } else {
+    throw UsageError{"unknown recovery '" + request.recovery +
+                     "' (known: drop reschedule)"};
+  }
+  // Only attach the injector when the profile can actually fire; the
+  // fault-free request then takes the exact pre-fault simulation path.
+  if (profile.active()) config.faults = &injector;
+
+  WorkloadParams wp;
+  wp.count = request.tasks;
+  wp.prm_count = narrow<u32>(prms.size());
+  wp.seed = request.seed;
+  const SimResult sim = simulate(prms, make_workload(wp), config);
+
+  FaultsResponse response;
+  response.device = device.name;
+  response.fault_rate = profile.fault_rate;
+  response.fault_seed = profile.seed;
+  response.max_retries = config.retry.max_retries;
+  response.makespan_s = sim.makespan_s;
+  response.reconfig_count = sim.reconfig_count;
+  response.total_reconfig_s = sim.total_reconfig_s;
+  response.failed_reconfigs = sim.failed_reconfigs;
+  response.dropped_tasks = sim.dropped_tasks;
+  response.rescheduled_tasks = sim.rescheduled_tasks;
+  response.retry_attempts = sim.retry_attempts;
+  response.total_retry_backoff_s = sim.total_retry_backoff_s;
+  response.total_fault_wasted_s = sim.total_fault_wasted_s;
+  response.total_penalty_s = sim.total_penalty_s;
+  response.injected_faults = injector.corrupted();
+  response.injected_stalls = injector.stalls();
+  response.effective_reconfig_s =
+      sim.reconfig_count != 0
+          ? sim.total_reconfig_s / static_cast<double>(sim.reconfig_count)
+          : 0.0;
+  if (request.strict && sim.dropped_tasks > 0) {
+    throw FaultError{"faults: " + std::to_string(sim.dropped_tasks) +
+                     " task(s) dropped after exhausted retries"};
+  }
+  return response;
 }
 
 DevicesResponse Engine::list_devices() const {

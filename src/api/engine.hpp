@@ -34,6 +34,13 @@ class Engine {
     /// Default worker count for explore/rank and batch dispatch when the
     /// request leaves its own `workers` at 0 (0 = one per hardware thread).
     std::size_t workers = 0;
+    /// Fault-environment defaults for faults() requests that leave the
+    /// corresponding optional unset. fault_rate 0 (the default) keeps
+    /// every other workflow byte-identical to a fault-free build.
+    double fault_rate = 0.0;
+    double stall_rate = 0.0;
+    u64 fault_seed = 0x5EED;
+    u32 max_retries = 3;
   };
 
   Engine();  ///< default Options
@@ -62,6 +69,11 @@ class Engine {
 
   /// Rank the whole catalog for a PRM set.
   RankResponse rank(const RankRequest& request) const;
+
+  /// Multitask simulation under deterministic fault injection: CRC-verified
+  /// transfers with bounded retry, graceful degradation on permanent
+  /// failure. Throws FaultError when `strict` and any task was dropped.
+  FaultsResponse faults(const FaultsRequest& request) const;
 
   /// The catalog, summarized row-per-device.
   DevicesResponse list_devices() const;

@@ -32,6 +32,11 @@ bool get_bool(const Json& j, std::string_view key, bool fallback) {
   return member == nullptr ? fallback : member->as_bool();
 }
 
+double get_double(const Json& j, std::string_view key, double fallback) {
+  const Json* member = j.find(key);
+  return member == nullptr ? fallback : member->as_double();
+}
+
 PrmSource source_from_json(const Json& j) {
   PrmSource source;
   source.prm = get_string(j, "prm");
@@ -200,6 +205,31 @@ RankRequest rank_request_from_json(const Json& j) {
   return request;
 }
 
+FaultsRequest faults_request_from_json(const Json& j) {
+  FaultsRequest request;
+  request.device = get_string(j, "device");
+  request.prms = prms_from_json(j);
+  request.prr_count = narrow<u32>(get_u64(j, "prr_count", 2));
+  request.tasks = narrow<u32>(get_u64(j, "tasks", 100));
+  request.seed = get_u64(j, "seed", 42);
+  if (j.find("fault_rate")) {
+    request.fault_rate = get_double(j, "fault_rate", 0.0);
+  }
+  if (j.find("stall_rate")) {
+    request.stall_rate = get_double(j, "stall_rate", 0.0);
+  }
+  if (j.find("fault_seed")) {
+    request.fault_seed = get_u64(j, "fault_seed", 0);
+  }
+  if (j.find("max_retries")) {
+    request.max_retries = narrow<u32>(get_u64(j, "max_retries", 0));
+  }
+  request.media = get_string(j, "media", "ddr");
+  request.recovery = get_string(j, "recovery", "drop");
+  request.strict = get_bool(j, "strict", false);
+  return request;
+}
+
 Json to_json(const SynthResponse& r) {
   Json j = Json::object();
   j.set("report", report_to_json(r.report));
@@ -304,6 +334,28 @@ Json to_json(const RankResponse& r) {
   return j;
 }
 
+Json to_json(const FaultsResponse& r) {
+  Json j = Json::object();
+  j.set("device", r.device)
+      .set("fault_rate", r.fault_rate)
+      .set("fault_seed", r.fault_seed)
+      .set("max_retries", r.max_retries)
+      .set("makespan_s", r.makespan_s)
+      .set("reconfig_count", r.reconfig_count)
+      .set("total_reconfig_s", r.total_reconfig_s)
+      .set("failed_reconfigs", r.failed_reconfigs)
+      .set("dropped_tasks", r.dropped_tasks)
+      .set("rescheduled_tasks", r.rescheduled_tasks)
+      .set("retry_attempts", r.retry_attempts)
+      .set("total_retry_backoff_s", r.total_retry_backoff_s)
+      .set("total_fault_wasted_s", r.total_fault_wasted_s)
+      .set("total_penalty_s", r.total_penalty_s)
+      .set("injected_faults", r.injected_faults)
+      .set("injected_stalls", r.injected_stalls)
+      .set("effective_reconfig_s", r.effective_reconfig_s);
+  return j;
+}
+
 Json to_json(const DevicesResponse& r) {
   Json j = Json::object();
   Json devices = Json::array();
@@ -369,6 +421,22 @@ Json to_json(const RankRequest& r) {
       .set("workers", static_cast<u64>(r.workers))
       .set("tasks", r.tasks)
       .set("seed", r.seed);
+  return j;
+}
+
+Json to_json(const FaultsRequest& r) {
+  Json j = Json::object();
+  j.set("op", "faults")
+      .set("device", r.device)
+      .set("prms", prms_to_json(r.prms))
+      .set("prr_count", r.prr_count)
+      .set("tasks", r.tasks)
+      .set("seed", r.seed);
+  if (r.fault_rate) j.set("fault_rate", *r.fault_rate);
+  if (r.stall_rate) j.set("stall_rate", *r.stall_rate);
+  if (r.fault_seed) j.set("fault_seed", *r.fault_seed);
+  if (r.max_retries) j.set("max_retries", static_cast<u64>(*r.max_retries));
+  j.set("media", r.media).set("recovery", r.recovery).set("strict", r.strict);
   return j;
 }
 

@@ -152,6 +152,50 @@ struct RankResponse {
   std::vector<DeviceChoice> choices;  ///< sorted as rank_devices returns
 };
 
+// --------------------------------------------------------------- faults --
+
+/// Fault-injection run over the multitask simulator: size one PRR per
+/// built-in PRM, run the seeded workload with a deterministic
+/// FaultInjector on every context switch, and report the degradation and
+/// retry accounting. Optional fields fall back to Engine::Options.
+struct FaultsRequest {
+  std::string device;
+  std::vector<std::string> prms;  ///< built-in PRM names (>= 1)
+  u32 prr_count = 2;
+  u32 tasks = 100;                ///< workload size
+  u64 seed = 42;                  ///< workload seed
+  std::optional<double> fault_rate;   ///< unset = engine default
+  std::optional<double> stall_rate;   ///< unset = engine default
+  std::optional<u64> fault_seed;      ///< unset = engine default
+  std::optional<u32> max_retries;     ///< unset = engine default
+  std::string media = "ddr";
+  std::string recovery = "drop";      ///< "drop" | "reschedule"
+  /// Fail the whole request (FaultError) when any task is dropped.
+  bool strict = false;
+};
+
+struct FaultsResponse {
+  std::string device;
+  double fault_rate = 0;     ///< effective (post-default) rate
+  u64 fault_seed = 0;        ///< effective injector seed
+  u32 max_retries = 0;       ///< effective retry budget
+  double makespan_s = 0;
+  u64 reconfig_count = 0;    ///< successful reconfigurations
+  double total_reconfig_s = 0;
+  u64 failed_reconfigs = 0;
+  u64 dropped_tasks = 0;
+  u64 rescheduled_tasks = 0;
+  u64 retry_attempts = 0;    ///< transfer attempts beyond the first
+  double total_retry_backoff_s = 0;
+  double total_fault_wasted_s = 0;
+  double total_penalty_s = 0;
+  u64 injected_faults = 0;   ///< corrupted attempts drawn by the injector
+  u64 injected_stalls = 0;
+  /// Mean effective seconds per successful reconfiguration, including
+  /// retry, backoff, and wasted-attempt time (0 when none succeeded).
+  double effective_reconfig_s = 0;
+};
+
 // -------------------------------------------------------------- devices --
 
 struct DeviceSummary {
@@ -177,6 +221,7 @@ PlanRequest plan_request_from_json(const Json& j);
 BitstreamRequest bitstream_request_from_json(const Json& j);
 ExploreRequest explore_request_from_json(const Json& j);
 RankRequest rank_request_from_json(const Json& j);
+FaultsRequest faults_request_from_json(const Json& j);
 
 Json to_json(const SynthResponse& r);
 Json to_json(const PlanResponse& r);
@@ -184,11 +229,13 @@ Json to_json(const BitstreamResponse& r);
 Json to_json(const ExploreResponse& r);
 Json to_json(const RankResponse& r);
 Json to_json(const DevicesResponse& r);
+Json to_json(const FaultsResponse& r);
 
 Json to_json(const SynthRequest& r);
 Json to_json(const PlanRequest& r);
 Json to_json(const BitstreamRequest& r);
 Json to_json(const ExploreRequest& r);
 Json to_json(const RankRequest& r);
+Json to_json(const FaultsRequest& r);
 
 }  // namespace prcost::api

@@ -77,17 +77,23 @@ BitstreamLayout parse_bitstream(std::span<const u32> words, Family family) {
         }
         count = type2_count(t2);
         if (!far_valid) throw ParseError{"bitstream: FDRI before FAR"};
-        FdriBurst burst;
-        burst.far = current_far;
-        burst.words = count;
+        // Validate the adversary-controlled count before any arithmetic
+        // or recording: it must name a non-empty, frame-aligned burst
+        // that fits in the remaining words.
+        if (count == 0) {
+          throw ParseError{"bitstream: empty FDRI type-2 burst"};
+        }
+        if (count > words.size() - cur.pos) {
+          throw ParseError{"bitstream: truncated stream"};
+        }
         if (count % t.frame_size != 0) {
           throw ParseError{"bitstream: FDRI burst not frame-aligned"};
         }
+        FdriBurst burst;
+        burst.far = current_far;
+        burst.words = count;
         burst.frames = count / t.frame_size;
         burst.offset_words = cur.pos;
-        if (cur.pos + count > words.size()) {
-          throw ParseError{"bitstream: truncated stream"};
-        }
         crc.update_span(ConfigReg::kFdri, words.subspan(cur.pos, count));
         cur.pos += count;
         layout.bursts.push_back(burst);

@@ -87,15 +87,47 @@ PreemptiveResult simulate_preemptive(const std::vector<PrmInfo>& prms,
     PrrState& prr = prrs[prr_index];
     double start = now;
     if (prr.loaded != tasks[job.task].prm) {
-      const double reconfig_s =
-          controller
-              ->estimate(prms[tasks[job.task].prm].bitstream_bytes,
-                         config.media)
-              .total_s;
-      start = icap_time(reconfig_s);
-      prr.loaded = tasks[job.task].prm;
-      result.total_reconfig_s += reconfig_s;
-      ++result.reconfig_count;
+      if (config.faults != nullptr) {
+        // Fault mode: verified transfer with retry; a permanent failure
+        // drops the job here - the PRR stays idle and undefined.
+        const TransferOutcome xfer = verified_transfer(
+            *controller, prms[tasks[job.task].prm].bitstream_bytes,
+            config.media, config.faults, config.retry);
+        const double end = icap_time(xfer.total_s);
+        TaskOutcome& outcome = result.tasks[job.task];
+        outcome.task_index = narrow<u32>(job.task);
+        outcome.prr = narrow<u32>(prr_index);
+        outcome.reconfig_attempts += xfer.attempts;
+        result.retry_attempts += xfer.attempts - 1;
+        result.total_retry_backoff_s += xfer.backoff_s;
+        result.total_fault_wasted_s += xfer.wasted_s;
+        if (!xfer.success) {
+          ++result.failed_reconfigs;
+          prr.loaded.reset();
+          outcome.dropped = true;
+          outcome.finish_s = end;
+          outcome.wait_s = end - tasks[job.task].arrival_s;
+          result.makespan_s = std::max(result.makespan_s, end);
+          ++result.dropped_tasks;
+          result.total_penalty_s += config.drop_penalty_s;
+          ++completed;
+          return;
+        }
+        start = end;
+        prr.loaded = tasks[job.task].prm;
+        result.total_reconfig_s += xfer.total_s;
+        ++result.reconfig_count;
+      } else {
+        const double reconfig_s =
+            controller
+                ->estimate(prms[tasks[job.task].prm].bitstream_bytes,
+                           config.media)
+                .total_s;
+        start = icap_time(reconfig_s);
+        prr.loaded = tasks[job.task].prm;
+        result.total_reconfig_s += reconfig_s;
+        ++result.reconfig_count;
+      }
     }
     if (job.needs_restore) {
       start = std::max(start, icap_time(config.context_restore_s));
@@ -227,6 +259,10 @@ PreemptiveResult simulate_preemptive(const std::vector<PrmInfo>& prms,
       wait_count == 0 ? 0.0 : wait_sum / static_cast<double>(wait_count);
   PRCOST_COUNT("sim.preemptive_runs");
   PRCOST_COUNT_N("sim.preemptions", result.preemptions);
+  if (config.faults != nullptr) {
+    PRCOST_COUNT_N("sim.failed_reconfigs", result.failed_reconfigs);
+    PRCOST_COUNT_N("sim.dropped_tasks", result.dropped_tasks);
+  }
   return result;
 }
 

@@ -93,6 +93,8 @@ SimResult simulate(const std::vector<PrmInfo>& prms, std::vector<HwTask> tasks,
   std::size_t completed = 0;
   double now = 0.0;
   u64 reconfig_bytes = 0;  // tallied locally, counted once after the loop
+  // Per-task re-queue budget consumed (FaultRecovery::kReschedule only).
+  std::vector<u32> reschedules(config.faults ? tasks.size() : 0, 0);
 
   while (completed < tasks.size()) {
     // Admit arrivals up to `now`.
@@ -161,19 +163,63 @@ SimResult simulate(const std::vector<PrmInfo>& prms, std::vector<HwTask> tasks,
           }
         }
       }
-      if (!relocate) reconfig_bytes += prms[task.prm].bitstream_bytes;
-      const double switch_s = relocate ? config.relocation_s : storage_s;
-      const double switch_start = std::max(now, icap_free_at);
-      icap_free_at = switch_start + switch_s;
-      exec_start = icap_free_at;
-      prr.loaded = task.prm;
-      outcome.reconfigured = true;
-      if (relocate) {
-        result.total_relocation_s += switch_s;
-        ++result.relocation_count;
-      } else {
-        result.total_reconfig_s += switch_s;
+      if (!relocate && config.faults != nullptr) {
+        // Fault mode: run the CRC-verified transfer loop. The ICAP time
+        // (including failed attempts and backoff) is spent whether or not
+        // the transfer ultimately succeeds.
+        const TransferOutcome xfer = verified_transfer(
+            *controller, prms[task.prm].bitstream_bytes, config.media,
+            config.faults, config.retry);
+        outcome.reconfig_attempts += xfer.attempts;
+        result.retry_attempts += xfer.attempts - 1;
+        result.total_retry_backoff_s += xfer.backoff_s;
+        result.total_fault_wasted_s += xfer.wasted_s;
+        const double switch_start = std::max(now, icap_free_at);
+        icap_free_at = switch_start + xfer.total_s;
+        if (!xfer.success) {
+          // Permanent failure: the PRR's contents are undefined and the
+          // task did not run. Degrade gracefully - re-queue if the budget
+          // allows, otherwise drop with a recorded penalty.
+          ++result.failed_reconfigs;
+          prr.loaded.reset();
+          if (config.recovery == FaultRecovery::kReschedule &&
+              reschedules[ti] < config.max_reschedules) {
+            ++reschedules[ti];
+            ++result.rescheduled_tasks;
+            ready.push_back(ti);
+            continue;
+          }
+          outcome.dropped = true;
+          outcome.start_s = icap_free_at;
+          outcome.finish_s = icap_free_at;
+          outcome.wait_s = icap_free_at - task.arrival_s;
+          result.makespan_s = std::max(result.makespan_s, outcome.finish_s);
+          ++result.dropped_tasks;
+          result.total_penalty_s += config.drop_penalty_s;
+          ++completed;
+          continue;
+        }
+        reconfig_bytes += prms[task.prm].bitstream_bytes;
+        result.total_reconfig_s += xfer.total_s;
         ++result.reconfig_count;
+        exec_start = icap_free_at;
+        prr.loaded = task.prm;
+        outcome.reconfigured = true;
+      } else {
+        if (!relocate) reconfig_bytes += prms[task.prm].bitstream_bytes;
+        const double switch_s = relocate ? config.relocation_s : storage_s;
+        const double switch_start = std::max(now, icap_free_at);
+        icap_free_at = switch_start + switch_s;
+        exec_start = icap_free_at;
+        prr.loaded = task.prm;
+        outcome.reconfigured = true;
+        if (relocate) {
+          result.total_relocation_s += switch_s;
+          ++result.relocation_count;
+        } else {
+          result.total_reconfig_s += switch_s;
+          ++result.reconfig_count;
+        }
       }
     } else {
       ++result.reuse_hits;
@@ -204,6 +250,12 @@ SimResult simulate(const std::vector<PrmInfo>& prms, std::vector<HwTask> tasks,
   PRCOST_COUNT_N("sim.relocations", result.relocation_count);
   PRCOST_COUNT_N("sim.reuse_hits", result.reuse_hits);
   PRCOST_COUNT_N("sim.reconfig_bytes", reconfig_bytes);
+  if (config.faults != nullptr) {
+    // Gated so fault-free runs register no fault metrics at all.
+    PRCOST_COUNT_N("sim.failed_reconfigs", result.failed_reconfigs);
+    PRCOST_COUNT_N("sim.dropped_tasks", result.dropped_tasks);
+    PRCOST_COUNT_N("sim.rescheduled_tasks", result.rescheduled_tasks);
+  }
   return result;
 }
 

@@ -32,6 +32,13 @@ inline constexpr SchedPolicy kAllPolicies[] = {
 
 std::string_view sched_policy_name(SchedPolicy policy);
 
+/// What to do with a task whose reconfiguration failed permanently (every
+/// verified-transfer retry delivered a corrupted bitstream or timed out).
+enum class FaultRecovery {
+  kDrop,        ///< record the task as dropped with a penalty
+  kReschedule,  ///< re-queue the task (bounded by max_reschedules), then drop
+};
+
 /// Simulation configuration.
 struct SimConfig {
   u32 prr_count = 2;         ///< PRRs in the pool
@@ -45,6 +52,16 @@ struct SimConfig {
   /// `relocation_s` beats the storage path. 0 disables relocation.
   bool allow_relocation = false;
   double relocation_s = 0.0;  ///< on-chip copy time per context switch
+  /// Fault injection: when set, every storage-path context switch goes
+  /// through the CRC-verified transfer loop (retry + backoff per `retry`)
+  /// and permanent failures degrade per `recovery` instead of asserting.
+  /// Null (default) keeps the fault-free fast path - results are
+  /// bit-identical to a build without fault support.
+  FaultInjector* faults = nullptr;
+  RetryPolicy retry;
+  FaultRecovery recovery = FaultRecovery::kDrop;
+  u32 max_reschedules = 1;      ///< kReschedule re-queue budget per task
+  double drop_penalty_s = 0.0;  ///< recorded penalty per dropped task
 };
 
 /// Per-task outcome.
@@ -52,8 +69,10 @@ struct TaskOutcome {
   u32 task_index = 0;
   u32 prr = 0;
   bool reconfigured = false;  ///< context switch was needed
+  bool dropped = false;       ///< reconfiguration failed permanently
+  u32 reconfig_attempts = 0;  ///< verified-transfer attempts (fault runs)
   double start_s = 0;         ///< execution start (post-reconfig)
-  double finish_s = 0;
+  double finish_s = 0;        ///< dropped tasks: instant the ICAP gave up
   double wait_s = 0;          ///< finish - arrival - exec - reconfig
 };
 
@@ -67,6 +86,14 @@ struct SimResult {
   double total_relocation_s = 0;
   double mean_wait_s = 0;
   double prr_busy_fraction = 0;  ///< mean execution utilization of PRRs
+  // Fault accounting (all zero when SimConfig::faults is null).
+  u64 failed_reconfigs = 0;   ///< transfers that exhausted their retries
+  u64 dropped_tasks = 0;      ///< tasks abandoned after permanent failure
+  u64 rescheduled_tasks = 0;  ///< re-queue events (kReschedule)
+  u64 retry_attempts = 0;     ///< transfer attempts beyond the first
+  double total_retry_backoff_s = 0;  ///< time spent backing off
+  double total_fault_wasted_s = 0;   ///< ICAP time on failed attempts
+  double total_penalty_s = 0;        ///< dropped_tasks * drop_penalty_s
   std::vector<TaskOutcome> tasks;
 };
 

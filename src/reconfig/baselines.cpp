@@ -34,4 +34,35 @@ double duhem_model(u64 bytes, Family family, double compression_ratio,
   return static_cast<double>(bytes) * compression_ratio / throughput;
 }
 
+RetryExpectation expected_retry_cost(double attempt_s, double fault_rate,
+                                     const RetryPolicy& policy) {
+  if (fault_rate < 0.0 || fault_rate > 1.0) {
+    throw ContractError{"expected_retry_cost: fault rate out of [0,1]"};
+  }
+  const double p = fault_rate;
+  const u32 n = policy.max_retries + 1;
+  RetryExpectation e;
+  double p_pow_n = 1.0;  // p^n via repeated multiply (n is small)
+  for (u32 i = 0; i < n; ++i) p_pow_n *= p;
+  e.success_probability = 1.0 - p_pow_n;
+  // E[attempts] = sum_{k=0}^{n-1} p^k: attempt k+1 runs iff the first k
+  // all failed.
+  if (p < 1.0) {
+    e.expected_attempts = (1.0 - p_pow_n) / (1.0 - p);
+  } else {
+    e.expected_attempts = static_cast<double>(n);
+  }
+  // Backoff i (after attempt i+1 fails) occurs with probability p^(i+1).
+  double backoff = policy.backoff_initial_s;
+  double p_pow = p;
+  double expected_backoff = 0.0;
+  for (u32 i = 0; i + 1 < n; ++i) {
+    expected_backoff += p_pow * backoff;
+    backoff *= policy.backoff_multiplier;
+    p_pow *= p;
+  }
+  e.expected_time_s = e.expected_attempts * attempt_s + expected_backoff;
+  return e;
+}
+
 }  // namespace prcost

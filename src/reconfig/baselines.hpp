@@ -10,6 +10,7 @@
 #include <string>
 
 #include "device/family_traits.hpp"
+#include "reconfig/faults.hpp"
 #include "reconfig/media.hpp"
 #include "util/ints.hpp"
 
@@ -38,5 +39,25 @@ ClausEstimate claus_model(u64 bytes, Family family, double busy_factor,
 /// throughput = icap peak * overclock, scaled by compression.
 double duhem_model(u64 bytes, Family family, double compression_ratio = 0.75,
                    double overclock = 1.25);
+
+/// Closed-form expectation for a CRC-verified transfer with bounded retry
+/// under i.i.d. per-attempt corruption probability p (the fault model
+/// FaultInjector samples from): with n = max_retries + 1 attempts of
+/// duration `attempt_s` each and the RetryPolicy backoff schedule,
+///
+///   P(success)        = 1 - p^n
+///   E[attempts]       = (1 - p^n) / (1 - p)              (p < 1)
+///   E[total time]     = E[attempts] * attempt_s
+///                       + sum_{i=0}^{n-2} p^(i+1) * b * m^i
+///
+/// The ablation bench cross-checks simulated effective reconfiguration
+/// time against this expectation.
+struct RetryExpectation {
+  double success_probability = 1.0;
+  double expected_attempts = 1.0;
+  double expected_time_s = 0.0;  ///< unconditional expected wall time
+};
+RetryExpectation expected_retry_cost(double attempt_s, double fault_rate,
+                                     const RetryPolicy& policy);
 
 }  // namespace prcost

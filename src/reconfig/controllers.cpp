@@ -103,4 +103,55 @@ std::vector<std::shared_ptr<const ReconfigController>> standard_controllers(
   };
 }
 
+TransferOutcome verified_transfer(const ReconfigController& controller,
+                                  u64 bytes, StorageMedia media,
+                                  FaultInjector* faults,
+                                  const RetryPolicy& policy) {
+  if (policy.backoff_multiplier < 1.0) {
+    throw ContractError{"verified_transfer: backoff multiplier below 1.0"};
+  }
+  if (policy.backoff_initial_s < 0.0 || policy.verify_s < 0.0 ||
+      policy.attempt_timeout_s <= 0.0) {
+    throw ContractError{"verified_transfer: negative retry parameter"};
+  }
+
+  TransferOutcome outcome;
+  outcome.attempts = 0;
+  double backoff = policy.backoff_initial_s;
+  for (u32 attempt = 0; attempt <= policy.max_retries; ++attempt) {
+    ++outcome.attempts;
+    outcome.last = controller.estimate(bytes, media);
+    const FaultInjector::Attempt fault =
+        faults != nullptr ? faults->next_attempt() : FaultInjector::Attempt{};
+    if (fault.stall_s > 0.0) ++outcome.stalls;
+    double attempt_s = outcome.last.total_s + fault.stall_s + policy.verify_s;
+    // An attempt over the cap is abandoned at the cap: the time is spent,
+    // the PRR is not configured.
+    const bool timed_out = attempt_s > policy.attempt_timeout_s;
+    if (timed_out) {
+      attempt_s = policy.attempt_timeout_s;
+      ++outcome.timeouts;
+      PRCOST_COUNT("reconfig.faults.timeouts");
+    }
+    outcome.total_s += attempt_s;
+    PRCOST_COUNT("reconfig.retries.attempts");
+    if (!fault.corrupted() && !timed_out) {
+      outcome.success = true;
+      if (attempt > 0) PRCOST_COUNT("reconfig.retries.recovered");
+      return outcome;
+    }
+    outcome.wasted_s += attempt_s;
+    if (attempt < policy.max_retries) {
+      outcome.total_s += backoff;
+      outcome.backoff_s += backoff;
+      outcome.wasted_s += backoff;
+      backoff *= policy.backoff_multiplier;
+      PRCOST_COUNT("reconfig.retries.backoffs");
+    }
+  }
+  outcome.success = false;
+  PRCOST_COUNT("reconfig.retries.exhausted");
+  return outcome;
+}
+
 }  // namespace prcost

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "reconfig/faults.hpp"
 #include "reconfig/icap.hpp"
 #include "reconfig/media.hpp"
 
@@ -98,5 +99,30 @@ class BusyFactorController final : public ReconfigController {
 /// All standard controllers for `family` (CPU, DMA, FaRM).
 std::vector<std::shared_ptr<const ReconfigController>> standard_controllers(
     Family family);
+
+/// Outcome of one CRC-verified transfer (possibly several attempts).
+struct TransferOutcome {
+  bool success = true;
+  u32 attempts = 1;        ///< transfer attempts made (>= 1)
+  u64 stalls = 0;          ///< attempts that hit a media stall
+  u64 timeouts = 0;        ///< attempts abandoned at the per-attempt cap
+  double total_s = 0.0;    ///< wall time: all attempts + verify + backoff
+  double backoff_s = 0.0;  ///< time spent backing off between attempts
+  double wasted_s = 0.0;   ///< failed attempts + backoff (total - useful)
+  ReconfigEstimate last;   ///< estimate of the final attempt's transfer
+};
+
+/// CRC-verified transfer: push `bytes` through `controller`, verify the
+/// configuration CRC, and retry on corruption or timeout with exponential
+/// backoff per `policy`. `faults` decides each attempt's fate; with a null
+/// injector (or one whose rates are zero) the transfer succeeds on the
+/// first attempt and total_s equals controller.estimate(...).total_s
+/// exactly - the fault-free path adds nothing. After max_retries
+/// exhausted the outcome reports success=false; callers degrade (drop or
+/// reschedule), they do not throw.
+TransferOutcome verified_transfer(const ReconfigController& controller,
+                                  u64 bytes, StorageMedia media,
+                                  FaultInjector* faults = nullptr,
+                                  const RetryPolicy& policy = {});
 
 }  // namespace prcost

@@ -1,6 +1,9 @@
 #include "reconfig/media.hpp"
 
+#include <string>
+
 #include "util/error.hpp"
+#include "util/strings.hpp"
 
 namespace prcost {
 namespace {
@@ -16,6 +19,20 @@ constexpr MediaModel kModels[] = {
 };
 
 }  // namespace
+
+StorageMedia parse_media(std::string_view name) {
+  const std::string lower = to_lower(name);
+  if (lower == "cf" || lower == "compactflash") {
+    return StorageMedia::kCompactFlash;
+  }
+  if (lower == "flash") return StorageMedia::kFlash;
+  if (lower == "ddr" || lower == "sdram" || lower == "ddr sdram") {
+    return StorageMedia::kDdrSdram;
+  }
+  if (lower == "bram") return StorageMedia::kBram;
+  throw UsageError{"unknown storage media '" + std::string{name} +
+                   "' (known: cf flash ddr bram)"};
+}
 
 const MediaModel& media_model(StorageMedia media) {
   switch (media) {

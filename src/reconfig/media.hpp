@@ -34,6 +34,10 @@ struct MediaModel {
 /// Model for `media`.
 const MediaModel& media_model(StorageMedia media);
 
+/// "cf" | "flash" | "ddr" | "bram" (and the long display names) -> media;
+/// throws UsageError listing the accepted spellings.
+StorageMedia parse_media(std::string_view name);
+
 /// Seconds to fetch `bytes` from `media` (latency + bytes/bandwidth).
 double fetch_seconds(StorageMedia media, u64 bytes);
 

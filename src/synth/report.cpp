@@ -7,6 +7,19 @@
 #include "util/strings.hpp"
 
 namespace prcost {
+namespace {
+
+/// Numeric report fields surface the offending key alongside the bad
+/// token, so a corrupt line is actionable from the error alone.
+u64 parse_count_field(const std::string& key, std::string_view value) {
+  try {
+    return parse_u64(value);
+  } catch (const ParseError& e) {
+    throw ParseError{"parse_report: field '" + key + "': " + e.what()};
+  }
+}
+
+}  // namespace
 
 std::string report_to_text(const SynthesisReport& report) {
   std::ostringstream os;
@@ -38,19 +51,26 @@ SynthesisReport parse_report(std::string_view text) {
       report.module_name = std::string{value};
       have_module = true;
     } else if (key == "target family") {
-      report.family = parse_family(value);
+      try {
+        report.family = parse_family(value);
+      } catch (const Error&) {
+        // Report text is external input: a bad family name is a parse
+        // failure, not a caller contract violation.
+        throw ParseError{"parse_report: field 'target family': unknown family '" +
+                         std::string{value} + "'"};
+      }
     } else if (key == "number of slice luts") {
-      luts = parse_u64(value);
+      luts = parse_count_field(key, value);
     } else if (key == "number of slice registers") {
-      ffs = parse_u64(value);
+      ffs = parse_count_field(key, value);
     } else if (key == "number of lut flip flop pairs used") {
-      pairs = parse_u64(value);
+      pairs = parse_count_field(key, value);
     } else if (key == "number of dsp48s") {
-      dsps = parse_u64(value);
+      dsps = parse_count_field(key, value);
     } else if (key == "number of block ram/fifo") {
-      brams = parse_u64(value);
+      brams = parse_count_field(key, value);
     } else if (key == "number of bonded iobs") {
-      report.bonded_iobs = parse_u64(value);
+      report.bonded_iobs = parse_count_field(key, value);
     }
   }
   if (!have_module || !luts || !ffs || !pairs || !dsps || !brams) {

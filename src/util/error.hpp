@@ -25,6 +25,7 @@ enum class ErrorCode {
   kIo,            ///< a file could not be opened, read, or written
   kParse,         ///< malformed input content (report, netlist, JSON...)
   kContract,      ///< a model/device contract was violated
+  kFault,         ///< reconfiguration failed permanently (retries exhausted)
 };
 
 /// Stable lower-case wire name, e.g. "not_found".
@@ -37,6 +38,7 @@ constexpr std::string_view error_code_name(ErrorCode code) {
     case ErrorCode::kIo:         return "io";
     case ErrorCode::kParse:      return "parse";
     case ErrorCode::kContract:   return "contract";
+    case ErrorCode::kFault:      return "fault";
   }
   return "internal";
 }
@@ -102,6 +104,15 @@ class InfeasibleError : public Error {
 class IoError : public Error {
  public:
   explicit IoError(const std::string& what) : Error(what, ErrorCode::kIo) {}
+};
+
+/// A reconfiguration transfer failed permanently: every retry delivered a
+/// corrupted bitstream or timed out. Raised only by strict fault-injection
+/// runs; fault-tolerant paths record the failure and degrade instead.
+class FaultError : public Error {
+ public:
+  explicit FaultError(const std::string& what)
+      : Error(what, ErrorCode::kFault) {}
 };
 
 }  // namespace prcost

@@ -69,9 +69,31 @@ unsigned long long parse_u64(std::string_view s) {
   s = trim(s);
   unsigned long long value = 0;
   const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec == std::errc::result_out_of_range) {
+    throw ParseError{"parse_u64: integer out of range: '" + std::string{s} +
+                     "'"};
+  }
   if (ec != std::errc{} || ptr != s.data() + s.size()) {
     throw ParseError{"parse_u64: not a non-negative integer: '" +
                      std::string{s} + "'"};
+  }
+  return value;
+}
+
+double parse_double(std::string_view s) {
+  s = trim(s);
+  double value = 0.0;
+  // std::from_chars accepts "inf"/"nan" tokens; the isfinite check below
+  // rejects them so a crafted token can never smuggle a NaN into the
+  // models ("1e999" already maps to result_out_of_range).
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec == std::errc::result_out_of_range) {
+    throw ParseError{"parse_double: number out of range: '" + std::string{s} +
+                     "'"};
+  }
+  if (ec != std::errc{} || ptr != s.data() + s.size() || !std::isfinite(value)) {
+    throw ParseError{"parse_double: not a finite number: '" + std::string{s} +
+                     "'"};
   }
   return value;
 }

@@ -25,7 +25,13 @@ std::string format_fixed(double v, int digits);
 /// Render bytes with a binary-unit suffix, e.g. "82.9 KiB".
 std::string format_bytes(double bytes);
 
-/// Parse a non-negative integer; throws ParseError on junk.
+/// Parse a non-negative integer; throws ParseError (with the offending
+/// token) on junk, sign characters, trailing garbage, or overflow.
 unsigned long long parse_u64(std::string_view s);
+
+/// Parse a finite decimal double ("0.25", "1e-3", "-2.5"); throws
+/// ParseError (with the offending token) on junk, trailing garbage,
+/// overflow, or non-finite results. Hex floats and nan/inf are rejected.
+double parse_double(std::string_view s);
 
 }  // namespace prcost

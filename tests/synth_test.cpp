@@ -38,6 +38,40 @@ TEST(Report, ParseMissingFieldsThrows) {
   EXPECT_THROW(parse_report("Module Name : x\n"), ParseError);
 }
 
+TEST(Report, BadNumericFieldNamesKeyAndToken) {
+  SynthesisReport report;
+  report.module_name = "fir";
+  std::string text = report_to_text(report);
+  const std::string needle = "Number of Slice LUTs              : 0";
+  const auto pos = text.find(needle);
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, needle.size(), "Number of Slice LUTs              : 12x3");
+  try {
+    parse_report(text);
+    FAIL() << "corrupt count accepted";
+  } catch (const ParseError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("number of slice luts"), std::string::npos) << what;
+    EXPECT_NE(what.find("'12x3'"), std::string::npos) << what;
+  }
+}
+
+TEST(Report, BadFamilyIsParseErrorNamingToken) {
+  SynthesisReport report;
+  report.module_name = "fir";
+  std::string text = report_to_text(report);
+  const std::string needle = "Target Family                      : Virtex-5";
+  const auto pos = text.find(needle);
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, needle.size(), "Target Family : spartan9");
+  try {
+    parse_report(text);
+    FAIL() << "unknown family accepted";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string{e.what()}.find("spartan9"), std::string::npos);
+  }
+}
+
 TEST(Report, ConsistencyInvariant) {
   SynthesisReport report;
   report.slice_luts = 100;

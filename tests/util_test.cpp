@@ -112,6 +112,47 @@ TEST(ParseU64, JunkThrows) {
   EXPECT_THROW(parse_u64("-3"), ParseError);
 }
 
+TEST(ParseU64, ErrorsNameTheOffendingToken) {
+  // Overflow is distinguished from junk, and both carry the input token so
+  // a batch/report error points at the actual field content.
+  try {
+    parse_u64("99999999999999999999999");
+    FAIL() << "overflow accepted";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string{e.what()}.find("out of range"), std::string::npos);
+    EXPECT_NE(std::string{e.what()}.find("99999999999999999999999"),
+              std::string::npos);
+  }
+  try {
+    parse_u64("12x");
+    FAIL() << "junk accepted";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string{e.what()}.find("'12x'"), std::string::npos);
+  }
+}
+
+TEST(ParseDouble, Valid) {
+  EXPECT_DOUBLE_EQ(parse_double("1.5"), 1.5);
+  EXPECT_DOUBLE_EQ(parse_double(" -2e-3 "), -2e-3);
+  EXPECT_DOUBLE_EQ(parse_double("0"), 0.0);
+}
+
+TEST(ParseDouble, RejectsNonFiniteAndJunk) {
+  // from_chars accepts "inf"/"nan" tokens; the models must never see one.
+  EXPECT_THROW(parse_double("inf"), ParseError);
+  EXPECT_THROW(parse_double("-inf"), ParseError);
+  EXPECT_THROW(parse_double("nan"), ParseError);
+  EXPECT_THROW(parse_double("1e999"), ParseError);
+  EXPECT_THROW(parse_double(""), ParseError);
+  EXPECT_THROW(parse_double("0.5.1"), ParseError);
+  try {
+    parse_double("1e999");
+    FAIL() << "overflow accepted";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string{e.what()}.find("'1e999'"), std::string::npos);
+  }
+}
+
 TEST(FormatMinutesSeconds, PaperNotation) {
   EXPECT_EQ(format_minutes_seconds(265.0), "4m25.000s");
   EXPECT_EQ(format_minutes_seconds(0.5), "0.500000s");

@@ -1,7 +1,7 @@
-# End-to-end check of `prcost batch`: feed a 100-request JSONL mix of
-# valid, infeasible, unknown-name, and malformed lines and assert the
-# contract - exit 0, exactly one well-formed JSON response per input
-# line, in input order, with the documented stable error codes.
+# End-to-end check of `prcost batch`: feed a 102-request JSONL mix of
+# valid, infeasible, unknown-name, malformed, and fault-injection lines
+# and assert the contract - exit 0, exactly one well-formed JSON response
+# per input line, in input order, with the documented stable error codes.
 #
 # Usage: cmake -DCLI=<prcost> -DWORK=<dir> -P batch_test.cmake
 
@@ -29,6 +29,15 @@ foreach(i RANGE 0 99)
     string(APPEND body "not json at all (line ${i})\n")
   endif()
 endforeach()
+# Two fault-injection requests: a non-strict run that degrades gracefully
+# (an ok envelope even though every transfer fails) and a strict run that
+# must surface the stable "fault" error code.
+string(APPEND body
+  "{\"op\":\"faults\",\"device\":\"xc5vlx110t\",\"prms\":[\"fir\"],"
+  "\"tasks\":10,\"fault_rate\":1.0,\"id\":100}\n")
+string(APPEND body
+  "{\"op\":\"faults\",\"device\":\"xc5vlx110t\",\"prms\":[\"fir\"],"
+  "\"tasks\":10,\"fault_rate\":1.0,\"strict\":true,\"id\":101}\n")
 file(WRITE "${requests}" "${body}")
 
 execute_process(COMMAND ${CLI} batch "${requests}" -o "${responses}"
@@ -36,14 +45,14 @@ execute_process(COMMAND ${CLI} batch "${requests}" -o "${responses}"
 if(NOT rc EQUAL 0)
   message(FATAL_ERROR "batch exited ${rc} (want 0): ${err}")
 endif()
-if(NOT err MATCHES "batch: 100 requests, 40 ok, 60 failed")
+if(NOT err MATCHES "batch: 102 requests, 41 ok, 61 failed")
   message(FATAL_ERROR "unexpected tally on stderr: ${err}")
 endif()
 
 file(STRINGS "${responses}" lines)
 list(LENGTH lines count)
-if(NOT count EQUAL 100)
-  message(FATAL_ERROR "want 100 response lines, got ${count}")
+if(NOT count EQUAL 102)
+  message(FATAL_ERROR "want 102 response lines, got ${count}")
 endif()
 
 set(i 0)
@@ -56,6 +65,24 @@ foreach(line IN LISTS lines)
     if(json_err OR NOT root_type STREQUAL "OBJECT")
       message(FATAL_ERROR "line ${i} is not well-formed JSON: ${line}")
     endif()
+  endif()
+  if(i EQUAL 100)
+    # Non-strict fault run: dropped tasks are data, not an error.
+    if(NOT line MATCHES "\"id\":100[,}]" OR NOT line MATCHES "\"result\":"
+       OR NOT line MATCHES "\"dropped_tasks\":10")
+      message(FATAL_ERROR "line ${i}: want graceful fault result: ${line}")
+    endif()
+    math(EXPR i "${i} + 1")
+    continue()
+  endif()
+  if(i EQUAL 101)
+    # Strict fault run: permanent failure surfaces the stable "fault" code.
+    if(NOT line MATCHES "\"id\":101[,}]"
+       OR NOT line MATCHES "\"error\":\\{\"code\":\"fault\"")
+      message(FATAL_ERROR "line ${i}: want fault error code: ${line}")
+    endif()
+    math(EXPR i "${i} + 1")
+    continue()
   endif()
   math(EXPR kind "${i} % 5")
   if(kind EQUAL 4)
@@ -85,4 +112,4 @@ foreach(line IN LISTS lines)
   math(EXPR i "${i} + 1")
 endforeach()
 
-message(STATUS "batch contract holds over 100 mixed requests")
+message(STATUS "batch contract holds over 102 mixed requests")

@@ -54,10 +54,20 @@ void print_usage(std::ostream& out) {
       "               bitstreams against the Eq. 18 model)\n"
       "  prcost netlist <prm> [-o design.net]\n"
       "  prcost rank <prm> <prm> [...] [--workers N]\n"
+      "  prcost faults <prm> [...] --device <name> [--prrs N] [--tasks N]\n"
+      "              [--seed N] [--media cf|flash|ddr|bram]\n"
+      "              [--recovery drop|reschedule] [--strict]\n"
+      "              (multitask simulation under fault injection; set the\n"
+      "               rate with the global --fault-rate flag)\n"
       "  prcost batch [requests.jsonl] [--workers N] [-o responses.jsonl]\n"
       "              (JSONL requests from the file or stdin; exactly one\n"
       "               JSON response per line - see README \"Batch mode\")\n"
       "global flags (any command):\n"
+      "  --fault-rate P      probability a bitstream transfer is corrupted\n"
+      "                      (0..1, default 0 = faults off)\n"
+      "  --stall-rate P      probability of a storage-media stall (0..1)\n"
+      "  --fault-seed N      fault injector seed (runs are reproducible)\n"
+      "  --max-retries N     verified-transfer retry budget (default 3)\n"
       "  --trace-out FILE    record spans, write Chrome trace-event JSON\n"
       "                      (open at https://ui.perfetto.dev)\n"
       "  --metrics-out FILE  write the metrics registry as JSON\n"
@@ -93,7 +103,8 @@ Args parse_args(int argc, char** argv, int first) {
       const std::string key = token.rfind("--", 0) == 0 ? token.substr(2)
                                                         : "out";
       if (key == "shaped" || key == "no-plan-cache" ||
-          key == "no-bitstream-cache" || key == "cross-check") {  // booleans
+          key == "no-bitstream-cache" || key == "cross-check" ||
+          key == "strict") {  // booleans
         args.flags[key] = "1";
         continue;
       }
@@ -114,6 +125,27 @@ std::size_t workers_flag(const Args& args) {
     return narrow<std::size_t>(parse_u64(value));
   } catch (const std::exception& error) {
     throw UsageError{"--workers: " + std::string{error.what()}};
+  }
+}
+
+/// Parse an unsigned flag; malformed values surface the parse error under
+/// the flag's own name.
+u64 u64_flag(const Args& args, const std::string& key, u64 fallback) {
+  if (!args.has(key)) return fallback;
+  try {
+    return parse_u64(args.get(key, ""));
+  } catch (const std::exception& error) {
+    throw UsageError{"--" + key + ": " + std::string{error.what()}};
+  }
+}
+
+/// Parse a floating-point flag the same way.
+double double_flag(const Args& args, const std::string& key, double fallback) {
+  if (!args.has(key)) return fallback;
+  try {
+    return parse_double(args.get(key, ""));
+  } catch (const std::exception& error) {
+    throw UsageError{"--" + key + ": " + std::string{error.what()}};
   }
 }
 
@@ -280,6 +312,56 @@ int cmd_rank(const Engine& engine, const Args& args) {
                        ? format_fixed(choice.makespan_s * 1e3, 2)
                        : "-"});
   }
+  std::cout << table.to_ascii();
+  return 0;
+}
+
+int cmd_faults(const Engine& engine, const Args& args) {
+  if (!args.has("device")) throw UsageError{"faults needs --device"};
+  if (args.positional.empty()) {
+    throw UsageError{"faults needs at least one PRM"};
+  }
+  api::FaultsRequest request;
+  request.device = args.get("device", "");
+  request.prms = args.positional;
+  request.prr_count = narrow<u32>(u64_flag(args, "prrs", 2));
+  request.tasks = narrow<u32>(u64_flag(args, "tasks", 100));
+  request.seed = u64_flag(args, "seed", 42);
+  request.media = args.get("media", "ddr");
+  request.recovery = args.get("recovery", "drop");
+  request.strict = args.has("strict");
+  // The fault environment itself (--fault-rate, --fault-seed,
+  // --max-retries) is global and already folded into the engine defaults;
+  // the request optionals stay unset so those defaults apply.
+  const api::FaultsResponse response = engine.faults(request);
+
+  TextTable table{{"quantity", "value"}};
+  table.add_row({"fault rate", format_fixed(response.fault_rate, 4)});
+  table.add_row({"fault seed", std::to_string(response.fault_seed)});
+  table.add_row({"max retries", std::to_string(response.max_retries)});
+  table.add_row({"makespan", format_fixed(response.makespan_s * 1e3, 2) +
+                                 " ms"});
+  table.add_row({"reconfigurations", std::to_string(response.reconfig_count)});
+  table.add_row({"effective reconfig time",
+                 format_fixed(response.effective_reconfig_s * 1e3, 3) +
+                     " ms"});
+  table.add_row({"retry attempts", std::to_string(response.retry_attempts)});
+  table.add_row({"retry backoff",
+                 format_fixed(response.total_retry_backoff_s * 1e3, 3) +
+                     " ms"});
+  table.add_row({"wasted ICAP time",
+                 format_fixed(response.total_fault_wasted_s * 1e3, 3) +
+                     " ms"});
+  table.add_row({"injected faults / stalls",
+                 std::to_string(response.injected_faults) + " / " +
+                     std::to_string(response.injected_stalls)});
+  table.add_row({"failed reconfigs",
+                 std::to_string(response.failed_reconfigs)});
+  table.add_row({"rescheduled tasks",
+                 std::to_string(response.rescheduled_tasks)});
+  table.add_row({"dropped tasks", std::to_string(response.dropped_tasks)});
+  table.add_row({"drop penalty",
+                 format_fixed(response.total_penalty_s * 1e3, 3) + " ms"});
   std::cout << table.to_ascii();
   return 0;
 }
@@ -465,6 +547,14 @@ int main(int argc, char** argv) {
     Engine::Options engine_options;
     engine_options.plan_cache = !args.has("no-plan-cache");
     engine_options.bitstream_cache = !args.has("no-bitstream-cache");
+    engine_options.fault_rate =
+        double_flag(args, "fault-rate", engine_options.fault_rate);
+    engine_options.stall_rate =
+        double_flag(args, "stall-rate", engine_options.stall_rate);
+    engine_options.fault_seed =
+        u64_flag(args, "fault-seed", engine_options.fault_seed);
+    engine_options.max_retries = narrow<u32>(
+        u64_flag(args, "max-retries", engine_options.max_retries));
     const Engine engine{engine_options};
     int rc = 0;
     if (command == "devices") {
@@ -481,6 +571,8 @@ int main(int argc, char** argv) {
       rc = cmd_netlist(args);
     } else if (command == "rank") {
       rc = cmd_rank(engine, args);
+    } else if (command == "faults") {
+      rc = cmd_faults(engine, args);
     } else if (command == "batch") {
       rc = cmd_batch(engine, args);
     } else {
