@@ -1,14 +1,27 @@
 // Micro-benchmark for the observability fast paths.
 //
-// The contract (ISSUE 1): a disabled instrumentation site costs one relaxed
-// atomic load. BM_counter_disabled / BM_span_disabled should therefore be
-// within noise of BM_relaxed_load_baseline; the enabled variants show what
-// a run pays when tracing is switched on.
+// The contract (ISSUE 1, extended by ISSUE 6): a disabled instrumentation
+// site costs one relaxed atomic load. counter_disabled_ns / span_disabled_ns
+// / request_note_disabled_ns should therefore be within noise of
+// relaxed_load_baseline_ns; the enabled variants show what a run pays when
+// metrics / tracing / request telemetry are switched on.
+//
+// Emits one JSON object on stdout (like the other perf_* benches) so the
+// numbers can join the BENCH_trajectory.jsonl file via tools/bench_report:
+//
+//   {"iters":..., "relaxed_load_baseline_ns":..., "counter_disabled_ns":...,
+//    "span_disabled_ns":..., "request_note_disabled_ns":...,
+//    "counter_enabled_ns":..., "histogram_enabled_ns":...,
+//    "span_enabled_ns":..., "request_scope_ns":...}
+//
+//   perf_obs_overhead [--iters N] [--out FILE|-]
 #include <atomic>
-
-#include <benchmark/benchmark.h>
+#include <fstream>
+#include <iostream>
+#include <string>
 
 #include "obs/obs.hpp"
+#include "util/stopwatch.hpp"
 
 namespace {
 
@@ -16,58 +29,113 @@ using namespace prcost;
 
 std::atomic<bool> g_baseline_flag{false};
 
-void BM_relaxed_load_baseline(benchmark::State& state) {
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(g_baseline_flag.load(std::memory_order_relaxed));
-  }
+// Keep `v` alive without emitting code for it (the classic
+// do-not-optimize barrier; google-benchmark uses the same trick).
+template <typename T>
+inline void do_not_optimize(T const& v) {
+  asm volatile("" : : "r,m"(v) : "memory");
 }
-BENCHMARK(BM_relaxed_load_baseline);
 
-void BM_counter_disabled(benchmark::State& state) {
-  obs::set_metrics_enabled(false);
-  for (auto _ : state) {
-    PRCOST_COUNT("perf.disabled_counter");
-  }
-}
-BENCHMARK(BM_counter_disabled);
+inline void clobber_memory() { asm volatile("" : : : "memory"); }
 
-void BM_span_disabled(benchmark::State& state) {
-  obs::set_tracing(false);
-  for (auto _ : state) {
-    PRCOST_TRACE_SPAN("perf.disabled_span");
-    benchmark::ClobberMemory();
-  }
+// Run `body` iters times and return mean ns per iteration.
+template <typename Body>
+double time_ns(u64 iters, Body&& body) {
+  // Warm-up pass: faults in the static metric registrations + code pages.
+  for (u64 i = 0; i < 1000; ++i) body(i);
+  Stopwatch watch;
+  for (u64 i = 0; i < iters; ++i) body(i);
+  return watch.seconds() * 1e9 / static_cast<double>(iters);
 }
-BENCHMARK(BM_span_disabled);
-
-void BM_counter_enabled(benchmark::State& state) {
-  obs::set_metrics_enabled(true);
-  for (auto _ : state) {
-    PRCOST_COUNT("perf.enabled_counter");
-  }
-  obs::set_metrics_enabled(false);
-}
-BENCHMARK(BM_counter_enabled);
-
-void BM_histogram_enabled(benchmark::State& state) {
-  obs::set_metrics_enabled(true);
-  u64 v = 0;
-  for (auto _ : state) {
-    PRCOST_HIST("perf.enabled_hist", v++ % 2000, 10.0, 100.0, 1000.0);
-  }
-  obs::set_metrics_enabled(false);
-}
-BENCHMARK(BM_histogram_enabled);
-
-void BM_span_enabled(benchmark::State& state) {
-  obs::set_tracing(true);
-  for (auto _ : state) {
-    PRCOST_TRACE_SPAN("perf.enabled_span");
-    benchmark::ClobberMemory();
-  }
-  obs::set_tracing(false);
-  obs::clear_trace();
-}
-BENCHMARK(BM_span_enabled);
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  u64 iters = 20'000'000;
+  std::string out_path = "-";
+  for (int i = 1; i + 1 < argc; i += 2) {
+    const std::string flag = argv[i];
+    const std::string value = argv[i + 1];
+    if (flag == "--iters") {
+      iters = std::stoull(value);
+    } else if (flag == "--out") {
+      out_path = value;
+    } else {
+      std::cerr << "unknown flag " << flag << "\n";
+      return 2;
+    }
+  }
+  if (iters == 0) {
+    std::cerr << "--iters must be > 0\n";
+    return 2;
+  }
+
+  const double baseline_ns = time_ns(iters, [](u64) {
+    do_not_optimize(g_baseline_flag.load(std::memory_order_relaxed));
+  });
+
+  obs::set_metrics_enabled(false);
+  const double counter_disabled_ns =
+      time_ns(iters, [](u64) { PRCOST_COUNT("perf.disabled_counter"); });
+
+  obs::set_tracing(false);
+  const double span_disabled_ns = time_ns(iters, [](u64) {
+    PRCOST_TRACE_SPAN("perf.disabled_span");
+    clobber_memory();
+  });
+
+  // The per-request telemetry fast path with no RequestStats scope alive:
+  // one relaxed load of the scope counter.
+  const double request_note_disabled_ns =
+      time_ns(iters, [](u64) { PRCOST_REQUEST_EVENT(kPlanCacheHit); });
+
+  obs::set_metrics_enabled(true);
+  const double counter_enabled_ns =
+      time_ns(iters, [](u64) { PRCOST_COUNT("perf.enabled_counter"); });
+  const double histogram_enabled_ns = time_ns(iters, [](u64 i) {
+    PRCOST_HIST("perf.enabled_hist", i % 2000, 10.0, 100.0, 1000.0);
+  });
+  obs::set_metrics_enabled(false);
+
+  obs::set_tracing(true);
+  const double span_enabled_ns = time_ns(iters, [](u64) {
+    PRCOST_TRACE_SPAN("perf.enabled_span");
+    clobber_memory();
+  });
+  obs::set_tracing(false);
+  obs::clear_trace();
+
+  // Full cost of opening and closing a request-stats scope (install TLS
+  // context, note a cache event, summarize). Scopes are per engine call,
+  // not per hot-loop iteration, so fewer iters keep the bench quick.
+  const u64 scope_iters = iters / 100 + 1;
+  const double request_scope_ns = time_ns(scope_iters, [](u64) {
+    const obs::RequestStats stats;
+    obs::note_request_event(obs::RequestEvent::kPlanCacheHit);
+    do_not_optimize(stats.summary().plan_cache_hits);
+  });
+
+  std::ofstream file;
+  if (out_path != "-") {
+    file.open(out_path);
+    if (!file) {
+      std::cerr << "error: cannot open " << out_path << "\n";
+      return 1;
+    }
+  }
+  std::ostream& out = out_path == "-" ? std::cout : file;
+  out.precision(4);
+  out << "{\n"
+      << "  \"iters\": " << iters << ",\n"
+      << "  \"relaxed_load_baseline_ns\": " << baseline_ns << ",\n"
+      << "  \"counter_disabled_ns\": " << counter_disabled_ns << ",\n"
+      << "  \"span_disabled_ns\": " << span_disabled_ns << ",\n"
+      << "  \"request_note_disabled_ns\": " << request_note_disabled_ns
+      << ",\n"
+      << "  \"counter_enabled_ns\": " << counter_enabled_ns << ",\n"
+      << "  \"histogram_enabled_ns\": " << histogram_enabled_ns << ",\n"
+      << "  \"span_enabled_ns\": " << span_enabled_ns << ",\n"
+      << "  \"request_scope_ns\": " << request_scope_ns << "\n"
+      << "}\n";
+  return 0;
+}

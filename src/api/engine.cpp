@@ -102,6 +102,7 @@ std::size_t Engine::effective_workers(std::size_t requested) const {
 }
 
 SynthResponse Engine::synth(const SynthRequest& request) const {
+  const obs::RequestScope scope{options_.collect_stats};
   if (request.source.prm.empty() && request.source.netlist_path.empty()) {
     throw UsageError{"synth needs a PRM"};
   }
@@ -110,11 +111,14 @@ SynthResponse Engine::synth(const SynthRequest& request) const {
       request.source.prm.empty()
           ? netlist_from_text(slurp(request.source.netlist_path, "netlist"))
           : make_builtin_prm(request.source.prm);
-  return SynthResponse{
-      synthesize(design, SynthOptions{request.family}).report};
+  SynthResponse response;
+  response.report = synthesize(design, SynthOptions{request.family}).report;
+  response.stats = scope.finish();
+  return response;
 }
 
 PlanResponse Engine::plan(const PlanRequest& request) const {
+  const obs::RequestScope scope{options_.collect_stats};
   const Device& device = resolve_device(request.device);
   PlanInput input = load_plan_input(request.source, device.fabric.family());
 
@@ -158,10 +162,12 @@ PlanResponse Engine::plan(const PlanRequest& request) const {
     }
     response.shaped = alt;
   }
+  response.stats = scope.finish();
   return response;
 }
 
 BitstreamResponse Engine::bitstream(const BitstreamRequest& request) const {
+  const obs::RequestScope scope{options_.collect_stats};
   const Device& device = resolve_device(request.device);
   const PrmRequirements req =
       load_plan_input(request.source, device.fabric.family()).req;
@@ -179,10 +185,12 @@ BitstreamResponse Engine::bitstream(const BitstreamRequest& request) const {
   }
   response.total_bytes = static_cast<u64>(response.words.size()) *
                          device.fabric.traits().bytes_word;
+  response.stats = scope.finish();
   return response;
 }
 
 ExploreResponse Engine::explore(const ExploreRequest& request) const {
+  const obs::RequestScope scope{options_.collect_stats};
   if (request.prms.size() < 2) {
     throw UsageError{"explore needs at least two PRMs"};
   }
@@ -240,10 +248,12 @@ ExploreResponse Engine::explore(const ExploreRequest& request) const {
     }
     response.bitstream_check = check;
   }
+  response.stats = scope.finish();
   return response;
 }
 
 RankResponse Engine::rank(const RankRequest& request) const {
+  const obs::RequestScope scope{options_.collect_stats};
   if (request.prms.empty()) throw UsageError{"rank needs at least one PRM"};
   // Requirements are family-specific; synthesize per candidate family is
   // overkill for a ranking - use Virtex-5 as the canonical mapper.
@@ -256,10 +266,14 @@ RankResponse Engine::rank(const RankRequest& request) const {
   wp.seed = request.seed;
   DeviceSelectOptions options;
   options.workers = effective_workers(request.workers);
-  return RankResponse{rank_devices(prms, make_workload(wp), options)};
+  RankResponse response;
+  response.choices = rank_devices(prms, make_workload(wp), options);
+  response.stats = scope.finish();
+  return response;
 }
 
 FaultsResponse Engine::faults(const FaultsRequest& request) const {
+  const obs::RequestScope scope{options_.collect_stats};
   if (request.prms.empty()) throw UsageError{"faults needs at least one PRM"};
   const Device& device = resolve_device(request.device);
   std::vector<PrmInfo> prms =
@@ -327,10 +341,12 @@ FaultsResponse Engine::faults(const FaultsRequest& request) const {
     throw FaultError{"faults: " + std::to_string(sim.dropped_tasks) +
                      " task(s) dropped after exhausted retries"};
   }
+  response.stats = scope.finish();
   return response;
 }
 
 DevicesResponse Engine::list_devices() const {
+  const obs::RequestScope scope{options_.collect_stats};
   DevicesResponse response;
   for (const Device& dev : devices().all()) {
     DeviceSummary summary;
@@ -345,6 +361,7 @@ DevicesResponse Engine::list_devices() const {
     summary.bram36s = dev.fabric.total_resources(ColumnType::kBram);
     response.devices.push_back(std::move(summary));
   }
+  response.stats = scope.finish();
   return response;
 }
 

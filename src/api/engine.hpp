@@ -41,6 +41,11 @@ class Engine {
     double stall_rate = 0.0;
     u64 fault_seed = 0x5EED;
     u32 max_retries = 3;
+    /// Collect request-scoped telemetry (obs::RequestStats) around every
+    /// engine call and attach it as the response's optional `stats` block.
+    /// Off by default: responses (and their serialization) are then
+    /// byte-identical to builds without the feature.
+    bool collect_stats = false;
   };
 
   Engine();  ///< default Options

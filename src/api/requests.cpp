@@ -230,9 +230,47 @@ FaultsRequest faults_request_from_json(const Json& j) {
   return request;
 }
 
+Json to_json(const obs::RequestStatsSummary& s) {
+  const auto ms = [](u64 ns) { return static_cast<double>(ns) / 1e6; };
+  Json j = Json::object();
+  j.set("wall_ms", ms(s.wall_ns));
+  Json cache = Json::object();
+  cache.set("plan_hits", s.plan_cache_hits)
+      .set("plan_misses", s.plan_cache_misses)
+      .set("bitstream_hits", s.bitstream_cache_hits)
+      .set("bitstream_misses", s.bitstream_cache_misses);
+  j.set("cache", std::move(cache));
+  j.set("retries", s.retries);
+  j.set("allocations", s.allocations);
+  Json phases = Json::array();
+  for (const obs::RequestPhase& phase : s.phases) {
+    Json p = Json::object();
+    p.set("name", phase.name)
+        .set("count", phase.count)
+        .set("total_ms", ms(phase.total_ns))
+        .set("self_ms", ms(phase.self_ns))
+        .set("max_ms", ms(phase.max_ns));
+    phases.push_back(std::move(p));
+  }
+  j.set("phases", std::move(phases));
+  return j;
+}
+
+namespace {
+
+/// Append the optional stats block. Always the LAST member set on a
+/// response object: stats-off serialization must stay byte-identical to
+/// output that predates the stats feature.
+void set_stats(Json& j, const std::optional<obs::RequestStatsSummary>& s) {
+  if (s) j.set("stats", to_json(*s));
+}
+
+}  // namespace
+
 Json to_json(const SynthResponse& r) {
   Json j = Json::object();
   j.set("report", report_to_json(r.report));
+  set_stats(j, r.stats);
   return j;
 }
 
@@ -265,6 +303,7 @@ Json to_json(const PlanResponse& r) {
         .set("cells_saved", r.shaped->cells_saved);
     j.set("shaped", std::move(shaped));
   }
+  set_stats(j, r.stats);
   return j;
 }
 
@@ -275,6 +314,7 @@ Json to_json(const BitstreamResponse& r) {
       .set("plan", plan_to_json(r.plan))
       .set("words", static_cast<u64>(r.words.size()))
       .set("total_bytes", r.total_bytes);
+  set_stats(j, r.stats);
   return j;
 }
 
@@ -311,6 +351,7 @@ Json to_json(const ExploreResponse& r) {
         .set("all_match", r.bitstream_check->all_match);
     j.set("bitstream_check", std::move(check));
   }
+  set_stats(j, r.stats);
   return j;
 }
 
@@ -331,6 +372,7 @@ Json to_json(const RankResponse& r) {
     choices.push_back(std::move(c));
   }
   j.set("choices", std::move(choices));
+  set_stats(j, r.stats);
   return j;
 }
 
@@ -353,6 +395,7 @@ Json to_json(const FaultsResponse& r) {
       .set("injected_faults", r.injected_faults)
       .set("injected_stalls", r.injected_stalls)
       .set("effective_reconfig_s", r.effective_reconfig_s);
+  set_stats(j, r.stats);
   return j;
 }
 
@@ -373,6 +416,7 @@ Json to_json(const DevicesResponse& r) {
     devices.push_back(std::move(d));
   }
   j.set("devices", std::move(devices));
+  set_stats(j, r.stats);
   return j;
 }
 

@@ -16,6 +16,7 @@
 #include "dse/device_select.hpp"
 #include "dse/explorer.hpp"
 #include "netlist/netlist.hpp"
+#include "obs/request_stats.hpp"
 #include "synth/report.hpp"
 #include "util/json.hpp"
 
@@ -51,6 +52,10 @@ struct SynthRequest {
 
 struct SynthResponse {
   SynthesisReport report;
+  /// Request-scoped telemetry; set only when Engine::Options::collect_stats
+  /// (every response carries this optional; serialized last, so stats-off
+  /// output is byte-identical to builds that predate it).
+  std::optional<obs::RequestStatsSummary> stats;
 };
 
 // ----------------------------------------------------------------- plan --
@@ -89,6 +94,7 @@ struct PlanResponse {
   std::optional<ParCrossCheck> par;
   std::optional<u64> generated_bytes;  ///< set when cross_check ran
   std::optional<ShapedAlternative> shaped;
+  std::optional<obs::RequestStatsSummary> stats;  ///< see SynthResponse
 
   bool generated_matches_model() const {
     return generated_bytes && *generated_bytes == plan.bitstream.total_bytes;
@@ -108,6 +114,7 @@ struct BitstreamResponse {
   PrrPlan plan;
   std::vector<u32> words;    ///< the generated partial bitstream
   u64 total_bytes = 0;       ///< words serialized at traits.bytes_word
+  std::optional<obs::RequestStatsSummary> stats;  ///< see SynthResponse
 };
 
 // -------------------------------------------------------------- explore --
@@ -137,6 +144,7 @@ struct ExploreResponse {
   std::vector<DesignPoint> points;
   std::size_t pareto_count = 0;
   std::optional<ExploreBitstreamCheck> bitstream_check;
+  std::optional<obs::RequestStatsSummary> stats;  ///< see SynthResponse
 };
 
 // ----------------------------------------------------------------- rank --
@@ -150,6 +158,7 @@ struct RankRequest {
 
 struct RankResponse {
   std::vector<DeviceChoice> choices;  ///< sorted as rank_devices returns
+  std::optional<obs::RequestStatsSummary> stats;  ///< see SynthResponse
 };
 
 // --------------------------------------------------------------- faults --
@@ -194,6 +203,7 @@ struct FaultsResponse {
   /// Mean effective seconds per successful reconfiguration, including
   /// retry, backoff, and wasted-attempt time (0 when none succeeded).
   double effective_reconfig_s = 0;
+  std::optional<obs::RequestStatsSummary> stats;  ///< see SynthResponse
 };
 
 // -------------------------------------------------------------- devices --
@@ -212,6 +222,7 @@ struct DeviceSummary {
 
 struct DevicesResponse {
   std::vector<DeviceSummary> devices;
+  std::optional<obs::RequestStatsSummary> stats;  ///< see SynthResponse
 };
 
 // --------------------------------------------------- JSON (de)serialization
@@ -222,6 +233,13 @@ BitstreamRequest bitstream_request_from_json(const Json& j);
 ExploreRequest explore_request_from_json(const Json& j);
 RankRequest rank_request_from_json(const Json& j);
 FaultsRequest faults_request_from_json(const Json& j);
+
+/// Stats block serialization (the "stats" member on every response):
+/// {"wall_ms":..,"cache":{"plan_hits":..,"plan_misses":..,
+///  "bitstream_hits":..,"bitstream_misses":..},"retries":..,
+///  "allocations":..,"phases":[{"name":..,"count":..,"total_ms":..,
+///  "self_ms":..,"max_ms":..},...]}.
+Json to_json(const obs::RequestStatsSummary& s);
 
 Json to_json(const SynthResponse& r);
 Json to_json(const PlanResponse& r);

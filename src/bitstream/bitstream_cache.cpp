@@ -82,11 +82,13 @@ class Cache {
       if (it != shard.map.end()) {
         hits_.fetch_add(1, std::memory_order_relaxed);
         PRCOST_COUNT("bitstream_cache.hits");
+        PRCOST_REQUEST_EVENT(kBitstreamCacheHit);
         return it->second;
       }
     }
     misses_.fetch_add(1, std::memory_order_relaxed);
     PRCOST_COUNT("bitstream_cache.misses");
+    PRCOST_REQUEST_EVENT(kBitstreamCacheMiss);
     return nullptr;
   }
 
@@ -102,18 +104,40 @@ class Cache {
       // Full: drop an arbitrary resident entry (hash order ~ random). An
       // overflow valve, not an LRU - the typical working set is a handful
       // of PRMs per device.
-      shard.map.erase(shard.map.begin());
+      const auto victim = shard.map.begin();
+      resident_words_.fetch_sub(victim->second->size(),
+                                std::memory_order_relaxed);
+      shard.map.erase(victim);
+      entries_.fetch_sub(1, std::memory_order_relaxed);
       evictions_.fetch_add(1, std::memory_order_relaxed);
       PRCOST_COUNT("bitstream_cache.evictions");
     }
-    return shard.map.try_emplace(key, std::move(words)).first->second;
+    const auto [it, inserted] = shard.map.try_emplace(key, std::move(words));
+    if (inserted) {
+      PRCOST_GAUGE_SET("bitstream_cache.entries",
+                       entries_.fetch_add(1, std::memory_order_relaxed) + 1);
+      PRCOST_GAUGE_SET(
+          "bitstream_cache.resident_words",
+          resident_words_.fetch_add(it->second->size(),
+                                    std::memory_order_relaxed) +
+              it->second->size());
+    }
+    return it->second;
   }
 
   void clear() {
     for (Shard& shard : shards_) {
       const std::scoped_lock lock{shard.mu};
+      entries_.fetch_sub(shard.map.size(), std::memory_order_relaxed);
+      for (const auto& [key, words] : shard.map) {
+        resident_words_.fetch_sub(words->size(), std::memory_order_relaxed);
+      }
       shard.map.clear();
     }
+    PRCOST_GAUGE_SET("bitstream_cache.entries",
+                     entries_.load(std::memory_order_relaxed));
+    PRCOST_GAUGE_SET("bitstream_cache.resident_words",
+                     resident_words_.load(std::memory_order_relaxed));
   }
 
   BitstreamCacheStats stats() const {
@@ -152,6 +176,8 @@ class Cache {
   std::atomic<u64> hits_{0};
   std::atomic<u64> misses_{0};
   std::atomic<u64> evictions_{0};
+  std::atomic<std::size_t> entries_{0};        ///< mirrors shard maps (gauge)
+  std::atomic<std::size_t> resident_words_{0};  ///< cached payload words
   std::atomic<std::size_t> capacity_{128};
 };
 

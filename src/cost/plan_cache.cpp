@@ -76,11 +76,13 @@ class Cache {
       if (it != shard.map.end()) {
         hits_.fetch_add(1, std::memory_order_relaxed);
         PRCOST_COUNT("plan_cache.hits");
+        PRCOST_REQUEST_EVENT(kPlanCacheHit);
         return it->second;
       }
     }
     misses_.fetch_add(1, std::memory_order_relaxed);
     PRCOST_COUNT("plan_cache.misses");
+    PRCOST_REQUEST_EVENT(kPlanCacheMiss);
     return nullptr;
   }
 
@@ -98,17 +100,26 @@ class Cache {
       // DSE working set is far below the cap; this is an overflow valve,
       // not an LRU.
       shard.map.erase(shard.map.begin());
+      entries_.fetch_sub(1, std::memory_order_relaxed);
       evictions_.fetch_add(1, std::memory_order_relaxed);
       PRCOST_COUNT("plan_cache.evictions");
     }
-    return shard.map.try_emplace(key, std::move(entry)).first->second;
+    const auto [it, inserted] = shard.map.try_emplace(key, std::move(entry));
+    if (inserted) {
+      PRCOST_GAUGE_SET("plan_cache.entries",
+                       entries_.fetch_add(1, std::memory_order_relaxed) + 1);
+    }
+    return it->second;
   }
 
   void clear() {
     for (Shard& shard : shards_) {
       const std::scoped_lock lock{shard.mu};
+      entries_.fetch_sub(shard.map.size(), std::memory_order_relaxed);
       shard.map.clear();
     }
+    PRCOST_GAUGE_SET("plan_cache.entries",
+                     entries_.load(std::memory_order_relaxed));
   }
 
   PlanCacheStats stats() const {
@@ -144,6 +155,7 @@ class Cache {
   std::atomic<u64> hits_{0};
   std::atomic<u64> misses_{0};
   std::atomic<u64> evictions_{0};
+  std::atomic<std::size_t> entries_{0};  ///< mirrors the shard maps (gauge)
   std::atomic<std::size_t> capacity_{1u << 16};
 };
 

@@ -1,7 +1,9 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <limits>
 #include <sstream>
 
 #include "util/error.hpp"
@@ -84,6 +86,36 @@ std::vector<u64> Histogram::bucket_counts() const {
   out.reserve(buckets_.size());
   for (const auto& b : buckets_) out.push_back(b.load(std::memory_order_relaxed));
   return out;
+}
+
+double Histogram::quantile(double q) const {
+  return histogram_quantile(bounds_, bucket_counts(), q);
+}
+
+double histogram_quantile(const std::vector<double>& bounds,
+                          const std::vector<u64>& buckets, double q) {
+  constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+  if (buckets.size() != bounds.size() + 1) return kNan;
+  u64 total = 0;
+  for (const u64 b : buckets) total += b;
+  if (total == 0) return kNan;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(total);
+  u64 cum = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const u64 before = cum;
+    cum += buckets[i];
+    if (buckets[i] == 0 || static_cast<double>(cum) < rank) continue;
+    if (i >= bounds.size()) {
+      // Overflow bucket: no finite upper edge to interpolate toward.
+      return bounds.empty() ? kNan : bounds.back();
+    }
+    const double upper = bounds[i];
+    const double lower = i == 0 ? std::min(0.0, upper) : bounds[i - 1];
+    return lower + (upper - lower) * (rank - static_cast<double>(before)) /
+                       static_cast<double>(buckets[i]);
+  }
+  return bounds.empty() ? kNan : bounds.back();
 }
 
 void Histogram::reset() noexcept {
@@ -239,11 +271,122 @@ std::string Registry::to_json() const {
   return os.str();
 }
 
+std::string Registry::to_openmetrics() const {
+  std::ostringstream os;
+  for (const MetricSnapshot& s : snapshot()) {
+    const std::string name = openmetrics_name(s.name);
+    // HELP carries the internal dotted name so an exposition consumer can
+    // map series back to instrumentation sites.
+    os << "# HELP " << name << " internal metric "
+       << openmetrics_escape_label(s.name) << '\n';
+    switch (s.kind) {
+      case MetricKind::kCounter:
+        os << "# TYPE " << name << " counter\n";
+        os << name << "_total " << s.count << '\n';
+        break;
+      case MetricKind::kGauge:
+        os << "# TYPE " << name << " gauge\n";
+        os << name << ' ' << format_double(s.value) << '\n';
+        break;
+      case MetricKind::kHistogram: {
+        os << "# TYPE " << name << " histogram\n";
+        u64 cum = 0;  // exposition buckets are cumulative
+        for (std::size_t b = 0; b < s.buckets.size(); ++b) {
+          cum += s.buckets[b];
+          os << name << "_bucket{le=\"";
+          if (b < s.bounds.size()) {
+            os << openmetrics_escape_label(format_double(s.bounds[b]));
+          } else {
+            os << "+Inf";
+          }
+          os << "\"} " << cum << '\n';
+        }
+        os << name << "_sum " << format_double(s.value) << '\n';
+        os << name << "_count " << s.count << '\n';
+        break;
+      }
+    }
+  }
+  os << "# EOF\n";
+  return os.str();
+}
+
 void Registry::reset() {
   const std::scoped_lock lock{mutex_};
   for (const auto& [name, c] : counters_) c->reset();
   for (const auto& [name, g] : gauges_) g->reset();
   for (const auto& [name, h] : histograms_) h->reset();
+}
+
+std::string openmetrics_escape_label(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string openmetrics_name(std::string_view name) {
+  std::string out = "prcost_";
+  out.reserve(out.size() + name.size());
+  for (const char c : name) {
+    const bool legal = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += legal ? c : '_';
+  }
+  return out;
+}
+
+Snapshot Snapshot::capture() { return Snapshot{registry().snapshot()}; }
+
+const MetricSnapshot* Snapshot::find(std::string_view name) const noexcept {
+  const auto it = std::lower_bound(
+      metrics.begin(), metrics.end(), name,
+      [](const MetricSnapshot& s, std::string_view n) { return s.name < n; });
+  if (it == metrics.end() || it->name != name) return nullptr;
+  return &*it;
+}
+
+u64 Snapshot::counter(std::string_view name) const noexcept {
+  const MetricSnapshot* s = find(name);
+  return s != nullptr && s->kind == MetricKind::kCounter ? s->count : 0;
+}
+
+Snapshot snapshot_diff(const Snapshot& before, const Snapshot& after) {
+  const auto sub = [](u64 a, u64 b) { return a > b ? a - b : 0; };
+  Snapshot out;
+  out.metrics.reserve(after.metrics.size());
+  for (const MetricSnapshot& now : after.metrics) {
+    MetricSnapshot d = now;
+    const MetricSnapshot* was = before.find(now.name);
+    if (was != nullptr && was->kind == now.kind) {
+      switch (now.kind) {
+        case MetricKind::kCounter:
+          d.count = sub(now.count, was->count);
+          break;
+        case MetricKind::kGauge:
+          break;  // gauges are point-in-time: keep the newer value
+        case MetricKind::kHistogram:
+          if (was->bounds == now.bounds &&
+              was->buckets.size() == now.buckets.size()) {
+            d.count = sub(now.count, was->count);
+            d.value = now.value - was->value;
+            for (std::size_t b = 0; b < d.buckets.size(); ++b) {
+              d.buckets[b] = sub(now.buckets[b], was->buckets[b]);
+            }
+          }
+          break;
+      }
+    }
+    out.metrics.push_back(std::move(d));
+  }
+  return out;
 }
 
 }  // namespace prcost::obs

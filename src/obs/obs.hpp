@@ -4,5 +4,6 @@
 // cost model and export surfaces.
 #pragma once
 
-#include "obs/metrics.hpp"  // IWYU pragma: export
-#include "obs/trace.hpp"    // IWYU pragma: export
+#include "obs/metrics.hpp"        // IWYU pragma: export
+#include "obs/request_stats.hpp"  // IWYU pragma: export
+#include "obs/trace.hpp"          // IWYU pragma: export

@@ -1,0 +1,146 @@
+#include "obs/request_stats.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <new>
+
+#include "obs/trace.hpp"
+#include "util/parallel.hpp"
+#include "util/stopwatch.hpp"
+
+namespace prcost::obs {
+
+namespace detail {
+
+std::atomic<u32> g_request_scopes{0};
+
+void note_request_event_slow(RequestEvent event) noexcept {
+  if (RequestStats* stats = RequestStats::current()) stats->count(event);
+}
+
+}  // namespace detail
+
+RequestStats* RequestStats::current() noexcept {
+  return static_cast<RequestStats*>(task_context());
+}
+
+RequestStats::RequestStats()
+    : prev_context_(task_context()), start_ns_(monotonic_ns()) {
+  set_task_context(this);
+  detail::g_request_scopes.fetch_add(1, std::memory_order_relaxed);
+  add_request_phase_capture(+1);
+}
+
+RequestStats::~RequestStats() {
+  add_request_phase_capture(-1);
+  detail::g_request_scopes.fetch_sub(1, std::memory_order_relaxed);
+  set_task_context(prev_context_);
+}
+
+void RequestStats::count(RequestEvent event) noexcept {
+  events_[static_cast<std::size_t>(event)].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+void RequestStats::add_phase(const char* name, u64 dur_ns, u64 self_ns) {
+  const std::scoped_lock lock{phase_mutex_};
+  RequestPhase& phase = phases_[std::string_view{name}];
+  if (phase.count == 0) phase.name = name;
+  ++phase.count;
+  phase.total_ns += dur_ns;
+  phase.self_ns += self_ns;
+  phase.max_ns = std::max(phase.max_ns, dur_ns);
+}
+
+RequestStatsSummary RequestStats::summary() const {
+  const auto event = [&](RequestEvent e) {
+    return events_[static_cast<std::size_t>(e)].load(
+        std::memory_order_relaxed);
+  };
+  RequestStatsSummary out;
+  out.wall_ns = monotonic_ns() - start_ns_;
+  out.plan_cache_hits = event(RequestEvent::kPlanCacheHit);
+  out.plan_cache_misses = event(RequestEvent::kPlanCacheMiss);
+  out.bitstream_cache_hits = event(RequestEvent::kBitstreamCacheHit);
+  out.bitstream_cache_misses = event(RequestEvent::kBitstreamCacheMiss);
+  out.retries = event(RequestEvent::kRetry);
+  out.allocations = allocations_.load(std::memory_order_relaxed);
+  {
+    const std::scoped_lock lock{phase_mutex_};
+    out.phases.reserve(phases_.size());
+    for (const auto& [name, phase] : phases_) out.phases.push_back(phase);
+  }
+  std::sort(out.phases.begin(), out.phases.end(),
+            [](const RequestPhase& a, const RequestPhase& b) {
+              return a.self_ns != b.self_ns ? a.self_ns > b.self_ns
+                                            : a.name < b.name;
+            });
+  return out;
+}
+
+}  // namespace prcost::obs
+
+// -------------------------------------------------------------------------
+// Allocation attribution: replace the non-aligned global operator new/delete
+// forms so each heap allocation made while a request scope is active on the
+// calling thread counts toward that request. With no scope live the hook is
+// one relaxed atomic load per allocation. Over-aligned forms are left to the
+// default implementation (their allocations simply go uncounted), and
+// -DPRCOST_NO_ALLOC_HOOKS (or -DPRCOST_NO_OBS) removes the replacement
+// entirely for builds that must not override the allocator.
+// -------------------------------------------------------------------------
+#if !defined(PRCOST_NO_OBS) && !defined(PRCOST_NO_ALLOC_HOOKS)
+
+namespace {
+
+inline void prcost_count_allocation() noexcept {
+  using prcost::obs::RequestStats;
+  if (prcost::obs::detail::g_request_scopes.load(std::memory_order_relaxed) ==
+      0) {
+    return;
+  }
+  if (RequestStats* stats = RequestStats::current()) stats->add_allocation();
+}
+
+void* prcost_allocate(std::size_t size) {
+  if (size == 0) size = 1;
+  prcost_count_allocation();
+  for (;;) {
+    if (void* p = std::malloc(size)) return p;
+    if (std::new_handler handler = std::get_new_handler()) {
+      handler();
+    } else {
+      throw std::bad_alloc{};
+    }
+  }
+}
+
+void* prcost_allocate_nothrow(std::size_t size) noexcept {
+  if (size == 0) size = 1;
+  prcost_count_allocation();
+  return std::malloc(size);
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return prcost_allocate(size); }
+void* operator new[](std::size_t size) { return prcost_allocate(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return prcost_allocate_nothrow(size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return prcost_allocate_nothrow(size);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+#endif  // !PRCOST_NO_OBS && !PRCOST_NO_ALLOC_HOOKS

@@ -1,0 +1,153 @@
+// Request-scoped telemetry: attribute work to one logical request.
+//
+// The metrics registry is process-global; a multi-tenant serve loop needs
+// to answer "what did THIS request cost?". RequestStats is a RAII
+// accumulator installed as the calling thread's task context
+// (prcost::set_task_context) so the parallel_for pool propagates it to
+// every worker that joins a batch submitted under the scope. While a scope
+// is live it collects:
+//
+//   - wall time (scope construction to summary()),
+//   - per-phase span stats (trace.cpp feeds every finished span into the
+//     active scope, even when global tracing is off),
+//   - plan/bitstream cache hits and misses, reconfiguration retries
+//     (PRCOST_REQUEST_EVENT sites in the subsystems),
+//   - heap allocation counts (operator new replacement in
+//     request_stats.cpp; see PRCOST_NO_ALLOC_HOOKS there).
+//
+// Cost model, matching metrics.hpp: with no scope live anywhere in the
+// process, a PRCOST_REQUEST_EVENT site and the per-allocation hook each
+// cost exactly one relaxed atomic load. Scopes nest (the inner scope
+// receives events; the outer's context is restored on destruction) and are
+// thread-safe: workers on pool threads update the same scope concurrently.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <map>
+#include <vector>
+
+#include "util/ints.hpp"
+
+namespace prcost::obs {
+
+/// Aggregated span stats for one label within one request.
+struct RequestPhase {
+  std::string name;
+  u64 count = 0;
+  u64 total_ns = 0;
+  u64 self_ns = 0;  ///< total minus directly nested child spans
+  u64 max_ns = 0;
+};
+
+/// Plain-value result of a finished (or still-running) request scope.
+struct RequestStatsSummary {
+  u64 wall_ns = 0;
+  u64 plan_cache_hits = 0;
+  u64 plan_cache_misses = 0;
+  u64 bitstream_cache_hits = 0;
+  u64 bitstream_cache_misses = 0;
+  u64 retries = 0;       ///< reconfiguration transfer re-attempts
+  u64 allocations = 0;   ///< operator new calls attributed to the request
+  std::vector<RequestPhase> phases;  ///< sorted by self_ns descending
+};
+
+/// Events a subsystem can attribute to the active request.
+enum class RequestEvent : u32 {
+  kPlanCacheHit,
+  kPlanCacheMiss,
+  kBitstreamCacheHit,
+  kBitstreamCacheMiss,
+  kRetry,
+  kEventCount_,  // sentinel, keep last
+};
+
+/// One request's accumulator. Constructing installs it as the calling
+/// thread's task context (nesting: the previous context is restored on
+/// destruction); parallel_for propagates the context to pool workers.
+class RequestStats {
+ public:
+  RequestStats();
+  ~RequestStats();
+  RequestStats(const RequestStats&) = delete;
+  RequestStats& operator=(const RequestStats&) = delete;
+
+  /// The scope installed on the calling thread (directly or propagated
+  /// through the pool); nullptr when none.
+  static RequestStats* current() noexcept;
+
+  void count(RequestEvent event) noexcept;
+  /// Fold one finished span into the per-label phase table.
+  void add_phase(const char* name, u64 dur_ns, u64 self_ns);
+  void add_allocation() noexcept {
+    allocations_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Snapshot of everything attributed so far; wall_ns is measured up to
+  /// this call. Callable while workers are still contributing, though the
+  /// intended use is right before the scope ends.
+  RequestStatsSummary summary() const;
+
+ private:
+  void* prev_context_ = nullptr;
+  u64 start_ns_ = 0;
+  std::array<std::atomic<u64>,
+             static_cast<std::size_t>(RequestEvent::kEventCount_)>
+      events_{};
+  std::atomic<u64> allocations_{0};
+  mutable std::mutex phase_mutex_;
+  std::map<std::string_view, RequestPhase> phases_;  ///< keys: static names
+};
+
+namespace detail {
+/// Count of live RequestStats scopes process-wide; the one-load gate for
+/// every disabled hook site.
+extern std::atomic<u32> g_request_scopes;
+void note_request_event_slow(RequestEvent event) noexcept;
+}  // namespace detail
+
+/// True while any request scope is live in the process. One relaxed load.
+inline bool request_tracking_active() noexcept {
+  return detail::g_request_scopes.load(std::memory_order_relaxed) != 0;
+}
+
+/// Attribute one event to the request active on the calling thread, if
+/// any. Disabled cost: one relaxed atomic load (prefer the macro below so
+/// -DPRCOST_NO_OBS builds compile the site out entirely).
+inline void note_request_event(RequestEvent event) noexcept {
+  if (request_tracking_active()) detail::note_request_event_slow(event);
+}
+
+/// Optional request scope as used by api::Engine: constructed enabled or
+/// disabled per Options::collect_stats, finished into the response's
+/// optional stats block.
+class RequestScope {
+ public:
+  explicit RequestScope(bool enabled) {
+    if (enabled) stats_.emplace();
+  }
+  /// Summary when enabled, nullopt otherwise. The scope stays installed
+  /// until destruction, so call this once the request's work is done.
+  std::optional<RequestStatsSummary> finish() const {
+    if (!stats_) return std::nullopt;
+    return stats_->summary();
+  }
+
+ private:
+  std::optional<RequestStats> stats_;
+};
+
+}  // namespace prcost::obs
+
+#if defined(PRCOST_NO_OBS)
+#define PRCOST_REQUEST_EVENT(event) ((void)0)
+#else
+/// Attribute one event (a RequestEvent enumerator name) to the active
+/// request. Disabled cost: one relaxed atomic load.
+#define PRCOST_REQUEST_EVENT(event) \
+  ::prcost::obs::note_request_event(::prcost::obs::RequestEvent::event)
+#endif  // PRCOST_NO_OBS

@@ -10,13 +10,19 @@
 #include <string_view>
 
 #include "obs/metrics.hpp"
+#include "obs/request_stats.hpp"
 #include "util/stopwatch.hpp"
 #include "util/strings.hpp"
 
 namespace prcost::obs {
 namespace {
 
-std::atomic<bool> g_tracing_enabled{false};
+// Combined span-capture flag: bit 0 is the global tracing switch, and each
+// live request-stats scope adds 2. ScopedSpan gates on "any bit set", so a
+// disabled span site still costs exactly one relaxed atomic load while
+// request scopes can collect phase times without global tracing.
+constexpr u32 kTracingBit = 1;
+std::atomic<u32> g_span_capture{0};
 
 // Capacity per thread; at 40 bytes/record this is ~2.6 MB per traced
 // thread, enough for every bench/CLI run while bounding a runaway loop.
@@ -66,11 +72,24 @@ std::vector<std::shared_ptr<ThreadRing>> ring_snapshot() {
 }  // namespace
 
 bool tracing_enabled() noexcept {
-  return g_tracing_enabled.load(std::memory_order_relaxed);
+  return (g_span_capture.load(std::memory_order_relaxed) & kTracingBit) != 0;
 }
 
 void set_tracing(bool on) noexcept {
-  g_tracing_enabled.store(on, std::memory_order_relaxed);
+  if (on) {
+    g_span_capture.fetch_or(kTracingBit, std::memory_order_relaxed);
+  } else {
+    g_span_capture.fetch_and(~kTracingBit, std::memory_order_relaxed);
+  }
+}
+
+bool span_capture_active() noexcept {
+  return g_span_capture.load(std::memory_order_relaxed) != 0;
+}
+
+void add_request_phase_capture(int delta) noexcept {
+  g_span_capture.fetch_add(static_cast<u32>(2 * delta),
+                           std::memory_order_relaxed);
 }
 
 bool init_from_env() {
@@ -97,12 +116,21 @@ void ScopedSpan::finish() noexcept {
   const u64 dur = monotonic_ns() - start_ns_;
   if (parent_ != nullptr) parent_->child_ns_ += dur;
   t_current_span = parent_;
-  ThreadRing& ring = local_ring();
-  const u64 n = ring.count.load(std::memory_order_relaxed);
-  ring.records[n % kRingCapacity] =
-      SpanRecord{name_, start_ns_, dur,
-                 dur > child_ns_ ? dur - child_ns_ : 0, depth_};
-  ring.count.store(n + 1, std::memory_order_release);
+  const u64 self = dur > child_ns_ ? dur - child_ns_ : 0;
+  if (tracing_enabled()) {
+    ThreadRing& ring = local_ring();
+    const u64 n = ring.count.load(std::memory_order_relaxed);
+    ring.records[n % kRingCapacity] =
+        SpanRecord{name_, start_ns_, dur, self, depth_};
+    ring.count.store(n + 1, std::memory_order_release);
+  }
+  // Feed the request scope active on this thread (the span may have begun
+  // because a scope, not global tracing, raised the capture flag).
+  if ((g_span_capture.load(std::memory_order_relaxed) & ~kTracingBit) != 0) {
+    if (RequestStats* stats = RequestStats::current()) {
+      stats->add_phase(name_, dur, self);
+    }
+  }
 }
 
 std::vector<SpanRecord> trace_spans() {
@@ -193,6 +221,53 @@ void write_chrome_trace(std::ostream& out) {
 std::string chrome_trace_json() {
   std::ostringstream os;
   write_chrome_trace(os);
+  return os.str();
+}
+
+void write_folded_stacks(std::ostream& out) {
+  // Stacks are reconstructed per thread: records sorted by start time are a
+  // pre-order walk of the span tree, so a record at depth d has the current
+  // depth-(d-1) record as its parent. Self times then aggregate by path
+  // across all threads.
+  std::map<std::string, u64> self_by_stack;
+  for (const auto& ring : ring_snapshot()) {
+    const u64 n = ring->count.load(std::memory_order_acquire);
+    const u64 retained = std::min(n, kRingCapacity);
+    std::vector<SpanRecord> records;
+    records.reserve(retained);
+    for (u64 i = 0; i < retained; ++i) {
+      const u64 slot = n > kRingCapacity ? (n + i) % kRingCapacity : i;
+      records.push_back(ring->records[slot]);
+    }
+    std::sort(records.begin(), records.end(),
+              [](const SpanRecord& a, const SpanRecord& b) {
+                return a.start_ns != b.start_ns ? a.start_ns < b.start_ns
+                                                : a.depth < b.depth;
+              });
+    std::vector<const char*> frames;
+    for (const SpanRecord& span : records) {
+      frames.resize(span.depth);
+      // Ancestors evicted by ring wrap-around leave holes; mark them.
+      for (const char*& frame : frames) {
+        if (frame == nullptr) frame = "?";
+      }
+      frames.push_back(span.name);
+      std::string stack;
+      for (std::size_t i = 0; i < frames.size(); ++i) {
+        if (i) stack += ';';
+        stack += frames[i];
+      }
+      self_by_stack[stack] += span.self_ns;
+    }
+  }
+  for (const auto& [stack, self_ns] : self_by_stack) {
+    out << stack << ' ' << self_ns << '\n';
+  }
+}
+
+std::string folded_stacks() {
+  std::ostringstream os;
+  write_folded_stacks(os);
   return os.str();
 }
 

@@ -35,6 +35,16 @@ namespace prcost::obs {
 bool tracing_enabled() noexcept;
 void set_tracing(bool on) noexcept;
 
+/// True when spans must run their timing path at all: global tracing is on
+/// OR at least one request-stats scope wants per-phase times. One relaxed
+/// load of a combined flag, so a fully disabled span site costs the same
+/// single load it always did.
+bool span_capture_active() noexcept;
+
+/// Internal: RequestStats scopes register (+1) / unregister (-1) their
+/// interest in span capture.
+void add_request_phase_capture(int delta) noexcept;
+
 /// Reads PRCOST_TRACE; "1"/non-empty-non-"0" enables tracing AND metrics
 /// (they are one observability surface for env-driven runs). Returns
 /// whether observability ended up enabled.
@@ -55,7 +65,7 @@ struct SpanRecord {
 class ScopedSpan {
  public:
   explicit ScopedSpan(const char* static_name) noexcept {
-    if (tracing_enabled()) begin(static_name);
+    if (span_capture_active()) begin(static_name);
   }
   ~ScopedSpan() {
     if (active_) finish();
@@ -98,6 +108,14 @@ TextTable trace_summary_table();
 /// intended use is export after the traced workload finished.
 std::string chrome_trace_json();
 void write_chrome_trace(std::ostream& out);
+
+/// Flamegraph-compatible folded stacks: one "root;child;leaf <self_ns>"
+/// line per distinct stack, self times in nanoseconds aggregated across
+/// all threads, lines sorted lexicographically. Feed to flamegraph.pl,
+/// inferno, or speedscope. Ancestor frames evicted by ring wrap-around
+/// render as "?".
+std::string folded_stacks();
+void write_folded_stacks(std::ostream& out);
 
 /// Total spans recorded / overwritten by ring wrap-around since clear.
 u64 trace_span_count();

@@ -135,6 +135,8 @@ TransferOutcome verified_transfer(const ReconfigController& controller,
     }
     outcome.total_s += attempt_s;
     PRCOST_COUNT("reconfig.retries.attempts");
+    // A retry is any attempt beyond the first; attribute it to the request.
+    if (attempt > 0) PRCOST_REQUEST_EVENT(kRetry);
     if (!fault.corrupted() && !timed_out) {
       outcome.success = true;
       if (attempt > 0) PRCOST_COUNT("reconfig.retries.recovered");

@@ -14,6 +14,10 @@ namespace {
 // Set while a thread executes batch chunks (pool worker or submitter).
 thread_local bool t_in_region = false;
 
+// Opaque per-task context (see parallel.hpp). Owned by the caller; the
+// pool only copies the pointer from the submitter to joining workers.
+thread_local void* t_task_context = nullptr;
+
 /// One parallel_for invocation, shared between the submitting thread and
 /// the pool workers that join it. Lives on the submitter's stack; workers
 /// only reach it through Pool::batch_ under the pool mutex, and the
@@ -21,6 +25,7 @@ thread_local bool t_in_region = false;
 struct Batch {
   std::size_t count = 0;
   std::size_t grain = 1;
+  void* context = nullptr;             ///< submitter's task_context
   const std::function<void(std::size_t)>* body = nullptr;
   std::atomic<std::size_t> next{0};    ///< chunk claim counter
   std::atomic<bool> failed{false};     ///< short-circuit after first throw
@@ -33,6 +38,10 @@ struct Batch {
 /// the submitter and the pool workers.
 void run_batch(Batch& batch) {
   t_in_region = true;
+  // Adopt the submitter's task context so work on this thread is
+  // attributed to the submitting request; restored on every exit path.
+  void* const saved_context = t_task_context;
+  t_task_context = batch.context;
   while (!batch.failed.load(std::memory_order_relaxed)) {
     const std::size_t begin =
         batch.next.fetch_add(batch.grain, std::memory_order_relaxed);
@@ -47,11 +56,13 @@ void run_batch(Batch& batch) {
           if (!batch.error) batch.error = std::current_exception();
         }
         batch.failed.store(true, std::memory_order_relaxed);
+        t_task_context = saved_context;
         t_in_region = false;
         return;
       }
     }
   }
+  t_task_context = saved_context;
   t_in_region = false;
 }
 
@@ -134,6 +145,10 @@ std::size_t parallel_worker_count() {
 
 bool in_parallel_region() noexcept { return t_in_region; }
 
+void* task_context() noexcept { return t_task_context; }
+
+void set_task_context(void* context) noexcept { t_task_context = context; }
+
 void parallel_for(std::size_t count,
                   const std::function<void(std::size_t)>& body,
                   std::size_t workers) {
@@ -159,6 +174,7 @@ void parallel_for(std::size_t count,
 
   Batch batch;
   batch.count = count;
+  batch.context = t_task_context;
   batch.body = &body;
   // Dynamic scheduling with modest grain: sweep items (full search flows,
   // simulated anneals) have highly variable cost.

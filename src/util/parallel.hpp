@@ -32,4 +32,13 @@ void parallel_for(std::size_t count, const std::function<void(std::size_t)>& bod
 /// observe this and degrade to the serial path.
 bool in_parallel_region() noexcept;
 
+/// Opaque per-task context pointer, propagated to every worker that joins a
+/// parallel_for batch: workers see the submitter's context for the duration
+/// of their participation and their previous context is restored when the
+/// batch drains. The observability layer uses this to attribute work done
+/// on pool threads back to the request that submitted it; the pointer is
+/// never dereferenced by the pool itself.
+void* task_context() noexcept;
+void set_task_context(void* context) noexcept;
+
 }  // namespace prcost

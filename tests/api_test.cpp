@@ -10,6 +10,7 @@
 #include "api/requests.hpp"
 #include "cost/prr_search.hpp"
 #include "device/device_db.hpp"
+#include "obs/obs.hpp"
 #include "synth/report.hpp"
 #include "synth/synthesizer.hpp"
 #include "util/error.hpp"
@@ -250,6 +251,62 @@ TEST(Engine, DevicesMatchesCatalog) {
 }
 
 // ------------------------------------------------- request JSON round trip
+
+TEST(Engine, CollectStatsMatchesRegistryDelta) {
+  Engine::Options options;
+  options.collect_stats = true;
+  const Engine engine{options};
+  api::PlanRequest request;
+  request.device = "xc5vlx110t";
+  request.source.prm = "mips";
+
+  obs::set_metrics_enabled(true);
+  const obs::Snapshot before = obs::Snapshot::capture();
+  const api::PlanResponse response = engine.plan(request);
+  const obs::Snapshot after = obs::Snapshot::capture();
+  obs::set_metrics_enabled(false);
+
+  ASSERT_TRUE(response.stats.has_value());
+  EXPECT_GT(response.stats->wall_ns, 0u);
+  EXPECT_FALSE(response.stats->phases.empty());
+
+  // Per-request attribution agrees with the process-global registry: this
+  // request was the only traffic between the snapshots, so its cache
+  // lookups account for the whole interval delta.
+  const obs::Snapshot delta = obs::snapshot_diff(before, after);
+  EXPECT_EQ(
+      response.stats->plan_cache_hits + response.stats->plan_cache_misses,
+      delta.counter("plan_cache.hits") + delta.counter("plan_cache.misses"));
+  EXPECT_EQ(response.stats->bitstream_cache_hits +
+                response.stats->bitstream_cache_misses,
+            delta.counter("bitstream_cache.hits") +
+                delta.counter("bitstream_cache.misses"));
+  EXPECT_GT(
+      response.stats->plan_cache_hits + response.stats->plan_cache_misses, 0u);
+
+  // The wire form carries the block (serialized last) with the documented
+  // sub-objects.
+  const Json j = Json::parse(api::to_json(response).dump());
+  const Json* stats = j.find("stats");
+  ASSERT_NE(stats, nullptr);
+  ASSERT_NE(stats->find("cache"), nullptr);
+  EXPECT_EQ(stats->find("cache")->find("plan_hits")->as_u64(),
+            response.stats->plan_cache_hits);
+  ASSERT_NE(stats->find("phases"), nullptr);
+}
+
+TEST(Engine, StatsOffOmitsBlockEntirely) {
+  const Engine engine;  // collect_stats defaults to false
+  api::PlanRequest request;
+  request.device = "xc5vlx110t";
+  request.source.prm = "fir";
+  const api::PlanResponse response = engine.plan(request);
+  EXPECT_FALSE(response.stats.has_value());
+  // Byte-level contract: the serialized response has no "stats" member at
+  // all, keeping stats-off output identical to pre-telemetry builds.
+  EXPECT_EQ(api::to_json(response).dump().find("\"stats\""),
+            std::string::npos);
+}
 
 TEST(RequestJson, PlanRoundTrip) {
   api::PlanRequest request;

@@ -4,7 +4,9 @@
 // disabled no-op paths.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cctype>
+#include <cmath>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -12,6 +14,7 @@
 #include <vector>
 
 #include "obs/obs.hpp"
+#include "util/parallel.hpp"
 
 namespace prcost {
 namespace {
@@ -256,6 +259,190 @@ TEST(ObsMetrics, JsonExportParses) {
   EXPECT_TRUE(parser.parse());
 }
 
+// --- quantiles -------------------------------------------------------------
+
+TEST(ObsQuantile, InterpolatesExactlyOnUniformData) {
+  // 1..100 uniformly into {10, 50, 100}: the linear interpolation inside
+  // each bucket reconstructs the underlying uniform distribution exactly.
+  obs::Histogram hist{{10.0, 50.0, 100.0}};
+  for (int v = 1; v <= 100; ++v) hist.record_unchecked(v);
+  EXPECT_DOUBLE_EQ(hist.quantile(0.5), 50.0);
+  EXPECT_DOUBLE_EQ(hist.quantile(0.95), 95.0);
+  EXPECT_DOUBLE_EQ(hist.quantile(1.0), 100.0);
+}
+
+TEST(ObsQuantile, FirstBucketLowerEdgeIsZero) {
+  // 4 samples all in (..,10]: p50 ranks 2 of 4, interpolated from a lower
+  // edge of min(0, bound) = 0, so the estimate is 10 * 2/4.
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile({10.0}, {4, 0}, 0.5), 5.0);
+}
+
+TEST(ObsQuantile, EmptyHistogramIsNaN) {
+  obs::Histogram hist{{10.0}};
+  EXPECT_TRUE(std::isnan(hist.quantile(0.5)));
+  EXPECT_TRUE(std::isnan(obs::histogram_quantile({10.0}, {0, 0}, 0.99)));
+}
+
+TEST(ObsQuantile, OverflowBucketClampsToLastBound) {
+  // Every sample in the +Inf bucket: the estimate can only say ">= last
+  // finite bound", so it clamps there instead of inventing an upper edge.
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile({10.0, 100.0}, {0, 0, 7}, 0.99),
+                   100.0);
+}
+
+// --- OpenMetrics exposition ------------------------------------------------
+
+TEST(ObsOpenMetrics, EscapesLabelValues) {
+  EXPECT_EQ(obs::openmetrics_escape_label("a\\b\"c\nd"),
+            "a\\\\b\\\"c\\nd");
+  EXPECT_EQ(obs::openmetrics_escape_label("plain"), "plain");
+}
+
+TEST(ObsOpenMetrics, SanitizesNames) {
+  EXPECT_EQ(obs::openmetrics_name("plan_cache.hits"),
+            "prcost_plan_cache_hits");
+  EXPECT_EQ(obs::openmetrics_name("a-b c"), "prcost_a_b_c");
+}
+
+TEST(ObsOpenMetrics, ExpositionHasFamiliesSamplesAndEof) {
+  obs::set_metrics_enabled(true);
+  obs::registry().counter("test.om_counter").reset();
+  PRCOST_COUNT_N("test.om_counter", 3);
+  PRCOST_HIST("test.om_hist", 42, 10.0, 100.0);
+  obs::set_metrics_enabled(false);
+  const std::string text = obs::registry().to_openmetrics();
+  EXPECT_NE(text.find("# TYPE prcost_test_om_counter counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("prcost_test_om_counter_total 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE prcost_test_om_hist histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("prcost_test_om_hist_bucket{le=\"+Inf\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("prcost_test_om_hist_count"), std::string::npos);
+  EXPECT_TRUE(text.ends_with("# EOF\n")) << text;
+}
+
+// --- snapshots -------------------------------------------------------------
+
+TEST(ObsSnapshot, DiffSubtractsCountsAndKeepsGaugeAfterValue) {
+  obs::set_metrics_enabled(true);
+  obs::registry().counter("test.diff_counter").reset();
+  PRCOST_COUNT_N("test.diff_counter", 2);
+  PRCOST_GAUGE_SET("test.diff_gauge", 1.0);
+  PRCOST_HIST("test.diff_hist", 5, 10.0, 100.0);
+  const obs::Snapshot before = obs::Snapshot::capture();
+  PRCOST_COUNT_N("test.diff_counter", 5);
+  PRCOST_GAUGE_SET("test.diff_gauge", 7.5);
+  PRCOST_HIST("test.diff_hist", 50, 10.0, 100.0);
+  PRCOST_HIST("test.diff_hist", 500, 10.0, 100.0);
+  const obs::Snapshot after = obs::Snapshot::capture();
+  obs::set_metrics_enabled(false);
+
+  const obs::Snapshot diff = obs::snapshot_diff(before, after);
+  EXPECT_EQ(diff.counter("test.diff_counter"), 5u);
+  const obs::MetricSnapshot* gauge = diff.find("test.diff_gauge");
+  ASSERT_NE(gauge, nullptr);
+  EXPECT_DOUBLE_EQ(gauge->value, 7.5);  // gauges keep the `after` value
+  const obs::MetricSnapshot* hist = diff.find("test.diff_hist");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count, 2u);  // interval samples only
+  ASSERT_EQ(hist->buckets.size(), 3u);
+  EXPECT_EQ(hist->buckets[0], 0u);
+  EXPECT_EQ(hist->buckets[1], 1u);  // the 50
+  EXPECT_EQ(hist->buckets[2], 1u);  // the 500 (overflow)
+  EXPECT_EQ(diff.counter("test.never_registered"), 0u);
+}
+
+// --- request-scoped stats --------------------------------------------------
+
+TEST(ObsRequestStats, NestedScopeCapturesItsOwnEvents) {
+  obs::RequestStats outer;
+  ASSERT_EQ(obs::RequestStats::current(), &outer);
+  PRCOST_REQUEST_EVENT(kPlanCacheHit);
+  {
+    obs::RequestStats inner;
+    ASSERT_EQ(obs::RequestStats::current(), &inner);
+    PRCOST_REQUEST_EVENT(kPlanCacheHit);
+    PRCOST_REQUEST_EVENT(kRetry);
+    const obs::RequestStatsSummary s = inner.summary();
+    EXPECT_EQ(s.plan_cache_hits, 1u);
+    EXPECT_EQ(s.retries, 1u);
+  }
+  // Inner destruction restored the outer scope; its events stayed inner.
+  ASSERT_EQ(obs::RequestStats::current(), &outer);
+  PRCOST_REQUEST_EVENT(kBitstreamCacheMiss);
+  const obs::RequestStatsSummary s = outer.summary();
+  EXPECT_EQ(s.plan_cache_hits, 1u);
+  EXPECT_EQ(s.bitstream_cache_misses, 1u);
+  EXPECT_EQ(s.retries, 0u);
+}
+
+TEST(ObsRequestStats, NoScopeMeansEventsVanish) {
+  ASSERT_EQ(obs::RequestStats::current(), nullptr);
+  PRCOST_REQUEST_EVENT(kPlanCacheHit);  // must be a safe no-op
+  EXPECT_FALSE(obs::request_tracking_active());
+}
+
+TEST(ObsRequestStats, PropagatesThroughParallelForWorkers) {
+  obs::RequestStats stats;
+  std::atomic<u64> attributed{0};
+  parallel_for(64, [&](std::size_t) {
+    if (obs::RequestStats::current() == &stats) {
+      attributed.fetch_add(1, std::memory_order_relaxed);
+    }
+    PRCOST_REQUEST_EVENT(kBitstreamCacheHit);
+  });
+  // Every worker (pool thread or submitter) saw the submitting scope.
+  EXPECT_EQ(attributed.load(), 64u);
+  EXPECT_EQ(stats.summary().bitstream_cache_hits, 64u);
+  EXPECT_EQ(obs::RequestStats::current(), &stats);
+}
+
+TEST(ObsRequestStats, CapturesPhasesWithoutGlobalTracing) {
+  obs::clear_trace();
+  obs::set_tracing(false);
+  obs::RequestStats stats;
+  {
+    PRCOST_TRACE_SPAN("request_only_phase");
+    {
+      PRCOST_TRACE_SPAN("request_only_child");
+    }
+  }
+  const obs::RequestStatsSummary s = stats.summary();
+  ASSERT_EQ(s.phases.size(), 2u);
+  // Sorted by self time descending; both labels present exactly once.
+  u64 seen = 0;
+  for (const auto& phase : s.phases) {
+    EXPECT_EQ(phase.count, 1u);
+    EXPECT_LE(phase.self_ns, phase.total_ns);
+    EXPECT_LE(phase.max_ns, phase.total_ns);
+    if (phase.name == "request_only_phase" ||
+        phase.name == "request_only_child") {
+      ++seen;
+    }
+  }
+  EXPECT_EQ(seen, 2u);
+  // The global ring stayed untouched: spans fed the scope, not the trace.
+  EXPECT_EQ(obs::trace_span_count(), 0u);
+}
+
+TEST(ObsRequestStats, WallClockAdvances) {
+  obs::RequestStats stats;
+  const u64 first = stats.summary().wall_ns;
+  const u64 second = stats.summary().wall_ns;
+  EXPECT_GE(second, first);
+}
+
+#if !defined(PRCOST_NO_ALLOC_HOOKS)
+TEST(ObsRequestStats, CountsHeapAllocations) {
+  obs::RequestStats stats;
+  const u64 before = stats.summary().allocations;
+  auto* leak_free = new std::vector<int>(1024);
+  delete leak_free;
+  EXPECT_GT(stats.summary().allocations, before);
+}
+#endif
+
 // --- tracing ---------------------------------------------------------------
 
 TEST(ObsTrace, SpanNestingProducesWellFormedChromeJson) {
@@ -323,6 +510,29 @@ TEST(ObsTrace, MultiThreadSpansLandInDistinctTracks) {
   JsonParser parser{obs::chrome_trace_json()};
   ASSERT_TRUE(parser.parse());
   EXPECT_EQ(count_of(span_names(parser), "worker"), 4u);
+  obs::clear_trace();
+}
+
+TEST(ObsTrace, FoldedStacksJoinAncestryWithSemicolons) {
+  obs::clear_trace();
+  obs::set_tracing(true);
+  {
+    PRCOST_TRACE_SPAN("fold_outer");
+    {
+      PRCOST_TRACE_SPAN("fold_inner");
+    }
+    {
+      PRCOST_TRACE_SPAN("fold_inner");
+    }
+  }
+  obs::set_tracing(false);
+  const std::string folded = obs::folded_stacks();
+  // One line per distinct stack, "frames... self_ns", root alone and the
+  // two inner occurrences merged into one aggregated line.
+  EXPECT_NE(folded.find("fold_outer "), std::string::npos) << folded;
+  EXPECT_NE(folded.find("fold_outer;fold_inner "), std::string::npos)
+      << folded;
+  EXPECT_EQ(folded.find("fold_inner;"), std::string::npos) << folded;
   obs::clear_trace();
 }
 

@@ -68,9 +68,16 @@ void print_usage(std::ostream& out) {
       "  --stall-rate P      probability of a storage-media stall (0..1)\n"
       "  --fault-seed N      fault injector seed (runs are reproducible)\n"
       "  --max-retries N     verified-transfer retry budget (default 3)\n"
+      "  --stats             attach request-scoped telemetry to every\n"
+      "                      response (wall time, per-phase times, cache\n"
+      "                      hits/misses, retries, allocations); batch\n"
+      "                      lines gain a result.stats block\n"
       "  --trace-out FILE    record spans, write Chrome trace-event JSON\n"
       "                      (open at https://ui.perfetto.dev)\n"
+      "  --trace-folded FILE record spans, write flamegraph folded stacks\n"
       "  --metrics-out FILE  write the metrics registry as JSON\n"
+      "                      (FILE '-' sends any of these to stderr,\n"
+      "                       keeping stdout results intact)\n"
       "  --log-level LVL     debug|info|warn|error|off (default warn)\n"
       "  --no-plan-cache     disable PRR plan memoization (escape hatch;\n"
       "                      results are identical either way)\n"
@@ -104,7 +111,7 @@ Args parse_args(int argc, char** argv, int first) {
                                                         : "out";
       if (key == "shaped" || key == "no-plan-cache" ||
           key == "no-bitstream-cache" || key == "cross-check" ||
-          key == "strict") {  // booleans
+          key == "strict" || key == "stats") {  // booleans
         args.flags[key] = "1";
         continue;
       }
@@ -163,16 +170,40 @@ api::PrmSource prm_source(const Args& args) {
   return source;
 }
 
+/// Render the optional --stats block of a response on stdout (after the
+/// command's own output; no-op when stats collection is off).
+void print_request_stats(const std::optional<obs::RequestStatsSummary>& s) {
+  if (!s) return;
+  const auto ms = [](u64 ns) {
+    return format_fixed(static_cast<double>(ns) / 1e6, 3);
+  };
+  std::cout << "\n=== request stats ===\n"
+            << "wall " << ms(s->wall_ns) << " ms, plan cache "
+            << s->plan_cache_hits << "/" << s->plan_cache_misses
+            << " hit/miss, bitstream cache " << s->bitstream_cache_hits << "/"
+            << s->bitstream_cache_misses << " hit/miss, retries "
+            << s->retries << ", allocations " << s->allocations << '\n';
+  if (s->phases.empty()) return;
+  TextTable table{{"phase", "count", "self (ms)", "total (ms)", "max (ms)"}};
+  for (const obs::RequestPhase& phase : s->phases) {
+    table.add_row({phase.name, std::to_string(phase.count), ms(phase.self_ns),
+                   ms(phase.total_ns), ms(phase.max_ns)});
+  }
+  std::cout << table.to_ascii();
+}
+
 int cmd_devices(const Engine& engine) {
   TextTable table{{"device", "family", "rows", "CLB cols", "DSP cols",
                    "BRAM cols", "CLBs", "DSPs", "BRAM36s"}};
-  for (const api::DeviceSummary& dev : engine.list_devices().devices) {
+  const api::DevicesResponse response = engine.list_devices();
+  for (const api::DeviceSummary& dev : response.devices) {
     table.add_row({dev.name, dev.family, std::to_string(dev.rows),
                    std::to_string(dev.clb_cols), std::to_string(dev.dsp_cols),
                    std::to_string(dev.bram_cols), std::to_string(dev.clbs),
                    std::to_string(dev.dsps), std::to_string(dev.bram36s)});
   }
   std::cout << table.to_ascii();
+  print_request_stats(response.stats);
   return 0;
 }
 
@@ -190,6 +221,7 @@ int cmd_synth(const Engine& engine, const Args& args) {
   } else {
     std::cout << text;
   }
+  print_request_stats(response.stats);
   return 0;
 }
 
@@ -260,6 +292,7 @@ int cmd_plan(const Engine& engine, const Args& args) {
       std::cout << "\nno L-shaped alternative beats the rectangle\n";
     }
   }
+  print_request_stats(response.stats);
   return 0;
 }
 
@@ -285,6 +318,7 @@ int cmd_bitstream(const Engine& engine, const Args& args) {
     std::cout << "wrote " << bytes.size() << " bytes to "
               << args.get("out", "") << '\n';
   }
+  print_request_stats(response.stats);
   return 0;
 }
 
@@ -313,6 +347,7 @@ int cmd_rank(const Engine& engine, const Args& args) {
                        : "-"});
   }
   std::cout << table.to_ascii();
+  print_request_stats(response.stats);
   return 0;
 }
 
@@ -363,6 +398,7 @@ int cmd_faults(const Engine& engine, const Args& args) {
   table.add_row({"drop penalty",
                  format_fixed(response.total_penalty_s * 1e3, 3) + " ms"});
   std::cout << table.to_ascii();
+  print_request_stats(response.stats);
   return 0;
 }
 
@@ -420,6 +456,7 @@ int cmd_explore(const Engine& engine, const Args& args) {
               << "\n";
     if (!response.bitstream_check->all_match) return 1;
   }
+  print_request_stats(response.stats);
   return 0;
 }
 
@@ -454,11 +491,16 @@ int cmd_batch(const Engine& engine, const Args& args) {
   return 0;
 }
 
-/// Global observability flags: --trace-out, --metrics-out, --log-level.
+/// Global observability flags: --trace-out, --trace-folded, --metrics-out,
+/// --log-level.
 struct ObsOptions {
   std::string trace_out;
+  std::string trace_folded;
   std::string metrics_out;
-  bool active() const { return !trace_out.empty() || !metrics_out.empty(); }
+  bool traced() const {
+    return !trace_out.empty() || !trace_folded.empty();
+  }
+  bool active() const { return traced() || !metrics_out.empty(); }
 };
 
 ObsOptions configure_obs(const Args& args) {
@@ -472,10 +514,30 @@ ObsOptions configure_obs(const Args& args) {
   }
   ObsOptions options;
   options.trace_out = args.get("trace-out", "");
+  options.trace_folded = args.get("trace-folded", "");
   options.metrics_out = args.get("metrics-out", "");
-  if (!options.trace_out.empty()) obs::set_tracing(true);
+  if (options.traced()) obs::set_tracing(true);
   if (options.active()) obs::set_metrics_enabled(true);
   return options;
+}
+
+/// Write one observability artifact to `path`, where "-" means stderr
+/// (never stdout: the command's result output must stay intact there).
+/// Returns false when a file could not be written.
+template <typename Writer>
+bool write_obs_artifact(const std::string& path, const char* what,
+                        Writer&& writer) {
+  if (path == "-") {
+    writer(std::cerr);
+    return true;
+  }
+  std::ofstream out{path};
+  writer(out);
+  if (!out) {
+    std::cerr << "error: cannot write " << what << " to '" << path << "'\n";
+    return false;
+  }
+  return true;
 }
 
 /// Write the requested artifacts and print the end-of-run summary.
@@ -483,25 +545,28 @@ ObsOptions configure_obs(const Args& args) {
 int finalize_obs(const ObsOptions& options) {
   if (!options.active()) return 0;
   int rc = 0;
-  const bool traced = !options.trace_out.empty();
+  const bool traced = options.traced();
   obs::set_tracing(false);
-  if (traced) {
-    std::ofstream out{options.trace_out};
-    obs::write_chrome_trace(out);
-    if (!out) {
-      std::cerr << "error: cannot write trace to '" << options.trace_out
-                << "'\n";
-      rc = 1;
-    }
+  if (!options.trace_out.empty() &&
+      !write_obs_artifact(options.trace_out, "trace", [](std::ostream& out) {
+        obs::write_chrome_trace(out);
+        out << '\n';
+      })) {
+    rc = 1;
   }
-  if (!options.metrics_out.empty()) {
-    std::ofstream out{options.metrics_out};
-    out << obs::registry().to_json() << '\n';
-    if (!out) {
-      std::cerr << "error: cannot write metrics to '" << options.metrics_out
-                << "'\n";
-      rc = 1;
-    }
+  if (!options.trace_folded.empty() &&
+      !write_obs_artifact(options.trace_folded, "folded stacks",
+                          [](std::ostream& out) {
+                            obs::write_folded_stacks(out);
+                          })) {
+    rc = 1;
+  }
+  if (!options.metrics_out.empty() &&
+      !write_obs_artifact(options.metrics_out, "metrics",
+                          [](std::ostream& out) {
+                            out << obs::registry().to_json() << '\n';
+                          })) {
+    rc = 1;
   }
 
   std::cout << "\n=== metrics ===\n";
@@ -522,9 +587,12 @@ int finalize_obs(const ObsOptions& options) {
   }
   std::cout << metrics.to_ascii();
   if (traced) {
-    std::cout << "\n=== span self-time (open " << options.trace_out
-              << " at https://ui.perfetto.dev) ===\n"
-              << obs::trace_summary_table().to_ascii();
+    std::cout << "\n=== span self-time";
+    if (!options.trace_out.empty()) {
+      std::cout << " (open " << options.trace_out
+                << " at https://ui.perfetto.dev)";
+    }
+    std::cout << " ===\n" << obs::trace_summary_table().to_ascii();
     if (obs::trace_dropped_count() > 0) {
       std::cout << "note: " << obs::trace_dropped_count()
                 << " spans dropped (per-thread ring wrapped)\n";
@@ -555,6 +623,7 @@ int main(int argc, char** argv) {
         u64_flag(args, "fault-seed", engine_options.fault_seed);
     engine_options.max_retries = narrow<u32>(
         u64_flag(args, "max-retries", engine_options.max_retries));
+    engine_options.collect_stats = args.has("stats");
     const Engine engine{engine_options};
     int rc = 0;
     if (command == "devices") {
