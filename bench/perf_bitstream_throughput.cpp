@@ -8,23 +8,39 @@
 //   bit_serial  - a local replica of the pre-slicing generator (word-at-a-
 //                 time push_back + BitSerialConfigCrc), the baseline;
 //   sliced      - generate_bitstream_into with a reused scratch buffer
-//                 (table-driven CRC, one exact reserve, bulk payload spans);
+//                 (dispatched span CRC - hardware when available - one
+//                 exact reserve, bulk payload spans);
 //   cached      - generate_bitstream_cached steady-state hits.
 //
-// Built-in verification: all three produce byte-identical words per plan,
-// and the sliced CRC equals the bit-serial oracle on a randomized
-// word/register stream; the process exits 1 when either check fails.
-// Reports JSON on stdout and writes it to --out (default
+// A fourth section ("hw") times the raw config-CRC kernel itself over a
+// large FDRI payload for every available implementation - bit-serial,
+// sliced tables, SSE4.2 CRC32, PCLMUL folding - reporting GB/s and the
+// speedup of each hardware path over the sliced baseline.
+//
+// Timing discipline: every section runs one untimed warmup pass (faults
+// in code paths, caches, and the branch predictor) and then reports the
+// MINIMUM over --repeats individually-timed passes, which is the standard
+// noise-robust estimator for deterministic kernels (the mean smears
+// scheduler preemptions into the result).
+//
+// Built-in verification: all generation paths produce byte-identical
+// words per plan, and every CRC implementation agrees with the
+// bit-serial oracle on a randomized stream; the process exits 1 when any
+// check fails. Reports JSON on stdout and writes it to --out (default
 // BENCH_bitstream.json, "-" disables the file) to seed the perf
 // trajectory.
 //
 //   perf_bitstream_throughput [--device xc5vlx110t] [--prms 7]
 //                             [--repeats 5] [--out BENCH_bitstream.json]
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <limits>
+#include <span>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bitstream/bitstream_cache.hpp"
@@ -191,10 +207,16 @@ int main(int argc, char** argv) {
       words_per_pass * device.fabric.traits().bytes_word;
 
   // ---- timings ----------------------------------------------------------
+  // One untimed warmup pass, then the minimum of `repeats` timed passes.
   const auto per_pass_seconds = [&](const auto& one_pass) {
-    Stopwatch watch;
-    for (int r = 0; r < repeats; ++r) one_pass();
-    return watch.seconds() / repeats;
+    one_pass();  // warmup
+    double best = std::numeric_limits<double>::infinity();
+    for (int r = 0; r < repeats; ++r) {
+      Stopwatch watch;
+      one_pass();
+      best = std::min(best, watch.seconds());
+    }
+    return best;
   };
 
   const double bit_serial_s = per_pass_seconds([&] {
@@ -228,6 +250,46 @@ int main(int argc, char** argv) {
           ? 0.0
           : static_cast<double>(hits) / static_cast<double>(hits + misses);
 
+  // ---- raw config-CRC kernel throughput (per implementation) ------------
+  // A flat 4 MiB FDRI payload fed through config_crc_advance: the pure
+  // CRC cost, isolated from packet emission. State is threaded between
+  // passes so the compiler cannot hoist the work.
+  const std::size_t crc_words = 1u << 20;
+  std::vector<u32> crc_payload(crc_words);
+  Rng crc_payload_rng{0x37C3u};
+  for (u32& word : crc_payload) word = static_cast<u32>(crc_payload_rng());
+  const std::span<const u32> crc_span{crc_payload};
+  const double crc_gb =
+      static_cast<double>(crc_words * sizeof(u32)) / 1e9;
+
+  struct CrcTiming {
+    CrcImpl impl;
+    const char* key;
+    double seconds = 0;
+    u32 crc = 0;
+  };
+  std::vector<CrcTiming> crc_timings;
+  for (const auto& [impl, key] :
+       {std::pair{CrcImpl::kBitSerial, "bit_serial"},
+        std::pair{CrcImpl::kSliced, "sliced"},
+        std::pair{CrcImpl::kHwCrc32, "hw_crc32"},
+        std::pair{CrcImpl::kHwClmul, "hw_clmul"}}) {
+    if (!crc_impl_available(impl)) continue;
+    CrcTiming timing{impl, key};
+    timing.crc = config_crc_advance(impl, 0, ConfigReg::kFdri, crc_span);
+    u32 state = timing.crc;  // thread state so passes stay observable
+    timing.seconds = per_pass_seconds([&] {
+      state = config_crc_advance(impl, state, ConfigReg::kFdri, crc_span);
+    });
+    if (state == 0xA5A5A5A5u) std::abort();  // keep `state` live
+    crc_timings.push_back(timing);
+  }
+  double crc_sliced_s = 0;
+  for (const CrcTiming& timing : crc_timings) {
+    if (timing.impl == CrcImpl::kSliced) crc_sliced_s = timing.seconds;
+    identical = identical && timing.crc == crc_timings.front().crc;
+  }
+
   const double words = static_cast<double>(words_per_pass);
   const double mb = static_cast<double>(bytes_per_pass) / 1e6;
   std::ostringstream json;
@@ -252,6 +314,19 @@ int main(int argc, char** argv) {
        << ", \"hit_rate\": " << hit_rate
        << ", \"speedup_vs_bit_serial\": " << bit_serial_s / cached_s
        << "},\n"
+       << "  \"hw\": {\n"
+       << "    \"crc_bytes\": " << crc_words * sizeof(u32) << ",\n"
+       << "    \"active\": \"" << crc_impl_name(active_crc_impl()) << "\"";
+  for (const CrcTiming& timing : crc_timings) {
+    json << ",\n    \"" << timing.key
+         << "\": {\"seconds_per_pass\": " << timing.seconds
+         << ", \"gb_per_sec\": " << crc_gb / timing.seconds;
+    if (timing.impl != CrcImpl::kSliced && crc_sliced_s > 0) {
+      json << ", \"speedup_vs_sliced\": " << crc_sliced_s / timing.seconds;
+    }
+    json << "}";
+  }
+  json << "\n  },\n"
        << "  \"identical\": " << (identical ? "true" : "false") << "\n"
        << "}\n";
 

@@ -1,7 +1,10 @@
 #include "api/engine.hpp"
 
+#include <filesystem>
 #include <fstream>
+#include <mutex>
 #include <set>
+#include <shared_mutex>
 #include <sstream>
 #include <tuple>
 #include <utility>
@@ -16,7 +19,9 @@
 #include "par/par.hpp"
 #include "reconfig/faults.hpp"
 #include "synth/synthesizer.hpp"
+#include "util/arena.hpp"
 #include "util/error.hpp"
+#include "util/log.hpp"
 #include "util/parallel.hpp"
 
 namespace prcost::api {
@@ -37,7 +42,44 @@ struct PlanInput {
   std::optional<SynthesisResult> synth;
 };
 
-PlanInput load_plan_input(const PrmSource& source, Family family) {
+/// Process-wide memo of built-in PRM synthesis requirements. Synthesis of
+/// a named generator is a pure function of (name, family), yet every
+/// plan/bitstream/explore request used to re-run it — tens of thousands of
+/// heap allocations per request even when the plan cache already had the
+/// answer. The warm lookup is a shared-lock linear scan over a handful of
+/// entries comparing string content; it allocates nothing, which the
+/// zero-alloc request test depends on.
+PrmRequirements builtin_requirements(const std::string& name, Family family) {
+  struct Entry {
+    Family family;
+    std::string name;
+    PrmRequirements req;
+  };
+  static std::shared_mutex mu;
+  static std::vector<Entry> entries;
+  {
+    const std::shared_lock lock{mu};
+    for (const Entry& entry : entries) {
+      if (entry.family == family && entry.name == name) return entry.req;
+    }
+  }
+  // Miss: synthesize outside any lock (throws NotFoundError for unknown
+  // names before anything is cached), then publish. Duplicated concurrent
+  // misses insert duplicate-but-identical entries; the scan still returns
+  // the right requirements.
+  const SynthesisResult result =
+      synthesize(make_builtin_prm(name), SynthOptions{family});
+  const PrmRequirements req = PrmRequirements::from_report(result.report);
+  const std::unique_lock lock{mu};
+  entries.push_back(Entry{family, name, req});
+  return req;
+}
+
+/// `need_synth`: the caller wants the mapped netlist (plan --cross-check
+/// runs PAR on it); otherwise builtin sources resolve through the
+/// requirements memo and skip synthesis entirely on the warm path.
+PlanInput load_plan_input(const PrmSource& source, Family family,
+                          bool need_synth = false) {
   source.validate();
   if (!source.netlist_path.empty()) {
     SynthesisResult result =
@@ -50,6 +92,9 @@ PlanInput load_plan_input(const PrmSource& source, Family family) {
     return PlanInput{PrmRequirements::from_report(
                          parse_report(slurp(source.report_path, "report"))),
                      std::nullopt};
+  }
+  if (!need_synth) {
+    return PlanInput{builtin_requirements(source.prm, family), std::nullopt};
   }
   SynthesisResult result =
       synthesize(make_builtin_prm(source.prm), SynthOptions{family});
@@ -69,16 +114,14 @@ u64 generated_word_count(const PrrPlan& plan, const Device& device) {
   return scratch.size();
 }
 
-/// Synthesize each named built-in PRM for `family` into a PrmInfo table.
+/// Resolve each named built-in PRM for `family` into a PrmInfo table
+/// (through the requirements memo: one synthesis per distinct name ever).
 std::vector<PrmInfo> synthesize_prms(const std::vector<std::string>& names,
                                      Family family) {
   std::vector<PrmInfo> prms;
   prms.reserve(names.size());
   for (const std::string& name : names) {
-    const SynthesisResult result =
-        synthesize(make_builtin_prm(name), SynthOptions{family});
-    prms.push_back(
-        PrmInfo{name, PrmRequirements::from_report(result.report), 0});
+    prms.push_back(PrmInfo{name, builtin_requirements(name, family), 0});
   }
   return prms;
 }
@@ -90,6 +133,40 @@ Engine::Engine() : Engine(Options{}) {}
 Engine::Engine(const Options& options) : options_(options) {
   set_plan_cache_enabled(options_.plan_cache);
   set_bitstream_cache_enabled(options_.bitstream_cache);
+  if (!options_.cache_dir.empty()) load_caches();
+}
+
+void Engine::load_caches() const {
+  // Warm-start is best-effort by contract: a snapshot only pre-warms
+  // memoization, so a missing, unreadable, or corrupt file degrades to
+  // the ordinary cold start instead of failing the Engine.
+  const std::filesystem::path dir{options_.cache_dir};
+  const auto load = [](const char* name, auto loader, const std::string& path) {
+    std::error_code ignored;
+    if (!std::filesystem::exists(path, ignored)) return;
+    try {
+      loader(path);
+    } catch (const Error& error) {
+      PRCOST_COUNT("snapshot.load_failures");
+      log_warn(name, " snapshot ignored: ", error.what());
+    }
+  };
+  load("plan cache", plan_cache_load, (dir / "plan_cache.snap").string());
+  load("bitstream cache", bitstream_cache_load,
+       (dir / "bitstream_cache.snap").string());
+}
+
+void Engine::save_caches() const {
+  if (options_.cache_dir.empty()) return;
+  const std::filesystem::path dir{options_.cache_dir};
+  std::error_code error;
+  std::filesystem::create_directories(dir, error);
+  if (error) {
+    throw IoError{"cannot create cache dir '" + dir.string() +
+                  "': " + error.message()};
+  }
+  plan_cache_save((dir / "plan_cache.snap").string());
+  bitstream_cache_save((dir / "bitstream_cache.snap").string());
 }
 
 const Device& Engine::resolve_device(const std::string& name) const {
@@ -120,7 +197,8 @@ SynthResponse Engine::synth(const SynthRequest& request) const {
 PlanResponse Engine::plan(const PlanRequest& request) const {
   const obs::RequestScope scope{options_.collect_stats};
   const Device& device = resolve_device(request.device);
-  PlanInput input = load_plan_input(request.source, device.fabric.family());
+  PlanInput input = load_plan_input(request.source, device.fabric.family(),
+                                    /*need_synth=*/request.cross_check);
 
   SearchOptions options;
   options.objective = request.objective;
@@ -179,11 +257,15 @@ BitstreamResponse Engine::bitstream(const BitstreamRequest& request) const {
   response.family = device.fabric.family();
   response.plan = *plan;
   if (bitstream_cache_enabled()) {
-    response.words = *generate_bitstream_cached(*plan, response.family);
+    // Shared view of the cached words: a warm hit is a refcount bump, not
+    // a vector copy.
+    response.words = generate_bitstream_cached(*plan, response.family);
   } else {
-    generate_bitstream_into(response.words, *plan, response.family);
+    auto owned = std::make_shared<std::vector<u32>>();
+    generate_bitstream_into(*owned, *plan, response.family);
+    response.words = std::move(owned);
   }
-  response.total_bytes = static_cast<u64>(response.words.size()) *
+  response.total_bytes = static_cast<u64>(response.words->size()) *
                          device.fabric.traits().bytes_word;
   response.stats = scope.finish();
   return response;
@@ -219,8 +301,12 @@ ExploreResponse Engine::explore(const ExploreRequest& request) const {
     // plans a designer would act on) and compare each generated size
     // against the Eq. (18) prediction. Independent generations fan out
     // over the worker pool and land in the process-wide bitstream cache.
-    std::set<std::tuple<u32, u32, u32, u32, u32, u32>> seen;
-    std::vector<const PrrPlan*> plans;
+    ScratchScope scratch;
+    using PlanKey = std::tuple<u32, u32, u32, u32, u32, u32>;
+    std::set<PlanKey, std::less<PlanKey>, ArenaAllocator<PlanKey>> seen{
+        ArenaAllocator<PlanKey>{scratch.arena()}};
+    std::vector<const PrrPlan*, ArenaAllocator<const PrrPlan*>> plans{
+        ArenaAllocator<const PrrPlan*>{scratch.arena()}};
     for (const DesignPoint& point : front) {
       for (const PrrPlan& plan : point.prr_plans) {
         const auto key = std::make_tuple(

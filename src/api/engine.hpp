@@ -46,6 +46,12 @@ class Engine {
     /// Off by default: responses (and their serialization) are then
     /// byte-identical to builds without the feature.
     bool collect_stats = false;
+    /// Directory for persistent warm-start snapshots of the plan and
+    /// bitstream caches (empty = feature off). Construction loads any
+    /// snapshots found there; missing or corrupt snapshots cold-start
+    /// cleanly (results are identical either way - the snapshots only
+    /// pre-warm memoization). save_caches() writes them back.
+    std::string cache_dir;
   };
 
   Engine();  ///< default Options
@@ -83,7 +89,14 @@ class Engine {
   /// The catalog, summarized row-per-device.
   DevicesResponse list_devices() const;
 
+  /// Write the plan + bitstream cache snapshots into options().cache_dir
+  /// (created if absent). No-op when cache_dir is empty. Throws IoError
+  /// when the directory or files cannot be written.
+  void save_caches() const;
+
  private:
+  void load_caches() const;
+
   const Device& resolve_device(const std::string& name) const;
   std::size_t effective_workers(std::size_t requested) const;
 

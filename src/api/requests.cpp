@@ -312,7 +312,7 @@ Json to_json(const BitstreamResponse& r) {
   j.set("device", r.device)
       .set("family", std::string{family_name(r.family)})
       .set("plan", plan_to_json(r.plan))
-      .set("words", static_cast<u64>(r.words.size()))
+      .set("words", static_cast<u64>(r.words ? r.words->size() : 0))
       .set("total_bytes", r.total_bytes);
   set_stats(j, r.stats);
   return j;

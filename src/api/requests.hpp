@@ -8,6 +8,7 @@
 // documented in README.md ("Batch mode & the JSONL API").
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -112,7 +113,10 @@ struct BitstreamResponse {
   std::string device;
   Family family = Family::kVirtex5;
   PrrPlan plan;
-  std::vector<u32> words;    ///< the generated partial bitstream
+  /// The generated partial bitstream. Shared with the process-wide
+  /// bitstream cache when it is enabled (a warm response is a refcount
+  /// bump, not a copy); always non-null after a successful request.
+  std::shared_ptr<const std::vector<u32>> words;
   u64 total_bytes = 0;       ///< words serialized at traits.bytes_word
   std::optional<obs::RequestStatsSummary> stats;  ///< see SynthResponse
 };

@@ -1,12 +1,16 @@
 #include "bitstream/bitstream_cache.hpp"
 
+#include <algorithm>
 #include <array>
 #include <atomic>
 #include <bit>
 #include <mutex>
 #include <unordered_map>
+#include <utility>
 
 #include "obs/obs.hpp"
+#include "util/error.hpp"
+#include "util/snapshot.hpp"
 
 namespace prcost {
 namespace {
@@ -160,6 +164,18 @@ class Cache {
                     std::memory_order_relaxed);
   }
 
+  /// Point-in-time copy of every resident (key, words) pair. Words are
+  /// shared_ptr, so this pins them without copying payloads.
+  std::vector<std::pair<Key, Words>> resident() const {
+    std::vector<std::pair<Key, Words>> out;
+    for (const Shard& shard : shards_) {
+      const std::scoped_lock lock{shard.mu};
+      out.reserve(out.size() + shard.map.size());
+      for (const auto& [key, words] : shard.map) out.emplace_back(key, words);
+    }
+    return out;
+  }
+
  private:
   static constexpr std::size_t kShardCount = 8;
 
@@ -198,7 +214,76 @@ Key key_of(const PrrPlan& plan, Family family,
   return key;
 }
 
+// Snapshot format version 1 payload:
+//   u64 entry_count
+//     { 11 key fields; u64 word_count; word_count x u32 words } x count
+// Words are written as one bulk byte range (not word-by-word): resident
+// bitstreams dominate the file, and the bulk path keeps warm restart
+// well under the 100 ms budget.
+constexpr u32 kBitstreamSnapshotVersion = 1;
+
 }  // namespace
+
+std::size_t bitstream_cache_save(const std::string& path) {
+  SnapshotWriter out;
+  const auto resident = Cache::instance().resident();
+  out.put_u64(resident.size());
+  for (const auto& [key, words] : resident) {
+    out.put_u32(key.family);
+    out.put_u32(key.h);
+    out.put_u32(key.clb_cols);
+    out.put_u32(key.dsp_cols);
+    out.put_u32(key.bram_cols);
+    out.put_u32(key.first_col);
+    out.put_u32(key.first_row);
+    out.put_u64(key.payload_seed);
+    out.put_u32(key.idcode);
+    out.put_u32(key.payload_kind);
+    out.put_u64(key.density_bits);
+    out.put_u64(words->size());
+    out.put_bytes(words->data(), words->size() * sizeof(u32));
+  }
+  out.write(path, kBitstreamSnapshotVersion);
+  return resident.size();
+}
+
+std::size_t bitstream_cache_load(const std::string& path) {
+  SnapshotReader in{path, kBitstreamSnapshotVersion};
+  // Decode everything before touching the cache, so a malformed payload
+  // leaves it unchanged.
+  std::vector<std::pair<Key, Words>> loaded;
+  const u64 entry_count = in.get_u64();
+  loaded.reserve(std::min<u64>(entry_count, 1u << 16));
+  for (u64 i = 0; i < entry_count; ++i) {
+    Key key;
+    key.family = in.get_u32();
+    key.h = in.get_u32();
+    key.clb_cols = in.get_u32();
+    key.dsp_cols = in.get_u32();
+    key.bram_cols = in.get_u32();
+    key.first_col = in.get_u32();
+    key.first_row = in.get_u32();
+    key.payload_seed = in.get_u64();
+    key.idcode = in.get_u32();
+    key.payload_kind = in.get_u32();
+    key.density_bits = in.get_u64();
+    const u64 word_count = in.get_u64();
+    if (word_count * sizeof(u32) > in.remaining()) {
+      throw ParseError{"snapshot '" + path + "': payload underrun"};
+    }
+    std::vector<u32> words(static_cast<std::size_t>(word_count));
+    in.get_bytes(words.data(), words.size() * sizeof(u32));
+    loaded.emplace_back(
+        key, std::make_shared<const std::vector<u32>>(std::move(words)));
+  }
+  if (in.remaining() != 0) {
+    throw ParseError{"snapshot '" + path + "': trailing bytes"};
+  }
+  for (auto& [key, words] : loaded) {
+    Cache::instance().insert(key, std::move(words));
+  }
+  return loaded.size();
+}
 
 bool bitstream_cache_enabled() noexcept {
   return g_enabled.load(std::memory_order_relaxed);

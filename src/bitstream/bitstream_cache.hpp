@@ -23,6 +23,7 @@
 #pragma once
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "bitstream/generator.hpp"
@@ -47,6 +48,18 @@ struct BitstreamCacheStats {
 /// cache disabled this is a plain compute returning a fresh vector.
 std::shared_ptr<const std::vector<u32>> generate_bitstream_cached(
     const PrrPlan& plan, Family family, const GeneratorOptions& options = {});
+
+/// Persist every resident bitstream as a versioned, checksummed snapshot
+/// (util/snapshot.hpp). Keys are (family, geometry, options) - all
+/// process-independent - so no translation table is needed. Returns the
+/// entries written. Throws IoError when the file cannot be written.
+std::size_t bitstream_cache_save(const std::string& path);
+
+/// Restore entries written by bitstream_cache_save. Throws IoError when
+/// the file cannot be opened and ParseError on any corruption; in both
+/// cases the cache is left unchanged, so callers can fall back to a
+/// clean cold start. Returns the entries restored.
+std::size_t bitstream_cache_load(const std::string& path);
 
 /// Drop every cached bitstream (stats survive). Intended for tests and
 /// for benchmarks that need cold-cache timings.

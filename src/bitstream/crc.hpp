@@ -8,15 +8,27 @@
 // LSB-first into a CRC-32C (Castagnoli, 0x1EDC6F41) register, per the
 // Virtex-5 configuration user guide.
 //
-// ConfigCrc is a table-driven sliced implementation: the accumulator is
-// kept bit-reversed so the LSB-first feed becomes the classic reflected
-// CRC recurrence, one 37-bit register write collapses to four 256-entry
-// table lookups (slice-by-4 over the data word, with the five trailing
-// address bits folded into the tables) plus one 32-entry lookup for the
-// register address. BitSerialConfigCrc keeps the original bit-at-a-time
-// algorithm as the oracle the sliced tables are property-tested against.
+// ConfigCrc is the streaming accumulator. It dispatches at runtime between
+// several implementations of the same 37-bit scheme:
+//
+//   kBitSerial  the original bit-at-a-time loop (the property-test oracle)
+//   kSliced     table-driven slice-by-4 with the 5 address bits pre-folded
+//               into the word tables via GF(2) linearity
+//   kHwCrc32    SSE4.2 `crc32` instruction. 64 register writes are exactly
+//               2368 bits = 37 u64 lanes, so a burst packs its 37-bit
+//               symbols into u64 lanes and feeds them straight through
+//               `_mm_crc32_u64` with no combine step
+//   kHwClmul    PCLMUL carry-less folding: 128-word superblocks (74 lanes
+//               = 37 x 128-bit blocks) folded with x^191 / x^127 mod P
+//               constants, then reduced back to 32 bits by byte table
+//
+// The default is chosen by CPUID at first use; `PRCOST_FORCE_CRC`
+// (bitserial | sliced | hw | sse42 | clmul) overrides it, and
+// `set_crc_impl` overrides both (used by benches and tests). All four
+// implementations are bit-identical; the dispatch is purely a speed knob.
 #pragma once
 
+#include <cstddef>
 #include <span>
 
 #include "bitstream/words.hpp"
@@ -24,7 +36,41 @@
 
 namespace prcost {
 
-/// Streaming configuration-CRC accumulator (sliced, table-driven).
+/// Selectable implementations of the 37-bit configuration CRC step.
+enum class CrcImpl {
+  kBitSerial = 0,
+  kSliced = 1,
+  kHwCrc32 = 2,
+  kHwClmul = 3,
+};
+
+/// True when `impl` can run on this machine (CPUID check for hw paths).
+bool crc_impl_available(CrcImpl impl);
+
+/// The implementation ConfigCrc currently dispatches to. Resolved on first
+/// use: `set_crc_impl` override, else `PRCOST_FORCE_CRC`, else the fastest
+/// available hardware path, else the sliced tables.
+CrcImpl active_crc_impl();
+
+/// Force a specific implementation process-wide. Returns false (and leaves
+/// the dispatch unchanged) when `impl` is not available on this machine.
+bool set_crc_impl(CrcImpl impl);
+
+/// Stable short name ("bitserial", "sliced", "hw-crc32", "hw-clmul").
+const char* crc_impl_name(CrcImpl impl);
+
+/// Advance a reflected-domain accumulator (the `ConfigCrc` state, i.e.
+/// bit_reverse of the register value) across a burst of writes using a
+/// specific implementation. Exposed so tests and benches can compare
+/// implementations directly without changing the process-wide dispatch.
+u32 config_crc_advance(CrcImpl impl, u32 state, ConfigReg reg,
+                       std::span<const u32> words);
+
+/// Plain CRC-32C over bytes (init/final-xor 0xFFFFFFFF, reflected), used
+/// to checksum cache snapshots. Uses the crc32 instruction when available.
+u32 crc32c_bytes(const void* data, std::size_t size);
+
+/// Streaming configuration-CRC accumulator (runtime-dispatched).
 class ConfigCrc {
  public:
   /// Absorb one register write.
@@ -45,8 +91,8 @@ class ConfigCrc {
 };
 
 /// Reference bit-at-a-time implementation of the same 37-bit scheme.
-/// Retained as the test oracle for ConfigCrc and as the baseline the
-/// throughput bench measures speedup against.
+/// Retained as the test oracle for the dispatched implementations and as
+/// the baseline the throughput bench measures speedup against.
 class BitSerialConfigCrc {
  public:
   void update(ConfigReg reg, u32 data);

@@ -1,11 +1,16 @@
 #include "cost/plan_cache.hpp"
 
+#include <algorithm>
 #include <array>
 #include <atomic>
+#include <iterator>
 #include <mutex>
 #include <unordered_map>
+#include <utility>
 
 #include "obs/obs.hpp"
+#include "util/error.hpp"
+#include "util/snapshot.hpp"
 
 namespace prcost {
 namespace {
@@ -139,6 +144,18 @@ class Cache {
                     std::memory_order_relaxed);
   }
 
+  /// Point-in-time copy of every resident (key, entry) pair, shard by
+  /// shard. Entries are shared_ptr, so this pins them without copying.
+  std::vector<std::pair<Key, std::shared_ptr<const Entry>>> resident() const {
+    std::vector<std::pair<Key, std::shared_ptr<const Entry>>> out;
+    for (const Shard& shard : shards_) {
+      const std::scoped_lock lock{shard.mu};
+      out.reserve(out.size() + shard.map.size());
+      for (const auto& [key, entry] : shard.map) out.emplace_back(key, entry);
+    }
+    return out;
+  }
+
  private:
   static constexpr std::size_t kShardCount = 16;
 
@@ -159,7 +176,182 @@ class Cache {
   std::atomic<std::size_t> capacity_{1u << 16};
 };
 
+// ---------------------------------------------------------------------
+// Snapshot persistence (plan_cache_save / plan_cache_load).
+//
+// Format version 1 payload:
+//   u64 identity_count
+//     { u64 id; u32 family; u32 rows; string pattern } x identity_count
+//   u64 entry_count
+//     { Key; per-kind body } x entry_count
+//
+// Keys carry process-local fabric identity ids, so the identity table
+// (family, rows, pattern - everything Fabric::identity() interns over)
+// travels with the snapshot and keys are re-interned + translated on
+// load. PrrPlan is flat scalars, written field-wise (never memcpy'd:
+// struct padding would leak indeterminate bytes into the checksum).
+
+constexpr u32 kPlanSnapshotVersion = 1;
+
+void put_plan(SnapshotWriter& out, const PrrPlan& plan) {
+  out.put_u32(plan.organization.h);
+  out.put_u32(plan.organization.columns.clb_cols);
+  out.put_u32(plan.organization.columns.dsp_cols);
+  out.put_u32(plan.organization.columns.bram_cols);
+  out.put_u32(plan.window.first_col);
+  out.put_u32(plan.window.width);
+  out.put_u32(plan.first_row);
+  out.put_u64(plan.available.clbs);
+  out.put_u64(plan.available.ffs);
+  out.put_u64(plan.available.luts);
+  out.put_u64(plan.available.dsps);
+  out.put_u64(plan.available.brams);
+  out.put_f64(plan.ru.clb);
+  out.put_f64(plan.ru.ff);
+  out.put_f64(plan.ru.lut);
+  out.put_f64(plan.ru.dsp);
+  out.put_f64(plan.ru.bram);
+  out.put_u64(plan.bitstream.initial_words);
+  out.put_u64(plan.bitstream.config_words_per_row);
+  out.put_u64(plan.bitstream.bram_words_per_row);
+  out.put_u64(plan.bitstream.final_words);
+  out.put_u64(plan.bitstream.rows);
+  out.put_u64(plan.bitstream.total_words);
+  out.put_u64(plan.bitstream.total_bytes);
+  out.put_u64(plan.bitstream.config_frames_per_row);
+}
+
+PrrPlan get_plan(SnapshotReader& in) {
+  PrrPlan plan;
+  plan.organization.h = in.get_u32();
+  plan.organization.columns.clb_cols = in.get_u32();
+  plan.organization.columns.dsp_cols = in.get_u32();
+  plan.organization.columns.bram_cols = in.get_u32();
+  plan.window.first_col = in.get_u32();
+  plan.window.width = in.get_u32();
+  plan.first_row = in.get_u32();
+  plan.available.clbs = in.get_u64();
+  plan.available.ffs = in.get_u64();
+  plan.available.luts = in.get_u64();
+  plan.available.dsps = in.get_u64();
+  plan.available.brams = in.get_u64();
+  plan.ru.clb = in.get_f64();
+  plan.ru.ff = in.get_f64();
+  plan.ru.lut = in.get_f64();
+  plan.ru.dsp = in.get_f64();
+  plan.ru.bram = in.get_f64();
+  plan.bitstream.initial_words = in.get_u64();
+  plan.bitstream.config_words_per_row = in.get_u64();
+  plan.bitstream.bram_words_per_row = in.get_u64();
+  plan.bitstream.final_words = in.get_u64();
+  plan.bitstream.rows = in.get_u64();
+  plan.bitstream.total_words = in.get_u64();
+  plan.bitstream.total_bytes = in.get_u64();
+  plan.bitstream.config_frames_per_row = in.get_u64();
+  return plan;
+}
+
 }  // namespace
+
+std::size_t plan_cache_save(const std::string& path) {
+  SnapshotWriter out;
+  const auto identities = interned_fabric_identities();
+  out.put_u64(identities.size());
+  for (const FabricIdentityRecord& record : identities) {
+    out.put_u64(record.id);
+    out.put_u32(static_cast<u32>(record.family));
+    out.put_u32(record.rows);
+    out.put_string(record.pattern);
+  }
+  const auto resident = Cache::instance().resident();
+  out.put_u64(resident.size());
+  for (const auto& [key, entry] : resident) {
+    out.put_u64(key.fabric_id);
+    out.put_u64(key.req.lut_ff_pairs);
+    out.put_u64(key.req.luts);
+    out.put_u64(key.req.ffs);
+    out.put_u64(key.req.dsps);
+    out.put_u64(key.req.brams);
+    out.put_u32(key.max_height);
+    out.put_u32(key.objective);
+    out.put_u32(static_cast<u32>(key.kind));
+    if (key.kind == EntryKind::kFindPrr) {
+      out.put_u32(entry->plan.has_value() ? 1 : 0);
+      if (entry->plan.has_value()) put_plan(out, *entry->plan);
+    } else {
+      const auto& candidates = *entry->candidates;
+      out.put_u64(candidates.size());
+      for (const PrrPlan& plan : candidates) put_plan(out, plan);
+    }
+  }
+  out.write(path, kPlanSnapshotVersion);
+  return resident.size();
+}
+
+std::size_t plan_cache_load(const std::string& path) {
+  SnapshotReader in{path, kPlanSnapshotVersion};
+  // Re-intern the identity table; old id -> current process id.
+  std::unordered_map<u64, u64> translate;
+  const u64 identity_count = in.get_u64();
+  for (u64 i = 0; i < identity_count; ++i) {
+    const u64 old_id = in.get_u64();
+    const u32 family = in.get_u32();
+    const u32 rows = in.get_u32();
+    const std::string pattern = in.get_string();
+    if (family >= std::size(kAllFamilies) || rows == 0 || pattern.empty()) {
+      throw ParseError{"snapshot '" + path + "': invalid fabric identity"};
+    }
+    translate[old_id] =
+        intern_fabric_identity(static_cast<Family>(family), pattern, rows);
+  }
+  // Decode everything before touching the cache, so a malformed payload
+  // leaves it unchanged.
+  std::vector<std::pair<Key, std::shared_ptr<const Entry>>> loaded;
+  const u64 entry_count = in.get_u64();
+  // Bound the reserve: a crafted count larger than the payload could
+  // otherwise throw bad_alloc instead of the underrun ParseError below.
+  loaded.reserve(std::min<u64>(entry_count, 1u << 16));
+  for (u64 i = 0; i < entry_count; ++i) {
+    Key key;
+    const u64 old_fabric = in.get_u64();
+    const auto mapped = translate.find(old_fabric);
+    if (mapped == translate.end()) {
+      throw ParseError{"snapshot '" + path + "': unknown fabric id"};
+    }
+    key.fabric_id = mapped->second;
+    key.req.lut_ff_pairs = in.get_u64();
+    key.req.luts = in.get_u64();
+    key.req.ffs = in.get_u64();
+    key.req.dsps = in.get_u64();
+    key.req.brams = in.get_u64();
+    key.max_height = in.get_u32();
+    key.objective = in.get_u32();
+    const u32 kind = in.get_u32();
+    if (kind > static_cast<u32>(EntryKind::kWidened)) {
+      throw ParseError{"snapshot '" + path + "': invalid entry kind"};
+    }
+    key.kind = static_cast<EntryKind>(kind);
+    auto entry = std::make_shared<Entry>();
+    if (key.kind == EntryKind::kFindPrr) {
+      if (in.get_u32() != 0) entry->plan = get_plan(in);
+    } else {
+      const u64 plan_count = in.get_u64();
+      std::vector<PrrPlan> plans;
+      plans.reserve(std::min<u64>(plan_count, 1u << 16));
+      for (u64 j = 0; j < plan_count; ++j) plans.push_back(get_plan(in));
+      entry->candidates =
+          std::make_shared<const std::vector<PrrPlan>>(std::move(plans));
+    }
+    loaded.emplace_back(key, std::move(entry));
+  }
+  if (in.remaining() != 0) {
+    throw ParseError{"snapshot '" + path + "': trailing bytes"};
+  }
+  for (auto& [key, entry] : loaded) {
+    Cache::instance().insert(key, std::move(entry));
+  }
+  return loaded.size();
+}
 
 bool plan_cache_enabled() noexcept {
   return g_enabled.load(std::memory_order_relaxed);

@@ -24,6 +24,7 @@
 
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "cost/prr_search.hpp"
@@ -61,6 +62,20 @@ std::shared_ptr<const std::vector<PrrPlan>> placement_candidates(
 std::shared_ptr<const std::vector<PrrPlan>> widened_candidates(
     const PrmRequirements& req, const Fabric& fabric,
     SearchObjective objective);
+
+/// Persist every resident entry - together with the fabric-identity
+/// table needed to re-key them in another process - as a versioned,
+/// checksummed snapshot (util/snapshot.hpp). Returns the number of
+/// entries written. Throws IoError when the file cannot be written.
+std::size_t plan_cache_save(const std::string& path);
+
+/// Restore entries written by plan_cache_save. Fabric identities are
+/// re-interned on load and every key is translated, so snapshots remain
+/// valid across processes (interning order does not matter). Throws
+/// IoError when the file cannot be opened and ParseError on any
+/// corruption; in both cases the cache is left unchanged, so callers can
+/// fall back to a clean cold start. Returns the entries restored.
+std::size_t plan_cache_load(const std::string& path);
 
 /// Drop every cached entry (stats survive). Intended for tests and for
 /// benchmarks that need cold-cache timings.

@@ -4,6 +4,7 @@
 
 #include "cost/plan_cache.hpp"
 #include "obs/obs.hpp"
+#include "util/arena.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 
@@ -101,7 +102,13 @@ std::optional<PrrPlan> find_prr_uncached(const PrmRequirements& req,
 std::vector<PrrPlan> placement_candidates_uncached(const PrmRequirements& req,
                                                    const Fabric& fabric,
                                                    SearchObjective objective) {
-  std::vector<PrrPlan> candidates;
+  // Stage through the thread's scratch arena: the sweep does not know its
+  // candidate count up front, so a plain vector would reallocate-and-copy
+  // log2(n) times. The arena bumps instead, and the single exact-size heap
+  // allocation happens once at the end.
+  ScratchScope scratch;
+  std::vector<PrrPlan, ArenaAllocator<PrrPlan>> candidates{
+      ArenaAllocator<PrrPlan>{scratch.arena()}};
   const bool single_dsp = fabric.column_count(ColumnType::kDsp) == 1;
   for (u32 h = 1; h <= fabric.rows(); ++h) {
     const auto org =
@@ -128,18 +135,24 @@ std::vector<PrrPlan> placement_candidates_uncached(const PrmRequirements& req,
   std::stable_sort(
       candidates.begin(), candidates.end(),
       [&](const PrrPlan& a, const PrrPlan& b) { return key(a) < key(b); });
-  return candidates;
+  return std::vector<PrrPlan>(candidates.begin(), candidates.end());
 }
 
 std::vector<PrrPlan> widen_candidates(const std::vector<PrrPlan>& candidates,
                                       const PrmRequirements& req,
                                       const Fabric& fabric) {
-  std::vector<PrrPlan> widened;
+  // Same arena staging as placement_candidates_uncached, and the memoized
+  // superset-window lists are iterated shared (no per-(candidate, width)
+  // vector copy).
+  ScratchScope scratch;
+  std::vector<PrrPlan, ArenaAllocator<PrrPlan>> widened{
+      ArenaAllocator<PrrPlan>{scratch.arena()}};
   for (const PrrPlan& candidate : candidates) {
     for (u32 width = candidate.organization.width();
          width <= fabric.num_columns(); ++width) {
-      for (const ColumnWindow& window : fabric.find_all_windows_superset(
-               candidate.organization.columns, width)) {
+      const auto windows = fabric.superset_windows_shared(
+          candidate.organization.columns, width);
+      for (const ColumnWindow& window : *windows) {
         PrrPlan plan = candidate;
         plan.window = window;
         plan.organization.columns = fabric.window_composition(window);
@@ -150,7 +163,7 @@ std::vector<PrrPlan> widen_candidates(const std::vector<PrrPlan>& candidates,
       }
     }
   }
-  return widened;
+  return std::vector<PrrPlan>(widened.begin(), widened.end());
 }
 
 std::optional<PrrPlan> find_shared_prr(std::span<const PrmRequirements> reqs,

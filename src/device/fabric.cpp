@@ -1,5 +1,6 @@
 #include "device/fabric.hpp"
 
+#include <algorithm>
 #include <map>
 #include <mutex>
 #include <shared_mutex>
@@ -14,13 +15,14 @@ namespace {
 /// Process-wide fabric interning: identical (family, pattern, rows) triples
 /// map to one id, so cache keys can carry a u64 instead of the layout and
 /// still never collide across distinct fabrics.
-u64 intern_fabric(Family family, const std::string& pattern, u32 rows) {
-  static std::mutex mu;
-  static std::map<std::tuple<int, u32, std::string>, u64> ids;
-  const std::scoped_lock lock{mu};
-  const auto [it, inserted] = ids.try_emplace(
-      std::tuple{static_cast<int>(family), rows, pattern}, ids.size() + 1);
-  return it->second;
+struct InternTable {
+  std::mutex mu;
+  std::map<std::tuple<int, u32, std::string>, u64> ids;
+};
+
+InternTable& intern_table() {
+  static InternTable table;
+  return table;
 }
 
 /// Packs a (demand, width) query into one map key. Component counts are
@@ -64,7 +66,7 @@ Fabric::Fabric(Family family, std::string_view column_pattern, u32 rows)
   for (const char code : column_pattern) {
     columns_.push_back(parse_column_code(code));
   }
-  identity_ = intern_fabric(family, std::string{column_pattern}, rows);
+  identity_ = intern_fabric_identity(family, column_pattern, rows);
 
   prefix_.resize(columns_.size() + 1);
   for (std::size_t i = 0; i < columns_.size(); ++i) {
@@ -226,6 +228,36 @@ u64 Fabric::window_config_frames(const ColumnWindow& window) const {
   }
   return prefix_[window.first_col + window.width].frames -
          prefix_[window.first_col].frames;
+}
+
+u64 intern_fabric_identity(Family family, std::string_view pattern,
+                           u32 rows) {
+  InternTable& table = intern_table();
+  const std::scoped_lock lock{table.mu};
+  const auto [it, inserted] = table.ids.try_emplace(
+      std::tuple{static_cast<int>(family), rows, std::string{pattern}},
+      table.ids.size() + 1);
+  return it->second;
+}
+
+std::vector<FabricIdentityRecord> interned_fabric_identities() {
+  InternTable& table = intern_table();
+  std::vector<FabricIdentityRecord> records;
+  const std::scoped_lock lock{table.mu};
+  records.reserve(table.ids.size());
+  for (const auto& [key, id] : table.ids) {
+    FabricIdentityRecord record;
+    record.id = id;
+    record.family = static_cast<Family>(std::get<0>(key));
+    record.rows = std::get<1>(key);
+    record.pattern = std::get<2>(key);
+    records.push_back(std::move(record));
+  }
+  std::sort(records.begin(), records.end(),
+            [](const FabricIdentityRecord& a, const FabricIdentityRecord& b) {
+              return a.id < b.id;
+            });
+  return records;
 }
 
 }  // namespace prcost

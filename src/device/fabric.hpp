@@ -107,6 +107,21 @@ class Fabric {
   std::vector<ColumnWindow> find_all_windows_superset(
       const ColumnDemand& demand, u32 width) const;
 
+  /// Shared, immutable view of the memoized superset-window list for one
+  /// (demand, width). Same contents as find_all_windows_superset without
+  /// the per-call copy; the hot widening loop in src/cost iterates this.
+  std::shared_ptr<const std::vector<ColumnWindow>> superset_windows_shared(
+      const ColumnDemand& demand, u32 width) const {
+    return superset_windows(demand, width);
+  }
+
+  /// Shared, immutable view of the memoized exact-window list (the
+  /// find_all_windows contents without the per-call copy).
+  std::shared_ptr<const std::vector<ColumnWindow>> exact_windows_shared(
+      const ColumnDemand& demand) const {
+    return exact_windows(demand);
+  }
+
   /// The column-type composition of a window as a ColumnDemand. O(1) via
   /// the per-position prefix sums.
   ColumnDemand window_composition(const ColumnWindow& window) const;
@@ -149,5 +164,23 @@ class Fabric {
   std::vector<ColumnPrefix> prefix_;  ///< size num_columns() + 1
   std::shared_ptr<WindowIndex> index_;
 };
+
+/// One interned fabric identity: the (family, pattern, rows) triple behind
+/// a Fabric::identity() value. Snapshots of identity-keyed caches persist
+/// these records so a restarted process can re-intern and translate ids.
+struct FabricIdentityRecord {
+  u64 id = 0;
+  Family family = Family::kVirtex5;
+  u32 rows = 0;
+  std::string pattern;
+};
+
+/// Intern a (family, pattern, rows) triple and return its process-wide
+/// identity (the same value Fabric::identity() reports for a fabric built
+/// from the triple). Idempotent; used by cache-snapshot restore.
+u64 intern_fabric_identity(Family family, std::string_view pattern, u32 rows);
+
+/// Every identity interned so far, in id order.
+std::vector<FabricIdentityRecord> interned_fabric_identities();
 
 }  // namespace prcost

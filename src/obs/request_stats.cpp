@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <cstring>
 #include <new>
 
 #include "obs/trace.hpp"
@@ -42,14 +43,47 @@ void RequestStats::count(RequestEvent event) noexcept {
       1, std::memory_order_relaxed);
 }
 
-void RequestStats::add_phase(const char* name, u64 dur_ns, u64 self_ns) {
-  const std::scoped_lock lock{phase_mutex_};
-  RequestPhase& phase = phases_[std::string_view{name}];
-  if (phase.count == 0) phase.name = name;
-  ++phase.count;
-  phase.total_ns += dur_ns;
-  phase.self_ns += self_ns;
-  phase.max_ns = std::max(phase.max_ns, dur_ns);
+void RequestStats::fold_into(PhaseSlot& slot, u64 dur_ns,
+                             u64 self_ns) noexcept {
+  slot.count.fetch_add(1, std::memory_order_relaxed);
+  slot.total_ns.fetch_add(dur_ns, std::memory_order_relaxed);
+  slot.self_ns.fetch_add(self_ns, std::memory_order_relaxed);
+  u64 prev = slot.max_ns.load(std::memory_order_relaxed);
+  while (prev < dur_ns &&
+         !slot.max_ns.compare_exchange_weak(prev, dur_ns,
+                                            std::memory_order_relaxed)) {
+  }
+}
+
+void RequestStats::add_phase(const char* name, u64 dur_ns,
+                             u64 self_ns) noexcept {
+  // FNV-1a over the label text (not the pointer) so identical labels from
+  // different translation units share one slot; the probe compares content
+  // for the same reason. Labels are static, so storing the pointer is safe.
+  u64 hash = 1469598103934665603ull;
+  for (const char* c = name; *c != '\0'; ++c) {
+    hash = (hash ^ static_cast<unsigned char>(*c)) * 1099511628211ull;
+  }
+  std::size_t index = hash & (kPhaseSlots - 1);
+  for (std::size_t probe = 0; probe < kPhaseSlots; ++probe) {
+    PhaseSlot& slot = phases_[index];
+    const char* current = slot.name.load(std::memory_order_acquire);
+    if (current == nullptr) {
+      const char* expected = nullptr;
+      if (slot.name.compare_exchange_strong(expected, name,
+                                            std::memory_order_acq_rel)) {
+        current = name;
+      } else {
+        current = expected;  // raced with another thread's claim
+      }
+    }
+    if (current == name || std::strcmp(current, name) == 0) {
+      fold_into(slot, dur_ns, self_ns);
+      return;
+    }
+    index = (index + 1) & (kPhaseSlots - 1);
+  }
+  fold_into(overflow_, dur_ns, self_ns);
 }
 
 RequestStatsSummary RequestStats::summary() const {
@@ -65,10 +99,22 @@ RequestStatsSummary RequestStats::summary() const {
   out.bitstream_cache_misses = event(RequestEvent::kBitstreamCacheMiss);
   out.retries = event(RequestEvent::kRetry);
   out.allocations = allocations_.load(std::memory_order_relaxed);
-  {
-    const std::scoped_lock lock{phase_mutex_};
-    out.phases.reserve(phases_.size());
-    for (const auto& [name, phase] : phases_) out.phases.push_back(phase);
+  const auto read_slot = [](const PhaseSlot& slot, const char* name) {
+    RequestPhase phase;
+    phase.name = name;
+    phase.count = slot.count.load(std::memory_order_relaxed);
+    phase.total_ns = slot.total_ns.load(std::memory_order_relaxed);
+    phase.self_ns = slot.self_ns.load(std::memory_order_relaxed);
+    phase.max_ns = slot.max_ns.load(std::memory_order_relaxed);
+    return phase;
+  };
+  for (const PhaseSlot& slot : phases_) {
+    if (const char* name = slot.name.load(std::memory_order_acquire)) {
+      out.phases.push_back(read_slot(slot, name));
+    }
+  }
+  if (overflow_.count.load(std::memory_order_relaxed) != 0) {
+    out.phases.push_back(read_slot(overflow_, "(other)"));
   }
   std::sort(out.phases.begin(), out.phases.end(),
             [](const RequestPhase& a, const RequestPhase& b) {

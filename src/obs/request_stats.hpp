@@ -24,11 +24,8 @@
 
 #include <array>
 #include <atomic>
-#include <mutex>
 #include <optional>
 #include <string>
-#include <string_view>
-#include <map>
 #include <vector>
 
 #include "util/ints.hpp"
@@ -81,8 +78,12 @@ class RequestStats {
   static RequestStats* current() noexcept;
 
   void count(RequestEvent event) noexcept;
-  /// Fold one finished span into the per-label phase table.
-  void add_phase(const char* name, u64 dur_ns, u64 self_ns);
+  /// Fold one finished span into the per-label phase table. Lock-free and
+  /// allocation-free: the table is a fixed-size inline open-addressing map
+  /// keyed by the (static) span label, so instrumented hot paths stay
+  /// zero-alloc while a request scope measures them. Labels beyond the
+  /// slot capacity aggregate into a single "(other)" phase.
+  void add_phase(const char* name, u64 dur_ns, u64 self_ns) noexcept;
   void add_allocation() noexcept {
     allocations_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -93,14 +94,26 @@ class RequestStats {
   RequestStatsSummary summary() const;
 
  private:
+  /// One phase accumulator; name transitions nullptr -> static label once.
+  struct PhaseSlot {
+    std::atomic<const char*> name{nullptr};
+    std::atomic<u64> count{0};
+    std::atomic<u64> total_ns{0};
+    std::atomic<u64> self_ns{0};
+    std::atomic<u64> max_ns{0};
+  };
+  static constexpr std::size_t kPhaseSlots = 64;  // power of two
+
+  static void fold_into(PhaseSlot& slot, u64 dur_ns, u64 self_ns) noexcept;
+
   void* prev_context_ = nullptr;
   u64 start_ns_ = 0;
   std::array<std::atomic<u64>,
              static_cast<std::size_t>(RequestEvent::kEventCount_)>
       events_{};
   std::atomic<u64> allocations_{0};
-  mutable std::mutex phase_mutex_;
-  std::map<std::string_view, RequestPhase> phases_;  ///< keys: static names
+  std::array<PhaseSlot, kPhaseSlots> phases_{};
+  PhaseSlot overflow_;  ///< catch-all once the table is full
 };
 
 namespace detail {

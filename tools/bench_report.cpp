@@ -7,8 +7,8 @@
 // compares against the previous entry. Only keys whose name implies a
 // direction are compared:
 //
-//   higher is better:  contains "per_sec", ends with "speedup"
-//   lower  is better:  ends with "_ns", contains "seconds_per"
+//   higher is better:  contains "per_sec", contains "speedup"
+//   lower  is better:  ends with "_ns" or "_ms", contains "seconds_per"
 //
 // A metric beyond --tolerance (default 0.25 = 25%) in the bad direction is
 // a regression; with --check the process exits 3 so CI can gate on it
@@ -70,10 +70,15 @@ bool ends_with(const std::string& s, std::string_view suffix) {
 // +1 higher-better, -1 lower-better, 0 not a comparable metric (counts,
 // sizes, and configuration echoes carry no regression signal).
 int direction(const std::string& key) {
-  if (key.find("per_sec") != std::string::npos || ends_with(key, "speedup")) {
+  // "speedup" is matched anywhere, not just as a suffix: the benches emit
+  // "speedup_vs_bit_serial" / "speedup_vs_sliced", which a suffix match
+  // silently skipped.
+  if (key.find("per_sec") != std::string::npos ||
+      key.find("speedup") != std::string::npos) {
     return 1;
   }
-  if (ends_with(key, "_ns") || key.find("seconds_per") != std::string::npos) {
+  if (ends_with(key, "_ns") || ends_with(key, "_ms") ||
+      key.find("seconds_per") != std::string::npos) {
     return -1;
   }
   return 0;

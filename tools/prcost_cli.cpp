@@ -83,6 +83,11 @@ void print_usage(std::ostream& out) {
       "                      results are identical either way)\n"
       "  --no-bitstream-cache  disable generated-bitstream memoization\n"
       "                      (escape hatch; output is byte-identical)\n"
+      "  --cache-dir DIR     persist the plan/bitstream caches as warm-\n"
+      "                      start snapshots in DIR (loaded on startup,\n"
+      "                      saved on success; missing or corrupt\n"
+      "                      snapshots cold-start cleanly and output is\n"
+      "                      byte-identical either way)\n"
       "  --workers N         parallel workers for explore/rank/batch\n"
       "                      (0 = auto)\n"
       "prms: fir mips sdram aes crc32 uart matmul sobel fft\n"
@@ -309,9 +314,9 @@ int cmd_bitstream(const Engine& engine, const Args& args) {
     std::cout << error.what() << '\n';
     return 1;
   }
-  std::cout << disassemble(response.words, response.family);
+  std::cout << disassemble(*response.words, response.family);
   if (args.has("out")) {
-    const auto bytes = to_bytes(response.words, response.family);
+    const auto bytes = to_bytes(*response.words, response.family);
     std::ofstream out{args.get("out", ""), std::ios::binary};
     out.write(reinterpret_cast<const char*>(bytes.data()),
               static_cast<std::streamsize>(bytes.size()));
@@ -624,6 +629,7 @@ int main(int argc, char** argv) {
     engine_options.max_retries = narrow<u32>(
         u64_flag(args, "max-retries", engine_options.max_retries));
     engine_options.collect_stats = args.has("stats");
+    engine_options.cache_dir = args.get("cache-dir", "");
     const Engine engine{engine_options};
     int rc = 0;
     if (command == "devices") {
@@ -647,6 +653,7 @@ int main(int argc, char** argv) {
     } else {
       throw UsageError{"unknown command '" + command + "'"};
     }
+    if (rc == 0) engine.save_caches();
     const int obs_rc = finalize_obs(obs_options);
     return rc != 0 ? rc : obs_rc;
   } catch (const UsageError& error) {
