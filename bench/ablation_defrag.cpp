@@ -5,12 +5,23 @@
 // by window compatibility: a PRR can only slide to a column span with the
 // identical type sequence, so heterogeneous fabrics cap the achievable
 // gain (a finding the table makes visible).
+//
+// Reports JSON on stdout (perf-bench schema, flattened by bench_report)
+// and writes it to --out (default BENCH_defrag.json, "-" disables the
+// file).
+//
+//   ablation_defrag [--steps 400] [--out BENCH_defrag.json]
+#include <fstream>
+#include <iostream>
 #include <optional>
+#include <string>
 
 #include "bench/bench_util.hpp"
 #include "device/device_db.hpp"
 #include "htr/defrag.hpp"
+#include "util/json.hpp"
 #include "util/rng.hpp"
+#include "util/strings.hpp"
 
 namespace {
 
@@ -24,14 +35,14 @@ struct TraceResult {
   u64 min_largest_free = ~0ull;
 };
 
-TraceResult run_trace(bool compaction, u64 seed) {
+TraceResult run_trace(bool compaction, u64 seed, int steps) {
   const Fabric& fabric = DeviceDb::instance().get("xc5vlx110t").fabric;
   Floorplanner fp{fabric};
   Rng rng{seed};
   std::vector<std::string> live;
   TraceResult result;
   u64 next_id = 0;
-  for (int step = 0; step < 400; ++step) {
+  for (int step = 0; step < steps; ++step) {
     if (rng.chance(0.6) || live.empty()) {
       // Allocate a PRM of random size; every ~8th request is a large
       // multi-row module that only fits in a compacted fabric.
@@ -69,13 +80,29 @@ TraceResult run_trace(bool compaction, u64 seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_defrag.json";
+  int steps = 400;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    const std::string flag = argv[i];
+    const std::string value = argv[i + 1];
+    if (flag == "--out") {
+      out_path = value;
+    } else if (flag == "--steps") {
+      steps = static_cast<int>(parse_u64(value));
+    } else {
+      std::cerr << "unknown flag " << flag << "\n";
+      return 2;
+    }
+  }
+
   TextTable table{{"policy", "seed", "alloc attempts", "failures",
                    "failure rate", "rescued by HTR", "HTR moves",
                    "min largest-free rect"}};
+  Json runs = Json::array();
   for (const u64 seed : {11ull, 22ull, 33ull}) {
     for (const bool compaction : {false, true}) {
-      const TraceResult r = run_trace(compaction, seed);
+      const TraceResult r = run_trace(compaction, seed, steps);
       table.add_row(
           {compaction ? "compact-on-demand" : "no compaction",
            std::to_string(seed), std::to_string(r.attempts),
@@ -86,11 +113,38 @@ int main() {
                "%",
            std::to_string(r.rescued), std::to_string(r.moves),
            std::to_string(r.min_largest_free)});
+      Json run = Json::object();
+      run.set("policy", compaction ? "compact-on-demand" : "no-compaction")
+          .set("seed", seed)
+          .set("attempts", r.attempts)
+          .set("failures", r.failures)
+          .set("failure_rate", static_cast<double>(r.failures) /
+                                   static_cast<double>(r.attempts))
+          .set("rescued", r.rescued)
+          .set("htr_moves", r.moves)
+          .set("min_largest_free_rect", r.min_largest_free);
+      runs.push_back(std::move(run));
     }
   }
   bench::print_table(
       "Ablation J: online PRR allocation under fragmentation, with and "
       "without HTR compaction",
       table);
+
+  Json doc = Json::object();
+  doc.set("bench", "ablation_defrag")
+      .set("device", "xc5vlx110t")
+      .set("steps", static_cast<u64>(steps))
+      .set("runs", std::move(runs));
+  const std::string json = doc.dump();
+  std::cout << json << '\n';
+  if (out_path != "-") {
+    std::ofstream out{out_path};
+    out << json << '\n';
+    if (!out) {
+      std::cerr << "error: cannot write " << out_path << "\n";
+      return 1;
+    }
+  }
   return 0;
 }

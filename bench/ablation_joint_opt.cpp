@@ -1,0 +1,203 @@
+// Ablation: joint partition-schedule-floorplan optimization. For each
+// fleet scale, a synthetic PRM fleet (element-wise-max shared-PRR groups,
+// scattered static obstacles) is placed greedily in index order and then
+// refined by the simulated-annealing joint optimizer (swap / relocate /
+// resize / defrag-compact moves, each costed end to end through the
+// bitstream, reconfiguration, and fault models). The table contrasts the
+// fragmentation-driven rejection rate and makespan of both plans.
+//
+// Built-in checks (any failure exits 1):
+//   - determinism: a second run with the same seed must reproduce the
+//     accepted-move counts, the final cost, and the placed layout exactly;
+//   - cost verification: the optimizer's from-scratch re-evaluation of the
+//     surviving layout must reproduce the accepted cost bit for bit;
+//   - no regression: annealing must never reject more PRMs than greedy.
+//
+// Reports JSON on stdout and writes it to --out (default
+// BENCH_joint_opt.json, "-" disables the file).
+//
+//   ablation_joint_opt [--device xc5vlx110t] [--prm-counts 100,500,2000]
+//                      [--seed 7] [--rounds 48] [--proposals 8]
+//                      [--workers 0] [--out BENCH_joint_opt.json]
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "device/device_db.hpp"
+#include "opt/optimizer.hpp"
+#include "util/json.hpp"
+#include "util/stopwatch.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace prcost;
+
+std::vector<u32> parse_counts(const std::string& list) {
+  std::vector<u32> counts;
+  std::string item;
+  for (const char c : list + ",") {
+    if (c == ',') {
+      if (!item.empty()) counts.push_back(narrow<u32>(parse_u64(item)));
+      item.clear();
+    } else {
+      item += c;
+    }
+  }
+  return counts;
+}
+
+bool layouts_identical(const std::vector<PlacedPrr>& a,
+                       const std::vector<PlacedPrr>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].name != b[i].name || a[i].first_col != b[i].first_col ||
+        a[i].first_row != b[i].first_row ||
+        a[i].plan.organization.h != b[i].plan.organization.h ||
+        a[i].plan.window.width != b[i].plan.window.width ||
+        a[i].plan.bitstream.total_bytes != b[i].plan.bitstream.total_bytes) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool runs_identical(const opt::OptimizeResult& a,
+                    const opt::OptimizeResult& b) {
+  return a.proposals == b.proposals && a.accepted == b.accepted &&
+         a.accepted_by_kind == b.accepted_by_kind &&
+         a.greedy.cost == b.greedy.cost && a.best.cost == b.best.cost &&
+         layouts_identical(a.placements, b.placements);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string device_name = "xc5vlx110t";
+  std::string out_path = "BENCH_joint_opt.json";
+  std::vector<u32> prm_counts = {100, 500, 2000};
+  opt::OptimizeOptions options;
+  options.seed = 7;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    const std::string flag = argv[i];
+    const std::string value = argv[i + 1];
+    if (flag == "--device") {
+      device_name = value;
+    } else if (flag == "--prm-counts") {
+      prm_counts = parse_counts(value);
+    } else if (flag == "--seed") {
+      options.seed = parse_u64(value);
+    } else if (flag == "--rounds") {
+      options.rounds = narrow<u32>(parse_u64(value));
+    } else if (flag == "--proposals") {
+      options.proposals_per_round = narrow<u32>(parse_u64(value));
+    } else if (flag == "--workers") {
+      options.workers = parse_u64(value);
+    } else if (flag == "--out") {
+      out_path = value;
+    } else {
+      std::cerr << "unknown flag " << flag << "\n";
+      return 2;
+    }
+  }
+
+  const Device& device = DeviceDb::instance().get(device_name);
+  bool ok = true;
+  TextTable table{{"PRMs", "PRRs", "greedy rej", "anneal rej", "greedy mk",
+                   "anneal mk", "moves", "largest-free", "verified"}};
+  Json scales = Json::array();
+  for (const u32 prm_count : prm_counts) {
+    const opt::OptInstance instance =
+        opt::make_prm_fleet(device, prm_count, 0, options.seed);
+    opt::JointOptimizer optimizer{instance, options};
+    Stopwatch watch;
+    const opt::OptimizeResult result = optimizer.run();
+    const double anneal_s = watch.seconds();
+    const opt::OptimizeResult replay = opt::JointOptimizer{
+        instance, options}.run();
+    const bool deterministic = runs_identical(result, replay);
+    const double greedy_rate = result.greedy_rejection_rate(prm_count);
+    const double anneal_rate = result.best_rejection_rate(prm_count);
+    const bool verified =
+        result.cost_verified && deterministic && anneal_rate <= greedy_rate;
+    ok = ok && verified;
+
+    table.add_row(
+        {std::to_string(prm_count),
+         std::to_string(result.best.placed_groups) + "/" +
+             std::to_string(instance.group_count),
+         format_fixed(100.0 * greedy_rate, 1) + "%",
+         format_fixed(100.0 * anneal_rate, 1) + "%",
+         format_fixed(result.greedy.makespan_s * 1e3, 2) + " ms",
+         format_fixed(result.best.makespan_s * 1e3, 2) + " ms",
+         std::to_string(result.accepted) + "/" +
+             std::to_string(result.proposals),
+         std::to_string(result.best_frag.largest_free_rect),
+         verified ? "yes" : "NO"});
+
+    Json greedy = Json::object();
+    greedy.set("rejected_prms", result.greedy.rejected_prms)
+        .set("rejection_rate", greedy_rate)
+        .set("placed_groups", result.greedy.placed_groups)
+        .set("makespan_s", result.greedy.makespan_s)
+        .set("fragmentation", result.greedy_frag.fragmentation);
+    Json anneal = Json::object();
+    anneal.set("rejected_prms", result.best.rejected_prms)
+        .set("rejection_rate", anneal_rate)
+        .set("placed_groups", result.best.placed_groups)
+        .set("makespan_s", result.best.makespan_s)
+        .set("fragmentation", result.best_frag.fragmentation)
+        .set("relocation_s", result.best.relocation_s);
+    Json moves = Json::object();
+    moves.set("proposed", result.proposals)
+        .set("accepted", result.accepted)
+        .set("swap", result.accepted_by_kind[0])
+        .set("relocate", result.accepted_by_kind[1])
+        .set("resize", result.accepted_by_kind[2])
+        .set("compact", result.accepted_by_kind[3]);
+    Json scale = Json::object();
+    scale.set("prms", static_cast<u64>(prm_count))
+        .set("groups", static_cast<u64>(instance.group_count))
+        .set("greedy", std::move(greedy))
+        .set("anneal", std::move(anneal))
+        .set("moves", std::move(moves))
+        .set("seconds_per_anneal", anneal_s)
+        .set("rejections_avoided",
+             result.greedy.rejected_prms - result.best.rejected_prms)
+        .set("cost_verified", result.cost_verified)
+        .set("deterministic", deterministic);
+    scales.push_back(std::move(scale));
+  }
+  bench::print_table(
+      "Ablation: joint partition-schedule-floorplan optimization "
+      "(greedy index-order placement vs simulated annealing with "
+      "costed swap/relocate/resize/compact moves)",
+      table);
+
+  Json doc = Json::object();
+  doc.set("bench", "ablation_joint_opt")
+      .set("device", device.name)
+      .set("seed", options.seed)
+      .set("rounds", static_cast<u64>(options.rounds))
+      .set("proposals_per_round", static_cast<u64>(options.proposals_per_round))
+      .set("scales", std::move(scales))
+      .set("all_verified", ok);
+  const std::string json = doc.dump();
+  std::cout << json << '\n';
+  if (out_path != "-") {
+    std::ofstream out{out_path};
+    out << json << '\n';
+    if (!out) {
+      std::cerr << "error: cannot write " << out_path << "\n";
+      return 1;
+    }
+  }
+  if (!ok) {
+    std::cerr << "error: joint-opt verification failed (determinism, cost "
+                 "re-evaluation, or annealing regressed vs greedy)\n";
+    return 1;
+  }
+  return 0;
+}

@@ -4,17 +4,41 @@
 // external storage, so it beats a fresh reconfiguration whenever the
 // bitstream would come from slow media - and loses to a DDR-resident
 // bitstream because relocation crosses the ICAP twice.
+//
+// Reports JSON on stdout (perf-bench schema, flattened by bench_report)
+// and writes it to --out (default BENCH_relocation.json, "-" disables
+// the file).
+//
+//   ablation_relocation [--out BENCH_relocation.json]
+#include <fstream>
+#include <iostream>
+#include <string>
+
 #include "bench/bench_util.hpp"
 #include "cost/prr_search.hpp"
 #include "device/device_db.hpp"
 #include "htr/relocation.hpp"
 #include "paperdata/paper_dataset.hpp"
 #include "reconfig/controllers.hpp"
+#include "util/json.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace prcost;
+  std::string out_path = "BENCH_relocation.json";
+  for (int i = 1; i + 1 < argc; i += 2) {
+    const std::string flag = argv[i];
+    const std::string value = argv[i + 1];
+    if (flag == "--out") {
+      out_path = value;
+    } else {
+      std::cerr << "unknown flag " << flag << "\n";
+      return 2;
+    }
+  }
+
   TextTable table{{"PRM/device", "context bytes", "relocate",
                    "reload (CompactFlash)", "reload (Flash)", "reload (DDR)"}};
+  Json runs = Json::array();
   for (const auto& rec : paperdata::table5()) {
     const Fabric& fabric = DeviceDb::instance().get(rec.device).fabric;
     const auto plan = find_prr(rec.req, fabric);
@@ -25,12 +49,11 @@ int main() {
     const ContextCost context =
         context_cost(plan->organization, fabric.traits());
     const DmaIcapController dma{icap};
+    const auto reload_s = [&](StorageMedia media) {
+      return dma.estimate(plan->bitstream.total_bytes, media).total_s;
+    };
     const auto reload_ms = [&](StorageMedia media) {
-      return format_fixed(
-                 dma.estimate(plan->bitstream.total_bytes, media).total_s *
-                     1e3,
-                 3) +
-             " ms";
+      return format_fixed(reload_s(media) * 1e3, 3) + " ms";
     };
     table.add_row({std::string{rec.prm} + "/" + std::string{rec.device},
                    std::to_string(context.save_bytes),
@@ -38,10 +61,32 @@ int main() {
                    reload_ms(StorageMedia::kCompactFlash),
                    reload_ms(StorageMedia::kFlash),
                    reload_ms(StorageMedia::kDdrSdram)});
+    Json run = Json::object();
+    run.set("prm", std::string{rec.prm})
+        .set("device", std::string{rec.device})
+        .set("context_save_bytes", context.save_bytes)
+        .set("relocate_s", reloc.total_s)
+        .set("reload_compactflash_s", reload_s(StorageMedia::kCompactFlash))
+        .set("reload_flash_s", reload_s(StorageMedia::kFlash))
+        .set("reload_ddr_s", reload_s(StorageMedia::kDdrSdram));
+    runs.push_back(std::move(run));
   }
   bench::print_table(
       "Ablation G: HTR relocation vs reloading the partial bitstream from "
       "storage (relocation wins against CF/flash, loses to DDR)",
       table);
+
+  Json doc = Json::object();
+  doc.set("bench", "ablation_relocation").set("runs", std::move(runs));
+  const std::string json = doc.dump();
+  std::cout << json << '\n';
+  if (out_path != "-") {
+    std::ofstream out{out_path};
+    out << json << '\n';
+    if (!out) {
+      std::cerr << "error: cannot write " << out_path << "\n";
+      return 1;
+    }
+  }
   return 0;
 }

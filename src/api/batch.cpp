@@ -56,9 +56,12 @@ Json dispatch_by_op(const Engine& engine, const Json& request) {
   if (name == "faults") {
     return to_json(engine.faults(faults_request_from_json(request)));
   }
+  if (name == "optimize") {
+    return to_json(engine.optimize(optimize_request_from_json(request)));
+  }
   throw NotFoundError{
       "unknown op '" + name +
-      "' (known: devices synth plan bitstream explore rank faults)"};
+      "' (known: devices synth plan bitstream explore rank faults optimize)"};
 }
 
 }  // namespace

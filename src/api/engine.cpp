@@ -16,6 +16,7 @@
 #include "multitask/simulator.hpp"
 #include "multitask/workload.hpp"
 #include "netlist/serialize.hpp"
+#include "opt/optimizer.hpp"
 #include "par/par.hpp"
 #include "reconfig/faults.hpp"
 #include "synth/synthesizer.hpp"
@@ -23,6 +24,7 @@
 #include "util/error.hpp"
 #include "util/log.hpp"
 #include "util/parallel.hpp"
+#include "util/rng.hpp"
 
 namespace prcost::api {
 namespace {
@@ -426,6 +428,96 @@ FaultsResponse Engine::faults(const FaultsRequest& request) const {
   if (request.strict && sim.dropped_tasks > 0) {
     throw FaultError{"faults: " + std::to_string(sim.dropped_tasks) +
                      " task(s) dropped after exhausted retries"};
+  }
+  response.stats = scope.finish();
+  return response;
+}
+
+OptimizeResponse Engine::optimize(const OptimizeRequest& request) const {
+  const obs::RequestScope scope{options_.collect_stats};
+  const Device& device = resolve_device(request.device);
+
+  opt::OptInstance instance;
+  if (!request.prms.empty()) {
+    // Explicit built-in PRMs: one group per PRM unless the request groups
+    // them, two tasks per PRM (deterministic from the seed).
+    instance.device = &device;
+    instance.prms = synthesize_prms(request.prms, device.fabric.family());
+    const u32 count = narrow<u32>(instance.prms.size());
+    instance.group_count =
+        request.groups != 0 ? std::min(request.groups, count) : count;
+    instance.group_of.reserve(count);
+    for (u32 i = 0; i < count; ++i) {
+      instance.group_of.push_back(i % instance.group_count);
+    }
+    Rng rng{request.seed};
+    for (u32 t = 0; t < count * 2; ++t) {
+      HwTask task;
+      task.name = "t" + std::to_string(t);
+      task.prm = t % count;
+      task.exec_s = rng.exponential(5.0e-3);
+      instance.tasks.push_back(std::move(task));
+    }
+  } else if (request.prm_count != 0) {
+    instance = opt::make_prm_fleet(device, request.prm_count, request.groups,
+                                   request.seed);
+  } else {
+    throw UsageError{"optimize needs PRMs or a prm_count fleet size"};
+  }
+
+  opt::OptimizeOptions options;
+  options.seed = request.seed;
+  options.rounds = request.rounds;
+  options.proposals_per_round = request.proposals_per_round;
+  options.media = parse_media(request.media);
+  options.fault_rate = request.fault_rate.value_or(options_.fault_rate);
+  options.max_retries = request.max_retries.value_or(options_.max_retries);
+  options.workers = effective_workers(request.workers);
+
+  opt::JointOptimizer optimizer{instance, options};
+  const opt::OptimizeResult result = optimizer.run();
+
+  OptimizeResponse response;
+  response.device = device.name;
+  response.prm_count = narrow<u32>(instance.prms.size());
+  response.group_count = instance.group_count;
+  response.seed = request.seed;
+  response.greedy_rejected_prms = result.greedy.rejected_prms;
+  response.greedy_rejection_rate =
+      result.greedy_rejection_rate(instance.prms.size());
+  response.greedy_makespan_s = result.greedy.makespan_s;
+  response.greedy_fragmentation = result.greedy_frag.fragmentation;
+  response.greedy_cost = result.greedy.cost;
+  response.greedy_placed_groups = result.greedy.placed_groups;
+  response.anneal_rejected_prms = result.best.rejected_prms;
+  response.anneal_rejection_rate =
+      result.best_rejection_rate(instance.prms.size());
+  response.anneal_makespan_s = result.best.makespan_s;
+  response.anneal_fragmentation = result.best_frag.fragmentation;
+  response.anneal_cost = result.best.cost;
+  response.anneal_placed_groups = result.best.placed_groups;
+  response.anneal_relocation_s = result.best.relocation_s;
+  response.proposals = result.proposals;
+  response.accepted = result.accepted;
+  response.accepted_swap =
+      result.accepted_by_kind[static_cast<std::size_t>(opt::MoveKind::kSwap)];
+  response.accepted_relocate = result.accepted_by_kind[static_cast<std::size_t>(
+      opt::MoveKind::kRelocate)];
+  response.accepted_resize = result.accepted_by_kind[static_cast<std::size_t>(
+      opt::MoveKind::kResize)];
+  response.accepted_compact = result.accepted_by_kind[static_cast<std::size_t>(
+      opt::MoveKind::kCompact)];
+  response.cost_verified = result.cost_verified;
+  // Cross-check every placed plan's Eq. 18 size against a generated
+  // bitstream (served through the process-wide bitstream cache).
+  response.bitstream_verified = true;
+  for (const PlacedPrr& placed : result.placements) {
+    const u64 generated = generated_word_count(placed.plan, device) *
+                          device.fabric.traits().bytes_word;
+    if (generated != placed.plan.bitstream.total_bytes) {
+      response.bitstream_verified = false;
+      break;
+    }
   }
   response.stats = scope.finish();
   return response;

@@ -86,6 +86,13 @@ class Engine {
   /// failure. Throws FaultError when `strict` and any task was dropped.
   FaultsResponse faults(const FaultsRequest& request) const;
 
+  /// Joint partition-schedule-floorplan optimization (src/opt): greedy
+  /// baseline vs simulated annealing over swap/relocate/resize/compact
+  /// moves, every candidate costed through the bitstream, reconfiguration
+  /// and fault-retry models. Throws UsageError when neither `prms` nor
+  /// `prm_count` describes a fleet.
+  OptimizeResponse optimize(const OptimizeRequest& request) const;
+
   /// The catalog, summarized row-per-device.
   DevicesResponse list_devices() const;
 

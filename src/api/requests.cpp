@@ -230,6 +230,27 @@ FaultsRequest faults_request_from_json(const Json& j) {
   return request;
 }
 
+OptimizeRequest optimize_request_from_json(const Json& j) {
+  OptimizeRequest request;
+  request.device = get_string(j, "device");
+  request.prms = prms_from_json(j);
+  request.prm_count = narrow<u32>(get_u64(j, "prm_count", 0));
+  request.groups = narrow<u32>(get_u64(j, "groups", 0));
+  request.seed = get_u64(j, "seed", 1);
+  request.rounds = narrow<u32>(get_u64(j, "rounds", 48));
+  request.proposals_per_round =
+      narrow<u32>(get_u64(j, "proposals_per_round", 8));
+  request.media = get_string(j, "media", "ddr");
+  if (j.find("fault_rate")) {
+    request.fault_rate = get_double(j, "fault_rate", 0.0);
+  }
+  if (j.find("max_retries")) {
+    request.max_retries = narrow<u32>(get_u64(j, "max_retries", 0));
+  }
+  request.workers = get_u64(j, "workers", 0);
+  return request;
+}
+
 Json to_json(const obs::RequestStatsSummary& s) {
   const auto ms = [](u64 ns) { return static_cast<double>(ns) / 1e6; };
   Json j = Json::object();
@@ -468,6 +489,37 @@ Json to_json(const RankRequest& r) {
   return j;
 }
 
+Json to_json(const OptimizeResponse& r) {
+  Json j = Json::object();
+  j.set("device", r.device)
+      .set("prm_count", r.prm_count)
+      .set("group_count", r.group_count)
+      .set("seed", r.seed)
+      .set("greedy_rejected_prms", r.greedy_rejected_prms)
+      .set("greedy_rejection_rate", r.greedy_rejection_rate)
+      .set("greedy_makespan_s", r.greedy_makespan_s)
+      .set("greedy_fragmentation", r.greedy_fragmentation)
+      .set("greedy_cost", r.greedy_cost)
+      .set("greedy_placed_groups", r.greedy_placed_groups)
+      .set("anneal_rejected_prms", r.anneal_rejected_prms)
+      .set("anneal_rejection_rate", r.anneal_rejection_rate)
+      .set("anneal_makespan_s", r.anneal_makespan_s)
+      .set("anneal_fragmentation", r.anneal_fragmentation)
+      .set("anneal_cost", r.anneal_cost)
+      .set("anneal_placed_groups", r.anneal_placed_groups)
+      .set("anneal_relocation_s", r.anneal_relocation_s)
+      .set("proposals", r.proposals)
+      .set("accepted", r.accepted)
+      .set("accepted_swap", r.accepted_swap)
+      .set("accepted_relocate", r.accepted_relocate)
+      .set("accepted_resize", r.accepted_resize)
+      .set("accepted_compact", r.accepted_compact)
+      .set("cost_verified", r.cost_verified)
+      .set("bitstream_verified", r.bitstream_verified);
+  set_stats(j, r.stats);
+  return j;
+}
+
 Json to_json(const FaultsRequest& r) {
   Json j = Json::object();
   j.set("op", "faults")
@@ -481,6 +533,22 @@ Json to_json(const FaultsRequest& r) {
   if (r.fault_seed) j.set("fault_seed", *r.fault_seed);
   if (r.max_retries) j.set("max_retries", static_cast<u64>(*r.max_retries));
   j.set("media", r.media).set("recovery", r.recovery).set("strict", r.strict);
+  return j;
+}
+
+Json to_json(const OptimizeRequest& r) {
+  Json j = Json::object();
+  j.set("op", "optimize").set("device", r.device);
+  if (!r.prms.empty()) j.set("prms", prms_to_json(r.prms));
+  if (r.prm_count != 0) j.set("prm_count", r.prm_count);
+  if (r.groups != 0) j.set("groups", r.groups);
+  j.set("seed", r.seed)
+      .set("rounds", r.rounds)
+      .set("proposals_per_round", r.proposals_per_round)
+      .set("media", r.media);
+  if (r.fault_rate) j.set("fault_rate", *r.fault_rate);
+  if (r.max_retries) j.set("max_retries", static_cast<u64>(*r.max_retries));
+  if (r.workers != 0) j.set("workers", static_cast<u64>(r.workers));
   return j;
 }
 

@@ -210,6 +210,62 @@ struct FaultsResponse {
   std::optional<obs::RequestStatsSummary> stats;  ///< see SynthResponse
 };
 
+// ------------------------------------------------------------- optimize --
+
+/// Joint partition-schedule-floorplan optimization (src/opt): group the
+/// PRM fleet into shared PRRs, place them on the occupancy grid, and
+/// anneal swap/relocate/resize/compact moves against the greedy baseline,
+/// costing every move through the bitstream (Eq. 18-23), reconfiguration,
+/// and fault-retry models. Either list built-in PRMs or set `prm_count`
+/// for a deterministic synthetic fleet at bench scale.
+struct OptimizeRequest {
+  std::string device;
+  std::vector<std::string> prms;  ///< built-in names; empty => synthetic
+  u32 prm_count = 0;              ///< synthetic fleet size (prms empty)
+  u32 groups = 0;                 ///< shared PRRs (0 = auto)
+  u64 seed = 1;                   ///< fleet + annealer seed
+  u32 rounds = 48;                ///< annealing rounds
+  u32 proposals_per_round = 8;    ///< speculative proposals per round
+  std::string media = "ddr";      ///< bitstream storage media
+  std::optional<double> fault_rate;  ///< unset = engine default
+  std::optional<u32> max_retries;    ///< unset = engine default
+  std::size_t workers = 0;        ///< parallel evaluation width
+};
+
+struct OptimizeResponse {
+  std::string device;
+  u32 prm_count = 0;
+  u32 group_count = 0;
+  u64 seed = 0;
+  // Greedy baseline (index-order placement, no moves).
+  u64 greedy_rejected_prms = 0;
+  double greedy_rejection_rate = 0;
+  double greedy_makespan_s = 0;
+  double greedy_fragmentation = 0;
+  double greedy_cost = 0;
+  u64 greedy_placed_groups = 0;
+  // After annealing.
+  u64 anneal_rejected_prms = 0;
+  double anneal_rejection_rate = 0;
+  double anneal_makespan_s = 0;
+  double anneal_fragmentation = 0;
+  double anneal_cost = 0;
+  u64 anneal_placed_groups = 0;
+  double anneal_relocation_s = 0;  ///< runtime-move ICAP time spent
+  u64 proposals = 0;
+  u64 accepted = 0;
+  u64 accepted_swap = 0;
+  u64 accepted_relocate = 0;
+  u64 accepted_resize = 0;
+  u64 accepted_compact = 0;
+  /// Re-evaluating the final layout reproduced the accepted cost exactly.
+  bool cost_verified = false;
+  /// Every placed plan's generated bitstream (through the bitstream
+  /// cache) matched its Eq. 18 model size.
+  bool bitstream_verified = false;
+  std::optional<obs::RequestStatsSummary> stats;  ///< see SynthResponse
+};
+
 // -------------------------------------------------------------- devices --
 
 struct DeviceSummary {
@@ -237,6 +293,7 @@ BitstreamRequest bitstream_request_from_json(const Json& j);
 ExploreRequest explore_request_from_json(const Json& j);
 RankRequest rank_request_from_json(const Json& j);
 FaultsRequest faults_request_from_json(const Json& j);
+OptimizeRequest optimize_request_from_json(const Json& j);
 
 /// Stats block serialization (the "stats" member on every response):
 /// {"wall_ms":..,"cache":{"plan_hits":..,"plan_misses":..,
@@ -252,6 +309,7 @@ Json to_json(const ExploreResponse& r);
 Json to_json(const RankResponse& r);
 Json to_json(const DevicesResponse& r);
 Json to_json(const FaultsResponse& r);
+Json to_json(const OptimizeResponse& r);
 
 Json to_json(const SynthRequest& r);
 Json to_json(const PlanRequest& r);
@@ -259,5 +317,6 @@ Json to_json(const BitstreamRequest& r);
 Json to_json(const ExploreRequest& r);
 Json to_json(const RankRequest& r);
 Json to_json(const FaultsRequest& r);
+Json to_json(const OptimizeRequest& r);
 
 }  // namespace prcost::api

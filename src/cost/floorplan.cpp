@@ -1,71 +1,20 @@
 #include "cost/floorplan.hpp"
 
-#include <algorithm>
-#include <bit>
-
 #include "cost/plan_cache.hpp"
 #include "util/error.hpp"
 
 namespace prcost {
-namespace {
-
-/// Invoke f(word_in_row, mask) for every 64-bit occupancy word overlapped
-/// by columns [first_col, first_col + width); mask has the overlapped bits
-/// set. Rectangle operations apply the same masks to each covered row.
-template <typename F>
-void for_each_word(u32 first_col, u32 width, F&& f) {
-  const u32 end = first_col + width;
-  for (u32 word = first_col / 64; word * 64 < end; ++word) {
-    const u32 lo = std::max(first_col, word * 64);
-    const u32 hi = std::min(end, (word + 1) * 64);
-    const u32 len = hi - lo;
-    const u64 bits = len == 64 ? ~u64{0} : (u64{1} << len) - 1;
-    f(word, bits << (lo - word * 64));
-  }
-}
-
-}  // namespace
 
 Floorplanner::Floorplanner(const Fabric& fabric)
-    : fabric_(&fabric),
-      words_per_row_((fabric.num_columns() + 63) / 64),
-      occupied_(static_cast<std::size_t>(fabric.rows()) * words_per_row_, 0) {}
+    : fabric_(&fabric), grid_(fabric.rows(), fabric.num_columns()) {}
 
 bool Floorplanner::rect_free(u32 first_col, u32 width, u32 first_row,
                              u32 height) const {
-  if (first_col + width > fabric_->num_columns() ||
-      first_row + height > fabric_->rows()) {
-    return false;
-  }
-  bool is_free = true;
-  for_each_word(first_col, width, [&](u32 word, u64 mask) {
-    const u64* row_word = occupied_.data() + first_row * words_per_row_ + word;
-    for (u32 r = 0; r < height; ++r, row_word += words_per_row_) {
-      if (*row_word & mask) {
-        is_free = false;
-        return;
-      }
-    }
-  });
-  return is_free;
-}
-
-void Floorplanner::set_rect(u32 first_col, u32 width, u32 first_row,
-                            u32 height, bool value) {
-  for_each_word(first_col, width, [&](u32 word, u64 mask) {
-    u64* row_word = occupied_.data() + first_row * words_per_row_ + word;
-    for (u32 r = 0; r < height; ++r, row_word += words_per_row_) {
-      if (value) {
-        *row_word |= mask;
-      } else {
-        *row_word &= ~mask;
-      }
-    }
-  });
+  return grid_.rect_free(first_col, width, first_row, height);
 }
 
 void Floorplanner::mark(u32 first_col, u32 width, u32 first_row, u32 height) {
-  set_rect(first_col, width, first_row, height, true);
+  grid_.set_rect(first_col, width, first_row, height, true);
 }
 
 void Floorplanner::reserve(u32 first_col, u32 width, u32 first_row,
@@ -153,12 +102,29 @@ std::optional<PlacedPrr> Floorplanner::place(const std::string& name,
   return std::nullopt;
 }
 
+std::optional<PlacedPrr> Floorplanner::place_plan(const std::string& name,
+                                                  const PrrPlan& plan) {
+  if (!rect_free(plan.window.first_col, plan.window.width, plan.first_row,
+                 plan.organization.h)) {
+    return std::nullopt;
+  }
+  mark(plan.window.first_col, plan.window.width, plan.first_row,
+       plan.organization.h);
+  PlacedPrr placed;
+  placed.name = name;
+  placed.plan = plan;
+  placed.first_col = plan.window.first_col;
+  placed.first_row = plan.first_row;
+  placements_.push_back(placed);
+  return placed;
+}
+
 bool Floorplanner::remove(const std::string& name) {
   for (std::size_t i = 0; i < placements_.size(); ++i) {
     if (placements_[i].name != name) continue;
     const PlacedPrr& placed = placements_[i];
-    set_rect(placed.first_col, placed.plan.window.width, placed.first_row,
-             placed.plan.organization.h, false);
+    grid_.set_rect(placed.first_col, placed.plan.window.width,
+                   placed.first_row, placed.plan.organization.h, false);
     placements_.erase(placements_.begin() +
                       static_cast<std::ptrdiff_t>(i));
     return true;
@@ -171,29 +137,38 @@ void Floorplanner::move_placement(std::size_t index,
   if (index >= placements_.size()) {
     throw ContractError{"move_placement: index out of range"};
   }
+  if (!try_move_placement(index, window, first_row)) {
+    throw ContractError{"move_placement: target rectangle is not free"};
+  }
+}
+
+bool Floorplanner::try_move_placement(std::size_t index,
+                                      const ColumnWindow& window,
+                                      u32 first_row) {
+  if (index >= placements_.size()) return false;
   PlacedPrr& placed = placements_[index];
   const u32 h = placed.plan.organization.h;
   // Unmark the current rectangle, verify the target, then re-mark.
-  set_rect(placed.first_col, placed.plan.window.width, placed.first_row, h,
-           false);
+  grid_.set_rect(placed.first_col, placed.plan.window.width, placed.first_row,
+                 h, false);
   if (!rect_free(window.first_col, window.width, first_row, h)) {
-    set_rect(placed.first_col, placed.plan.window.width, placed.first_row, h,
-             true);
-    throw ContractError{"move_placement: target rectangle is not free"};
+    grid_.set_rect(placed.first_col, placed.plan.window.width,
+                   placed.first_row, h, true);
+    return false;
   }
-  set_rect(window.first_col, window.width, first_row, h, true);
+  grid_.set_rect(window.first_col, window.width, first_row, h, true);
   placed.plan.window = window;
   placed.plan.first_row = first_row;
   placed.first_col = window.first_col;
   placed.first_row = first_row;
+  return true;
 }
 
 double Floorplanner::occupancy() const {
-  u64 used = 0;
-  for (const u64 word : occupied_) used += static_cast<u64>(std::popcount(word));
   const auto cells = static_cast<double>(u64{fabric_->rows()} *
                                          fabric_->num_columns());
-  return cells == 0 ? 0.0 : static_cast<double>(used) / cells;
+  return cells == 0 ? 0.0
+                    : static_cast<double>(grid_.count_set()) / cells;
 }
 
 }  // namespace prcost

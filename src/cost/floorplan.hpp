@@ -14,6 +14,7 @@
 
 #include "cost/prr_search.hpp"
 #include "device/fabric.hpp"
+#include "util/bitgrid.hpp"
 
 namespace prcost {
 
@@ -46,6 +47,13 @@ class Floorplanner {
                                  SearchObjective objective =
                                      SearchObjective::kMinArea);
 
+  /// Place a specific, already-searched plan (its window/first_row must be
+  /// set, e.g. from `place` on a scratch copy or a relocation candidate).
+  /// Returns nullopt instead of throwing when the rectangle is occupied.
+  /// Used by the joint optimizer to replay a candidate on a trial layout.
+  std::optional<PlacedPrr> place_plan(const std::string& name,
+                                      const PrrPlan& plan);
+
   const std::vector<PlacedPrr>& placements() const { return placements_; }
 
   /// Free a previously placed PRR by name (first match). Returns false if
@@ -59,23 +67,32 @@ class Floorplanner {
   void move_placement(std::size_t index, const ColumnWindow& window,
                       u32 first_row);
 
+  /// Non-throwing variant of move_placement: returns false (layout
+  /// untouched) when the target is occupied or the index is out of range.
+  /// The optimizer probes many speculative targets, so failure is a
+  /// normal outcome rather than a contract violation.
+  bool try_move_placement(std::size_t index, const ColumnWindow& window,
+                          u32 first_row);
+
   /// Fraction of fabric cells (rows x columns) currently occupied.
   double occupancy() const;
 
   /// True if the rectangle is fully free and inside the fabric.
   bool rect_free(u32 first_col, u32 width, u32 first_row, u32 height) const;
 
+  /// The raw occupancy bitmask (fragmentation metrics, property tests).
+  const BitGrid& grid() const { return grid_; }
+
+  const Fabric& fabric() const { return *fabric_; }
+
  private:
   void mark(u32 first_col, u32 width, u32 first_row, u32 height);
-  void set_rect(u32 first_col, u32 width, u32 first_row, u32 height,
-                bool value);
 
   const Fabric* fabric_;
-  /// Occupancy bitmap: one bit per fabric cell, row-major, each row padded
-  /// to whole 64-bit words so a rectangle test is a handful of masked word
-  /// compares instead of a per-cell scan (rect_free dominates DSE time).
-  std::size_t words_per_row_ = 0;
-  std::vector<u64> occupied_;
+  /// Occupancy bitmap: one bit per fabric cell (util/bitgrid.hpp), shared
+  /// substrate with the HTR defragmenter and the joint optimizer
+  /// (rect_free dominates DSE time).
+  BitGrid grid_;
   std::vector<PlacedPrr> placements_;
 };
 

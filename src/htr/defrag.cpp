@@ -1,36 +1,19 @@
 #include "htr/defrag.hpp"
 
-#include <algorithm>
-
 #include "htr/relocation.hpp"
 
 namespace prcost {
 
 u64 largest_free_rect(const Floorplanner& floorplanner,
                       const Fabric& fabric) {
-  // Brute force over all rectangles; fabrics are at most ~80 x 8 cells.
-  u64 best = 0;
-  for (u32 col = 0; col < fabric.num_columns(); ++col) {
-    for (u32 row = 0; row < fabric.rows(); ++row) {
-      for (u32 width = 1; col + width <= fabric.num_columns(); ++width) {
-        if (!floorplanner.rect_free(col, width, row, 1)) break;
-        u32 height = 1;
-        while (row + height + 1 <= fabric.rows() &&
-               floorplanner.rect_free(col, width, row + height, 1)) {
-          ++height;
-        }
-        best = std::max(best, u64{width} * height);
-      }
-    }
-  }
-  return best;
+  (void)fabric;  // geometry lives in the grid now
+  return floorplanner.grid().largest_clear_rect();
 }
 
-DefragReport compact(Floorplanner& floorplanner, const Fabric& fabric,
-                     ConfigMemory* cm) {
-  DefragReport report;
-  report.largest_free_before = largest_free_rect(floorplanner, fabric);
-
+u64 plan_compaction(Floorplanner& floorplanner, const Fabric& fabric,
+                    ConfigMemory* cm,
+                    const std::function<void(const SlideMove&)>& sink) {
+  u64 moves = 0;
   bool progress = true;
   while (progress) {
     progress = false;
@@ -59,15 +42,24 @@ DefragReport compact(Floorplanner& floorplanner, const Fabric& fabric,
                                       placed.plan.organization.h)) {
             continue;
           }
+          SlideMove slide;
+          slide.index = i;
+          slide.name = placed.name;
+          slide.from = placed.plan.window;
+          slide.from_row = placed.first_row;
+          slide.to = window;
+          slide.to_row = row;
+          slide.organization = placed.plan.organization;
           if (cm != nullptr) {
             const RelocationResult moved_frames = relocate_region(
                 *cm, placed.plan.window, placed.first_row, window, row,
                 placed.plan.organization.h);
             if (!moved_frames.ok) continue;
-            report.frames_copied += moved_frames.frames_copied;
+            slide.frames_copied = moved_frames.frames_copied;
           }
           floorplanner.move_placement(i, window, row);
-          ++report.moves;
+          ++moves;
+          if (sink) sink(slide);
           moved = true;
           progress = true;
           break;
@@ -76,6 +68,16 @@ DefragReport compact(Floorplanner& floorplanner, const Fabric& fabric,
       }
     }
   }
+  return moves;
+}
+
+DefragReport compact(Floorplanner& floorplanner, const Fabric& fabric,
+                     ConfigMemory* cm) {
+  DefragReport report;
+  report.largest_free_before = largest_free_rect(floorplanner, fabric);
+  report.moves = plan_compaction(
+      floorplanner, fabric, cm,
+      [&](const SlideMove& slide) { report.frames_copied += slide.frames_copied; });
   report.largest_free_after = largest_free_rect(floorplanner, fabric);
   return report;
 }

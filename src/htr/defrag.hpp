@@ -8,6 +8,8 @@
 // work, built here on the cost models' floorplanner.
 #pragma once
 
+#include <functional>
+
 #include "bitstream/config_memory.hpp"
 #include "cost/floorplan.hpp"
 
@@ -17,6 +19,20 @@ namespace prcost {
 /// quality metric: it bounds the biggest PRM placeable next.
 u64 largest_free_rect(const Floorplanner& floorplanner, const Fabric& fabric);
 
+/// One placement slide applied by the compaction planner. Emitted after
+/// the floorplanner has already been updated, so `to`/`to_row` describe
+/// the placement's current rectangle.
+struct SlideMove {
+  std::size_t index = 0;          ///< placement index at apply time
+  std::string name;               ///< placement name
+  ColumnWindow from;              ///< source window
+  u32 from_row = 0;
+  ColumnWindow to;                ///< destination window
+  u32 to_row = 0;
+  PrrOrganization organization;   ///< for relocation-time costing
+  u64 frames_copied = 0;          ///< CM frames moved (0 without a CM)
+};
+
 /// One compaction run's outcome.
 struct DefragReport {
   u64 moves = 0;                  ///< placements relocated
@@ -25,11 +41,20 @@ struct DefragReport {
   u64 largest_free_after = 0;     ///< metric after compaction
 };
 
-/// Compact `floorplanner` by sliding each placement to the left-most,
+/// The compaction planning loop shared by `compact` and the joint
+/// optimizer's defrag-compact move: slide each placement to the left-most,
 /// bottom-most compatible free rectangle (column windows must have the
-/// identical type sequence so frames relocate one-to-one). Repeats until
-/// no placement can move. When `cm` is non-null, the placements' live
-/// frames are relocated too.
+/// identical type sequence so frames relocate one-to-one), repeating until
+/// no placement can move. Mutates `floorplanner` (and `cm` when non-null)
+/// as it goes and reports every applied slide through `sink`. Returns the
+/// number of slides applied.
+u64 plan_compaction(Floorplanner& floorplanner, const Fabric& fabric,
+                    ConfigMemory* cm,
+                    const std::function<void(const SlideMove&)>& sink);
+
+/// Compact `floorplanner` by sliding each placement to the left-most,
+/// bottom-most compatible free rectangle. When `cm` is non-null, the
+/// placements' live frames are relocated too.
 DefragReport compact(Floorplanner& floorplanner, const Fabric& fabric,
                      ConfigMemory* cm = nullptr);
 

@@ -1,0 +1,64 @@
+// opt::Layout - the shared placement/occupancy substrate of the joint
+// optimizer.
+//
+// A Layout is a non-owning view over a Floorplanner and its Fabric that
+// adds the queries the optimizer's move generator needs on top of the raw
+// placement API: fragmentation metrics over the occupancy BitGrid,
+// relocation-target enumeration (HTR-compatible windows only, so every
+// relocate move is physically realizable frame-for-frame), and an
+// occupancy-consistency invariant used by the property tests. The DSE
+// explorer and the HTR defragmenter keep talking to the Floorplanner
+// directly; this view is how src/opt sees the same state.
+#pragma once
+
+#include <vector>
+
+#include "cost/floorplan.hpp"
+
+namespace prcost::opt {
+
+/// Fragmentation snapshot of a layout.
+struct FragmentationStats {
+  u64 total_cells = 0;        ///< rows x columns
+  u64 free_cells = 0;
+  u64 largest_free_rect = 0;  ///< largest fully free rectangle (cells)
+  /// 1 - largest_free_rect / free_cells: 0 when all free space is one
+  /// rectangle, approaching 1 as the free pool shatters (0 when full).
+  double fragmentation = 0.0;
+};
+
+/// One candidate rectangle a placement could relocate into.
+struct RelocationTarget {
+  ColumnWindow window;
+  u32 first_row = 0;
+};
+
+class Layout {
+ public:
+  Layout(Floorplanner& floorplanner, const Fabric& fabric)
+      : fp_(&floorplanner), fabric_(&fabric) {}
+
+  Floorplanner& floorplanner() const { return *fp_; }
+  const Fabric& fabric() const { return *fabric_; }
+
+  FragmentationStats fragmentation() const;
+
+  /// HTR-compatible free rectangles placement `index` could move to
+  /// (identical column-type sequence, strictly different rectangle, free
+  /// after discounting the placement itself), left-to-right bottom-up,
+  /// capped at `max_targets`.
+  std::vector<RelocationTarget> relocation_targets(std::size_t index,
+                                                   std::size_t max_targets)
+      const;
+
+  /// Invariant: no two placements overlap, and every placement's cells
+  /// are marked occupied in the grid. The property tests call this after
+  /// every emitted move.
+  bool consistent() const;
+
+ private:
+  Floorplanner* fp_;
+  const Fabric* fabric_;
+};
+
+}  // namespace prcost::opt

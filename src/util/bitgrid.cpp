@@ -1,0 +1,102 @@
+#include "util/bitgrid.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace prcost {
+namespace {
+
+/// Invoke f(word_in_row, mask) for every 64-bit word overlapped by columns
+/// [first_col, first_col + width); mask has the overlapped bits set.
+/// Rectangle operations apply the same masks to each covered row.
+template <typename F>
+void for_each_word(u32 first_col, u32 width, F&& f) {
+  const u32 end = first_col + width;
+  for (u32 word = first_col / 64; word * 64 < end; ++word) {
+    const u32 lo = std::max(first_col, word * 64);
+    const u32 hi = std::min(end, (word + 1) * 64);
+    const u32 len = hi - lo;
+    const u64 bits = len == 64 ? ~u64{0} : (u64{1} << len) - 1;
+    f(word, bits << (lo - word * 64));
+  }
+}
+
+}  // namespace
+
+bool BitGrid::rect_free(u32 first_col, u32 width, u32 first_row,
+                        u32 height) const {
+  if (first_col + width > cols_ || first_row + height > rows_) return false;
+  bool is_free = true;
+  for_each_word(first_col, width, [&](u32 word, u64 mask) {
+    const u64* row_word = words_.data() + first_row * words_per_row_ + word;
+    for (u32 r = 0; r < height; ++r, row_word += words_per_row_) {
+      if (*row_word & mask) {
+        is_free = false;
+        return;
+      }
+    }
+  });
+  return is_free;
+}
+
+void BitGrid::set_rect(u32 first_col, u32 width, u32 first_row, u32 height,
+                       bool value) {
+  assert(first_col + width <= cols_ && first_row + height <= rows_);
+  for_each_word(first_col, width, [&](u32 word, u64 mask) {
+    u64* row_word = words_.data() + first_row * words_per_row_ + word;
+    for (u32 r = 0; r < height; ++r, row_word += words_per_row_) {
+      if (value) {
+        *row_word |= mask;
+      } else {
+        *row_word &= ~mask;
+      }
+    }
+  });
+}
+
+bool BitGrid::test(u32 col, u32 row) const {
+  if (col >= cols_ || row >= rows_) return false;
+  const u64 word = words_[row * words_per_row_ + col / 64];
+  return (word >> (col % 64)) & 1;
+}
+
+u64 BitGrid::count_set() const {
+  u64 set = 0;
+  for (const u64 word : words_) set += static_cast<u64>(std::popcount(word));
+  return set;
+}
+
+u64 BitGrid::largest_clear_rect() const {
+  // heights[c] = number of consecutive clear cells ending at the current
+  // row in column c; per row, the best rectangle through that row is the
+  // largest rectangle under the heights histogram (monotonic stack).
+  std::vector<u32> heights(cols_, 0);
+  struct Bar {
+    u32 start;   // leftmost column this height extends back to
+    u32 height;
+  };
+  std::vector<Bar> stack;  // strictly ascending heights
+  stack.reserve(cols_ + 1);
+  u64 best = 0;
+  for (u32 row = 0; row < rows_; ++row) {
+    for (u32 col = 0; col < cols_; ++col) {
+      heights[col] = test(col, row) ? 0 : heights[col] + 1;
+    }
+    stack.clear();
+    for (u32 col = 0; col <= cols_; ++col) {
+      const u32 h = col < cols_ ? heights[col] : 0;  // sentinel flushes all
+      u32 start = col;
+      while (!stack.empty() && stack.back().height >= h) {
+        const Bar bar = stack.back();
+        stack.pop_back();
+        best = std::max(best, u64{bar.height} * (col - bar.start));
+        start = bar.start;  // the new bar reaches back over the popped run
+      }
+      if (col < cols_) stack.push_back({start, h});
+    }
+  }
+  return best;
+}
+
+}  // namespace prcost

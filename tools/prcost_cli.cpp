@@ -59,6 +59,13 @@ void print_usage(std::ostream& out) {
       "              [--recovery drop|reschedule] [--strict]\n"
       "              (multitask simulation under fault injection; set the\n"
       "               rate with the global --fault-rate flag)\n"
+      "  prcost optimize --device <name> (<prm> [...] | --prm-count N)\n"
+      "              [--groups N] [--seed N] [--rounds N] [--proposals N]\n"
+      "              [--media cf|flash|ddr|bram] [--workers N]\n"
+      "              (joint partition-schedule-floorplan optimization:\n"
+      "               greedy baseline vs simulated annealing over\n"
+      "               swap/relocate/resize/compact moves, costed through\n"
+      "               the bitstream + reconfiguration + fault models)\n"
       "  prcost batch [requests.jsonl] [--workers N] [-o responses.jsonl]\n"
       "              (JSONL requests from the file or stdin; exactly one\n"
       "               JSON response per line - see README \"Batch mode\")\n"
@@ -407,6 +414,63 @@ int cmd_faults(const Engine& engine, const Args& args) {
   return 0;
 }
 
+int cmd_optimize(const Engine& engine, const Args& args) {
+  if (!args.has("device")) throw UsageError{"optimize needs --device"};
+  api::OptimizeRequest request;
+  request.device = args.get("device", "");
+  request.prms = args.positional;
+  request.prm_count = narrow<u32>(u64_flag(args, "prm-count", 0));
+  if (request.prms.empty() && request.prm_count == 0) {
+    throw UsageError{"optimize needs PRMs or --prm-count N"};
+  }
+  request.groups = narrow<u32>(u64_flag(args, "groups", 0));
+  request.seed = u64_flag(args, "seed", 1);
+  request.rounds = narrow<u32>(u64_flag(args, "rounds", 48));
+  request.proposals_per_round = narrow<u32>(u64_flag(args, "proposals", 8));
+  request.media = args.get("media", "ddr");
+  request.workers = workers_flag(args);
+  const api::OptimizeResponse response = engine.optimize(request);
+
+  const auto pct = [](double x) { return format_fixed(x * 100.0, 1) + "%"; };
+  TextTable table{{"quantity", "greedy", "annealed"}};
+  table.add_row({"placed PRRs",
+                 std::to_string(response.greedy_placed_groups) + " / " +
+                     std::to_string(response.group_count),
+                 std::to_string(response.anneal_placed_groups) + " / " +
+                     std::to_string(response.group_count)});
+  table.add_row({"rejected PRMs",
+                 std::to_string(response.greedy_rejected_prms),
+                 std::to_string(response.anneal_rejected_prms)});
+  table.add_row({"rejection rate", pct(response.greedy_rejection_rate),
+                 pct(response.anneal_rejection_rate)});
+  table.add_row({"makespan",
+                 format_fixed(response.greedy_makespan_s * 1e3, 2) + " ms",
+                 format_fixed(response.anneal_makespan_s * 1e3, 2) + " ms"});
+  table.add_row({"fragmentation", pct(response.greedy_fragmentation),
+                 pct(response.anneal_fragmentation)});
+  table.add_row({"cost", format_fixed(response.greedy_cost, 3),
+                 format_fixed(response.anneal_cost, 3)});
+  std::cout << table.to_ascii();
+  std::cout << "fleet: " << response.prm_count << " PRMs in "
+            << response.group_count << " shared PRRs (seed " << response.seed
+            << ")\n"
+            << "moves: " << response.accepted << " accepted of "
+            << response.proposals << " proposed (swap "
+            << response.accepted_swap << ", relocate "
+            << response.accepted_relocate << ", resize "
+            << response.accepted_resize << ", compact "
+            << response.accepted_compact << "), relocation ICAP time "
+            << format_fixed(response.anneal_relocation_s * 1e3, 3) << " ms\n"
+            << "cost re-evaluation: "
+            << (response.cost_verified ? "matches" : "MISMATCH")
+            << ", bitstream model: "
+            << (response.bitstream_verified ? "matches generated"
+                                            : "MISMATCH")
+            << '\n';
+  print_request_stats(response.stats);
+  return response.cost_verified && response.bitstream_verified ? 0 : 1;
+}
+
 int cmd_netlist(const Args& args) {
   if (args.positional.empty()) throw UsageError{"netlist needs a PRM"};
   const std::string text =
@@ -648,6 +712,8 @@ int main(int argc, char** argv) {
       rc = cmd_rank(engine, args);
     } else if (command == "faults") {
       rc = cmd_faults(engine, args);
+    } else if (command == "optimize") {
+      rc = cmd_optimize(engine, args);
     } else if (command == "batch") {
       rc = cmd_batch(engine, args);
     } else {
