@@ -1,11 +1,17 @@
 #include "api/batch.hpp"
 
+#include <algorithm>
 #include <istream>
+#include <optional>
 #include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "api/deadline.hpp"
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
+#include "util/lines.hpp"
 #include "util/parallel.hpp"
 
 namespace prcost::api {
@@ -59,9 +65,38 @@ Json dispatch_by_op(const Engine& engine, const Json& request) {
   if (name == "optimize") {
     return to_json(engine.optimize(optimize_request_from_json(request)));
   }
-  throw NotFoundError{
-      "unknown op '" + name +
-      "' (known: devices synth plan bitstream explore rank faults optimize)"};
+  if (name == "ping") {
+    // Health probe: answers without touching the evaluation path, so a
+    // serve health check stays cheap even under load.
+    Json result = Json::object();
+    result.set("pong", true);
+    return result;
+  }
+  if (name == "metrics") {
+    // Live OpenMetrics scrape of the process-wide registry (the serve
+    // observability endpoint; also usable from batch for a final dump).
+    Json result = Json::object();
+    result.set("openmetrics", engine.metrics().to_openmetrics());
+    return result;
+  }
+  throw NotFoundError{"unknown op '" + name +
+                      "' (known: devices synth plan bitstream explore rank "
+                      "faults optimize ping metrics)"};
+}
+
+/// Arm the request's "deadline_ms" budget (anchored at `arrival`) for the
+/// duration of the dispatch. Outermost-wins: no-op when the caller already
+/// opened a scope. Returns disengaged when the request carries no budget.
+std::optional<DeadlineScope> arm_deadline(
+    const Json& request, std::chrono::steady_clock::time_point arrival) {
+  const Json* dl = request.is_object() ? request.find("deadline_ms") : nullptr;
+  if (dl == nullptr) return std::nullopt;
+  if (!dl->is_number() || dl->as_double() < 0) {
+    throw UsageError{"deadline_ms must be a non-negative number"};
+  }
+  const auto budget = std::chrono::duration_cast<DeadlineClock::duration>(
+      std::chrono::duration<double, std::milli>{dl->as_double()});
+  return std::optional<DeadlineScope>{std::in_place, arrival + budget};
 }
 
 }  // namespace
@@ -72,6 +107,8 @@ Json dispatch_request(const Engine& engine, const Json& request) {
     if (!request.is_object()) {
       throw UsageError{"request must be a JSON object"};
     }
+    const auto scope = arm_deadline(request, DeadlineClock::now());
+    check_deadline("admission");
     Json result = dispatch_by_op(engine, request);
     envelope.set("result", std::move(result));
   } catch (const Error& error) {
@@ -84,47 +121,99 @@ Json dispatch_request(const Engine& engine, const Json& request) {
 }
 
 Json dispatch_line(const Engine& engine, std::string_view line) {
+  return dispatch_line_at(engine, line, DeadlineClock::now());
+}
+
+Json dispatch_line_at(const Engine& engine, std::string_view line,
+                      std::chrono::steady_clock::time_point arrival) {
   Json request;
   try {
     request = Json::parse(line);
   } catch (const ParseError& error) {
     return error_envelope(ErrorCode::kParse, error.what());
   }
-  return dispatch_request(engine, request);
+  Json envelope = Json::object();
+  try {
+    if (!request.is_object()) {
+      throw UsageError{"request must be a JSON object"};
+    }
+    // Anchor the budget at arrival: time spent queued behind other
+    // requests counts, so an overloaded server answers "deadline" instead
+    // of doing work nobody is waiting for.
+    const auto scope = arm_deadline(request, arrival);
+    check_deadline("admission");
+    Json result = dispatch_by_op(engine, request);
+    envelope.set("result", std::move(result));
+  } catch (const Error& error) {
+    envelope = error_envelope(error.code(), error.what());
+  } catch (const std::exception& error) {
+    envelope = error_envelope(ErrorCode::kInternal, error.what());
+  }
+  if (request.is_object()) echo_request_keys(request, envelope);
+  return envelope;
 }
 
 BatchStats run_batch(const Engine& engine, std::istream& in, std::ostream& out,
                      const BatchOptions& options) {
-  // Slurp the stream first: responses must come back in input order, and
-  // reading up front lets the dispatch fan out over all lines at once.
-  std::vector<std::string> lines;
-  for (std::string line; std::getline(in, line);) {
-    lines.push_back(std::move(line));
-  }
-
-  std::vector<std::string> responses(lines.size());
-  // Not vector<bool>: workers write distinct indices concurrently, and
-  // vector<bool> packs adjacent indices into one shared byte.
-  std::vector<unsigned char> ok(lines.size(), 0);
-  parallel_for(
-      lines.size(),
-      [&](std::size_t i) {
-        const Json envelope = dispatch_line(engine, lines[i]);
-        ok[i] = envelope.find("error") == nullptr;
-        responses[i] = envelope.dump();
-      },
-      options.workers != 0 ? options.workers : engine.options().workers);
+  const std::size_t workers =
+      options.workers != 0 ? options.workers : engine.options().workers;
+  const std::size_t width = workers != 0 ? workers : parallel_worker_count();
+  const std::size_t window =
+      options.window != 0 ? options.window
+                          : std::max<std::size_t>(64, width * 16);
 
   BatchStats stats;
-  stats.requests = lines.size();
-  for (std::size_t i = 0; i < responses.size(); ++i) {
-    out << responses[i] << '\n';
-    if (ok[i]) {
-      ++stats.succeeded;
-    } else {
-      ++stats.failed;
+  std::vector<std::string> lines;
+  std::vector<std::string> responses;
+  std::vector<unsigned char> ok;  // not vector<bool>: workers write
+                                  // distinct indices concurrently
+  lines.reserve(window);
+
+  // Dispatch one window over the pool and emit its responses in input
+  // order. Windows bound memory: the stream is never slurped whole.
+  const auto flush = [&] {
+    if (lines.empty()) return;
+    responses.assign(lines.size(), {});
+    ok.assign(lines.size(), 0);
+    parallel_for(
+        lines.size(),
+        [&](std::size_t i) {
+          const Json envelope = dispatch_line(engine, lines[i]);
+          ok[i] = envelope.find("error") == nullptr;
+          responses[i] = envelope.dump();
+        },
+        workers);
+    for (std::size_t i = 0; i < responses.size(); ++i) {
+      out << responses[i] << '\n';
+      if (ok[i]) {
+        ++stats.succeeded;
+      } else {
+        ++stats.failed;
+      }
+    }
+    stats.requests += lines.size();
+    lines.clear();
+    // Responses leave the process as soon as their window completes, so a
+    // pipe producer can overlap with dispatch.
+    out.flush();
+  };
+
+  // Same framing the serve event loop uses on its sockets: chunks in,
+  // getline-equivalent lines out (a trailing unterminated chunk is still
+  // one last line).
+  LineSplitter splitter;
+  char chunk[64 * 1024];
+  while (in.read(chunk, sizeof chunk) || in.gcount() > 0) {
+    splitter.append(
+        std::string_view{chunk, static_cast<std::size_t>(in.gcount())});
+    while (auto line = splitter.next_line()) {
+      lines.push_back(std::move(*line));
+      if (lines.size() >= window) flush();
     }
   }
+  std::string tail = splitter.take_tail();
+  if (!tail.empty()) lines.push_back(std::move(tail));
+  flush();
   return stats;
 }
 

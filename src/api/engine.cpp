@@ -9,6 +9,7 @@
 #include <tuple>
 #include <utility>
 
+#include "api/deadline.hpp"
 #include "bitstream/bitstream_cache.hpp"
 #include "bitstream/generator.hpp"
 #include "cost/plan_cache.hpp"
@@ -202,10 +203,12 @@ PlanResponse Engine::plan(const PlanRequest& request) const {
   PlanInput input = load_plan_input(request.source, device.fabric.family(),
                                     /*need_synth=*/request.cross_check);
 
+  check_deadline("plan.input");
   SearchOptions options;
   options.objective = request.objective;
   const auto plan = find_prr(input.req, device.fabric, options);
   if (!plan) throw InfeasibleError{"no feasible PRR on " + device.name};
+  check_deadline("plan.search");
 
   PlanResponse response;
   response.device = device.name;
@@ -251,8 +254,10 @@ BitstreamResponse Engine::bitstream(const BitstreamRequest& request) const {
   const Device& device = resolve_device(request.device);
   const PrmRequirements req =
       load_plan_input(request.source, device.fabric.family()).req;
+  check_deadline("bitstream.input");
   const auto plan = find_prr(req, device.fabric);
   if (!plan) throw InfeasibleError{"no feasible PRR on " + device.name};
+  check_deadline("bitstream.search");
 
   BitstreamResponse response;
   response.device = device.name;
@@ -281,6 +286,7 @@ ExploreResponse Engine::explore(const ExploreRequest& request) const {
   const Device& device = resolve_device(request.device);
   const std::vector<PrmInfo> prms =
       synthesize_prms(request.prms, device.fabric.family());
+  check_deadline("explore.synth");
 
   WorkloadParams wp;
   wp.count = request.tasks;
@@ -297,6 +303,7 @@ ExploreResponse Engine::explore(const ExploreRequest& request) const {
                                     options);
   const std::vector<DesignPoint> front = pareto_front(response.points);
   response.pareto_count = front.size();
+  check_deadline("explore.sweep");
 
   if (request.cross_check) {
     // Generate the bitstream of every distinct Pareto-front PRR plan (the
@@ -347,6 +354,7 @@ RankResponse Engine::rank(const RankRequest& request) const {
   // overkill for a ranking - use Virtex-5 as the canonical mapper.
   const std::vector<PrmInfo> prms =
       synthesize_prms(request.prms, Family::kVirtex5);
+  check_deadline("rank.synth");
 
   WorkloadParams wp;
   wp.count = request.tasks;
@@ -374,6 +382,7 @@ FaultsResponse Engine::faults(const FaultsRequest& request) const {
     }
     prm.bitstream_bytes = plan->bitstream.total_bytes;
   }
+  check_deadline("faults.plan");
 
   FaultProfile profile;
   profile.fault_rate = request.fault_rate.value_or(options_.fault_rate);
@@ -465,6 +474,7 @@ OptimizeResponse Engine::optimize(const OptimizeRequest& request) const {
     throw UsageError{"optimize needs PRMs or a prm_count fleet size"};
   }
 
+  check_deadline("optimize.fleet");
   opt::OptimizeOptions options;
   options.seed = request.seed;
   options.rounds = request.rounds;

@@ -1,0 +1,165 @@
+#include "serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace prcost::serve {
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw IoError{what + ": " + std::strerror(errno)};
+}
+
+}  // namespace
+
+Client::~Client() { close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      buf_(std::move(other.buf_)),
+      pos_(std::exchange(other.pos_, 0)),
+      eof_(std::exchange(other.eof_, false)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    buf_ = std::move(other.buf_);
+    pos_ = std::exchange(other.pos_, 0);
+    eof_ = std::exchange(other.eof_, false);
+  }
+  return *this;
+}
+
+Client Client::connect_unix(const std::string& path) {
+  if (path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    throw UsageError{"unix socket path too long: " + path};
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw_errno("cannot create unix socket");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("cannot connect to unix socket '" + path + "'");
+  }
+  return Client{fd};
+}
+
+Client Client::connect_tcp(const std::string& host, int port) {
+  if (port <= 0 || port > 65535) {
+    throw UsageError{"bad TCP port " + std::to_string(port)};
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw_errno("cannot create TCP socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw UsageError{"bad TCP host '" + host + "'"};
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("cannot connect to " + host + ":" + std::to_string(port));
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return Client{fd};
+}
+
+void Client::send_line(std::string_view line) {
+  if (fd_ < 0) throw IoError{"client not connected"};
+  std::string framed;
+  framed.reserve(line.size() + 1);
+  framed.append(line);
+  framed.push_back('\n');
+  std::size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t n = ::send(fd_, framed.data() + sent, framed.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    throw_errno("send to server failed");
+  }
+}
+
+std::optional<std::string> Client::recv_line() {
+  if (fd_ < 0 && pos_ >= buf_.size()) return std::nullopt;
+  for (;;) {
+    const auto nl = buf_.find('\n', pos_);
+    if (nl != std::string::npos) {
+      std::string line = buf_.substr(pos_, nl - pos_);
+      pos_ = nl + 1;
+      if (pos_ >= buf_.size()) {
+        buf_.clear();
+        pos_ = 0;
+      }
+      return line;
+    }
+    if (eof_) {
+      if (pos_ < buf_.size()) {  // unterminated final line
+        std::string line = buf_.substr(pos_);
+        buf_.clear();
+        pos_ = 0;
+        return line;
+      }
+      return std::nullopt;
+    }
+    char chunk[64 * 1024];
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n > 0) {
+      buf_.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      eof_ = true;
+      continue;
+    }
+    if (errno == EINTR) continue;
+    throw_errno("recv from server failed");
+  }
+}
+
+std::string Client::request(std::string_view line) {
+  send_line(line);
+  auto response = recv_line();
+  if (!response) {
+    throw IoError{"server closed the connection before answering"};
+  }
+  return std::move(*response);
+}
+
+void Client::shutdown_write() noexcept {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+void Client::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace prcost::serve

@@ -26,6 +26,8 @@ enum class ErrorCode {
   kParse,         ///< malformed input content (report, netlist, JSON...)
   kContract,      ///< a model/device contract was violated
   kFault,         ///< reconfiguration failed permanently (retries exhausted)
+  kOverloaded,    ///< the serving admission queue shed the request
+  kDeadline,      ///< the request's deadline expired before completion
 };
 
 /// Stable lower-case wire name, e.g. "not_found".
@@ -39,6 +41,8 @@ constexpr std::string_view error_code_name(ErrorCode code) {
     case ErrorCode::kParse:      return "parse";
     case ErrorCode::kContract:   return "contract";
     case ErrorCode::kFault:      return "fault";
+    case ErrorCode::kOverloaded: return "overloaded";
+    case ErrorCode::kDeadline:   return "deadline";
   }
   return "internal";
 }
@@ -113,6 +117,22 @@ class FaultError : public Error {
  public:
   explicit FaultError(const std::string& what)
       : Error(what, ErrorCode::kFault) {}
+};
+
+/// The serving admission queue was full and load-shedding rejected the
+/// request before any work was done. Clients may retry with backoff.
+class OverloadedError : public Error {
+ public:
+  explicit OverloadedError(const std::string& what)
+      : Error(what, ErrorCode::kOverloaded) {}
+};
+
+/// The request's deadline expired; raised at a phase boundary (no work is
+/// cancelled mid-phase), so partial results are never emitted.
+class DeadlineError : public Error {
+ public:
+  explicit DeadlineError(const std::string& what)
+      : Error(what, ErrorCode::kDeadline) {}
 };
 
 }  // namespace prcost

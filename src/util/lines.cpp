@@ -1,0 +1,30 @@
+#include "util/lines.hpp"
+
+namespace prcost {
+
+void LineSplitter::append(std::string_view bytes) {
+  // Reclaim consumed prefix before growing: keeps the buffer bounded by
+  // the largest in-flight line plus one chunk.
+  if (pos_ > 0 && (pos_ >= buf_.size() || pos_ > 4096)) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buf_.append(bytes);
+}
+
+std::optional<std::string> LineSplitter::next_line() {
+  const std::size_t nl = buf_.find('\n', pos_);
+  if (nl == std::string::npos) return std::nullopt;
+  std::string line = buf_.substr(pos_, nl - pos_);
+  pos_ = nl + 1;
+  return line;
+}
+
+std::string LineSplitter::take_tail() {
+  std::string tail = buf_.substr(pos_);
+  buf_.clear();
+  pos_ = 0;
+  return tail;
+}
+
+}  // namespace prcost

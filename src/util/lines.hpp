@@ -1,0 +1,41 @@
+// Incremental newline framing, shared by every JSONL entry point.
+//
+// A LineSplitter accumulates arbitrary byte chunks (nonblocking socket
+// reads, block reads off a batch stream) and hands back complete
+// '\n'-terminated lines as they become available, with std::getline
+// semantics: the terminator is stripped and a trailing chunk without a
+// final newline still counts as one last line (take_tail at EOF). The
+// serve event loop and the streaming `prcost batch` front-end share this
+// one implementation so their framing can never diverge.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace prcost {
+
+class LineSplitter {
+ public:
+  /// Append a chunk of bytes to the frame buffer.
+  void append(std::string_view bytes);
+
+  /// Extract the next complete line (terminator stripped), or nullopt when
+  /// no full line is buffered. Consumed bytes are reclaimed lazily.
+  std::optional<std::string> next_line();
+
+  /// The partial line buffered past the last '\n' (EOF handling: a
+  /// non-empty tail is the final line). Leaves the splitter empty.
+  std::string take_tail();
+
+  /// Bytes currently buffered but not yet returned as lines (the partial
+  /// tail plus any complete-but-unextracted lines).
+  std::size_t buffered() const noexcept { return buf_.size() - pos_; }
+
+ private:
+  std::string buf_;
+  std::size_t pos_ = 0;  ///< start of unconsumed bytes in buf_
+};
+
+}  // namespace prcost

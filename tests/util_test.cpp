@@ -7,6 +7,7 @@
 #include "util/csv.hpp"
 #include "util/error.hpp"
 #include "util/ints.hpp"
+#include "util/lines.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
 #include "util/stopwatch.hpp"
@@ -280,6 +281,54 @@ TEST(ParallelFor, PropagatesException) {
                      if (i == 37) throw std::runtime_error{"boom"};
                    }),
       std::runtime_error);
+}
+
+// --------------------------------------------------------------- lines ---
+// Incremental newline framing shared by `prcost serve` sockets and the
+// streaming batch reader; the contract is std::getline equivalence.
+
+TEST(LineSplitter, FramesLinesAcrossArbitraryChunkBoundaries) {
+  LineSplitter splitter;
+  splitter.append("ab");
+  EXPECT_FALSE(splitter.next_line().has_value());
+  splitter.append("c\nde\nf");
+  EXPECT_EQ(splitter.next_line(), "abc");
+  EXPECT_EQ(splitter.next_line(), "de");
+  EXPECT_FALSE(splitter.next_line().has_value());  // "f" is unterminated
+  splitter.append("\n");
+  EXPECT_EQ(splitter.next_line(), "f");
+}
+
+TEST(LineSplitter, TakeTailFlushesUnterminatedFinalLine) {
+  LineSplitter splitter;
+  splitter.append("first\nlast-no-newline");
+  EXPECT_EQ(splitter.next_line(), "first");
+  EXPECT_FALSE(splitter.next_line().has_value());
+  EXPECT_EQ(splitter.take_tail(), "last-no-newline");
+  EXPECT_EQ(splitter.take_tail(), "");  // drained
+  EXPECT_EQ(splitter.buffered(), 0u);
+}
+
+TEST(LineSplitter, EmptyLinesAndBufferedCount) {
+  LineSplitter splitter;
+  splitter.append("\n\nx\n");
+  EXPECT_EQ(splitter.next_line(), "");
+  EXPECT_EQ(splitter.next_line(), "");
+  EXPECT_EQ(splitter.next_line(), "x");
+  EXPECT_FALSE(splitter.next_line().has_value());
+  splitter.append("partial");
+  EXPECT_EQ(splitter.buffered(), 7u);
+}
+
+TEST(LineSplitter, ReclaimsConsumedPrefixOnLargeStreams) {
+  // Push many lines through one splitter; buffered() must track only the
+  // unconsumed remainder, not grow with the total stream.
+  LineSplitter splitter;
+  for (int round = 0; round < 1000; ++round) {
+    splitter.append("line-" + std::to_string(round) + "\n");
+    EXPECT_EQ(splitter.next_line(), "line-" + std::to_string(round));
+  }
+  EXPECT_EQ(splitter.buffered(), 0u);
 }
 
 }  // namespace

@@ -256,13 +256,16 @@ int main(int argc, char** argv) {
   }
 
   // ----------------------------------------------- compare vs previous --
+  // A damaged trajectory (truncated write, merge artifact) must not wedge
+  // the harness: warn, act as if there is no baseline, and let the append
+  // below start a fresh comparable entry. CI with --check then passes
+  // cleanly instead of failing on a parse error forever.
   std::optional<Json> previous;
   try {
     previous = previous_entry(trajectory);
   } catch (const std::exception& e) {
-    std::cerr << "error: bad trajectory entry in " << trajectory << ": "
-              << e.what() << "\n";
-    return 1;
+    std::cerr << "warning: ignoring malformed last entry in " << trajectory
+              << " (" << e.what() << "); treating as no baseline\n";
   }
   const Json* prev_metrics =
       previous ? previous->find("metrics") : nullptr;

@@ -85,4 +85,38 @@ execute_process(COMMAND ${TOOL} --in fake=/no/such/bench.json
                 RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
 expect_rc(${rc} 1 "missing input file")
 
+# A malformed last trajectory line (truncated write, merge artifact) must
+# not wedge --check: warn, treat as no baseline, exit 0, and the append
+# repairs the trajectory with a fresh parseable entry.
+set(traj_broken ${WORK}/bench_report_test_broken.jsonl)
+file(WRITE ${traj_broken} "{\"ts\":\"t\",\"metrics\":{\"fake.gen_ns\"\n")
+execute_process(COMMAND ${TOOL} --in fake=${WORK}/bench_report_good.json
+                --trajectory ${traj_broken} --check
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+expect_rc(${rc} 0 "malformed trajectory tolerated")
+if(NOT err MATCHES "ignoring malformed last entry")
+  message(FATAL_ERROR "malformed trajectory: missing warning: ${err}")
+endif()
+if(NOT out MATCHES "no previous entry")
+  message(FATAL_ERROR "malformed trajectory: expected baseline-only: ${out}")
+endif()
+execute_process(COMMAND ${TOOL} --in fake=${WORK}/bench_report_good.json
+                --trajectory ${traj_broken} --check --no-append
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+expect_rc(${rc} 0 "recovered trajectory compares clean")
+if(NOT out MATCHES "compared, 0 regression")
+  message(FATAL_ERROR "recovered trajectory: no comparison ran: ${out}")
+endif()
+
+# An empty trajectory file is a clean no-baseline case, not an error.
+set(traj_empty ${WORK}/bench_report_test_empty.jsonl)
+file(WRITE ${traj_empty} "")
+execute_process(COMMAND ${TOOL} --in fake=${WORK}/bench_report_good.json
+                --trajectory ${traj_empty} --check --no-append
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+expect_rc(${rc} 0 "empty trajectory")
+if(NOT out MATCHES "no previous entry")
+  message(FATAL_ERROR "empty trajectory: expected baseline-only: ${out}")
+endif()
+
 message(STATUS "bench_report contract holds")

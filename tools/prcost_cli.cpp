@@ -31,6 +31,8 @@
 #include "bitstream/parser.hpp"
 #include "netlist/serialize.hpp"
 #include "obs/obs.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 #include "util/strings.hpp"
@@ -67,8 +69,22 @@ void print_usage(std::ostream& out) {
       "               swap/relocate/resize/compact moves, costed through\n"
       "               the bitstream + reconfiguration + fault models)\n"
       "  prcost batch [requests.jsonl] [--workers N] [-o responses.jsonl]\n"
-      "              (JSONL requests from the file or stdin; exactly one\n"
-      "               JSON response per line - see README \"Batch mode\")\n"
+      "              (JSONL requests from the file or stdin, streamed in\n"
+      "               bounded windows; exactly one JSON response per line -\n"
+      "               see README \"Batch mode\")\n"
+      "  prcost serve (--socket PATH | --port N [--host H]) [--max-queue N]\n"
+      "              [--max-inflight N] [--dispatch-batch N] [--workers N]\n"
+      "              [--drain-grace-ms N]\n"
+      "              (warm multi-tenant daemon: one shared engine, JSONL\n"
+      "               over unix/TCP sockets with the batch wire contract\n"
+      "               plus \"ping\" and \"metrics\" ops; bounded admission\n"
+      "               queue sheds with the \"overloaded\" code; SIGTERM\n"
+      "               drains in-flight work, flushes --cache-dir snapshots\n"
+      "               and exits 0 - see README \"Serve mode\")\n"
+      "  prcost client (--socket PATH | --port N [--host H])\n"
+      "              [requests.jsonl]\n"
+      "              (send JSONL requests from the file or stdin to a\n"
+      "               daemon; one response line per request on stdout)\n"
       "global flags (any command):\n"
       "  --fault-rate P      probability a bitstream transfer is corrupted\n"
       "                      (0..1, default 0 = faults off)\n"
@@ -560,6 +576,80 @@ int cmd_batch(const Engine& engine, const Args& args) {
   return 0;
 }
 
+int cmd_serve(const Engine& engine, const Args& args) {
+  serve::ServerOptions options;
+  options.unix_path = args.get("socket", "");
+  if (args.has("port")) {
+    options.tcp_port = narrow<int>(u64_flag(args, "port", 0));
+  }
+  options.tcp_host = args.get("host", options.tcp_host);
+  options.max_queue =
+      narrow<std::size_t>(u64_flag(args, "max-queue", options.max_queue));
+  options.max_inflight_per_conn = narrow<std::size_t>(
+      u64_flag(args, "max-inflight", options.max_inflight_per_conn));
+  options.dispatch_batch = narrow<std::size_t>(
+      u64_flag(args, "dispatch-batch", options.dispatch_batch));
+  options.workers = workers_flag(args);
+  options.drain_grace_ms = narrow<int>(
+      u64_flag(args, "drain-grace-ms",
+               static_cast<u64>(options.drain_grace_ms)));
+  if (options.unix_path.empty() && !args.has("port")) {
+    throw UsageError{"serve needs --socket PATH and/or --port N"};
+  }
+
+  serve::Server server{engine, options};
+  server.start();
+  server.install_signal_handlers();
+  // Readiness line (flushed): scripts wait for it, and an ephemeral
+  // --port 0 bind is only discoverable here.
+  std::cout << "serve: listening on";
+  if (!options.unix_path.empty()) {
+    std::cout << " unix:" << options.unix_path;
+  }
+  if (server.tcp_port() >= 0) {
+    std::cout << " tcp:" << options.tcp_host << ":" << server.tcp_port();
+  }
+  std::cout << std::endl;
+
+  server.run();  // returns after a graceful drain (stop()/SIGTERM/SIGINT)
+
+  const serve::Server::Counters totals = server.counters();
+  std::cout << "serve: " << totals.accepted << " connection(s), "
+            << totals.requests << " request(s), " << totals.responses
+            << " response(s), " << totals.shed << " shed\n";
+  // main() calls engine.save_caches() on rc 0: the drain path flushes
+  // warm-start snapshots before the process exits.
+  return 0;
+}
+
+int cmd_client(const Args& args) {
+  serve::Client client;
+  if (args.has("socket")) {
+    client = serve::Client::connect_unix(args.get("socket", ""));
+  } else if (args.has("port")) {
+    client = serve::Client::connect_tcp(args.get("host", "127.0.0.1"),
+                                        narrow<int>(u64_flag(args, "port", 0)));
+  } else {
+    throw UsageError{"client needs --socket PATH or --port N"};
+  }
+
+  std::ifstream file;
+  std::istream* in = &std::cin;
+  if (!args.positional.empty()) {
+    file.open(args.positional[0]);
+    if (!file) {
+      throw IoError{"cannot open requests file '" + args.positional[0] + "'"};
+    }
+    in = &file;
+  }
+  std::string line;
+  while (std::getline(*in, line)) {
+    std::cout << client.request(line) << '\n';
+  }
+  std::cout.flush();
+  return 0;
+}
+
 /// Global observability flags: --trace-out, --trace-folded, --metrics-out,
 /// --log-level.
 struct ObsOptions {
@@ -716,6 +806,10 @@ int main(int argc, char** argv) {
       rc = cmd_optimize(engine, args);
     } else if (command == "batch") {
       rc = cmd_batch(engine, args);
+    } else if (command == "serve") {
+      rc = cmd_serve(engine, args);
+    } else if (command == "client") {
+      rc = cmd_client(args);
     } else {
       throw UsageError{"unknown command '" + command + "'"};
     }

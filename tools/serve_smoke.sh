@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Serve smoke: the daemon end-to-end contract a unit test cannot pin.
+#
+# Starts `prcost serve` with a cache dir, waits for the readiness line,
+# pumps 50 mixed requests through `prcost client`, scrapes the live
+# OpenMetrics registry over the wire, then sends SIGTERM and asserts a
+# graceful drain: exit 0, the counters line, the Unix socket unlinked,
+# and warm-start snapshots flushed to the cache dir.
+#
+# Usage: serve_smoke.sh <prcost-binary> [workdir]
+set -u
+
+CLI=${1:?usage: serve_smoke.sh <prcost-binary> [workdir]}
+WORK=${2:-$(mktemp -d)}
+SOCK="$WORK/serve_smoke.sock"
+CACHE="$WORK/serve_smoke_cache"
+LOG="$WORK/serve_smoke.log"
+REQ="$WORK/serve_smoke_requests.jsonl"
+OUT="$WORK/serve_smoke_responses.jsonl"
+
+fail() { echo "serve_smoke: FAIL: $*" >&2; sed 's/^/  daemon: /' "$LOG" >&2; exit 1; }
+
+rm -rf "$SOCK" "$CACHE" "$OUT"
+mkdir -p "$CACHE"
+
+"$CLI" serve --socket "$SOCK" --cache-dir "$CACHE" >"$LOG" 2>&1 &
+PID=$!
+trap 'kill -9 "$PID" 2>/dev/null' EXIT
+
+for _ in $(seq 200); do
+  grep -q "serve: listening" "$LOG" 2>/dev/null && break
+  kill -0 "$PID" 2>/dev/null || fail "daemon died before readiness"
+  sleep 0.05
+done
+grep -q "serve: listening" "$LOG" || fail "daemon never became ready"
+[ -S "$SOCK" ] || fail "readiness line printed but socket missing"
+
+# 50 mixed requests cycling plan / bitstream / synth / rank / ping.
+: >"$REQ"
+for i in $(seq 50); do
+  case $((i % 5)) in
+    0) echo '{"op":"ping","id":'"$i"'}' ;;
+    1) echo '{"op":"plan","device":"xc5vlx110t","prm":"fir","cross_check":false,"id":'"$i"'}' ;;
+    2) echo '{"op":"bitstream","device":"xc6vlx75t","prm":"uart","id":'"$i"'}' ;;
+    3) echo '{"op":"synth","prm":"crc32","family":"v5","id":'"$i"'}' ;;
+    4) echo '{"op":"rank","prms":["fir","mips"],"id":'"$i"'}' ;;
+  esac >>"$REQ"
+done
+"$CLI" client --socket "$SOCK" "$REQ" >"$OUT" || fail "client run failed"
+
+RESPONSES=$(wc -l <"$OUT")
+[ "$RESPONSES" -eq 50 ] || fail "expected 50 responses, got $RESPONSES"
+grep -q '"error"' "$OUT" && fail "unexpected error response: $(grep -m1 '"error"' "$OUT")"
+
+# The live registry is one request away; the scrape must carry the
+# serve-side series and the OpenMetrics terminator.
+SCRAPE=$(echo '{"op":"metrics"}' | "$CLI" client --socket "$SOCK") \
+  || fail "metrics scrape failed"
+case $SCRAPE in
+  *prcost_serve_requests_total*) ;;
+  *) fail "scrape missing serve counters" ;;
+esac
+case $SCRAPE in
+  *"# EOF"*) ;;
+  *) fail "scrape missing OpenMetrics terminator" ;;
+esac
+
+# Graceful drain: SIGTERM -> exit 0, counters printed, socket unlinked,
+# snapshots flushed for the next daemon's warm start.
+kill -TERM "$PID"
+wait "$PID"
+RC=$?
+trap - EXIT
+[ "$RC" -eq 0 ] || fail "daemon exited $RC on SIGTERM, want 0"
+grep -q "serve: .* request(s)" "$LOG" || fail "missing drain counters line"
+[ -S "$SOCK" ] && fail "unix socket not unlinked after drain"
+[ -s "$CACHE/plan_cache.snap" ] || fail "plan cache snapshot not flushed"
+[ -s "$CACHE/bitstream_cache.snap" ] || fail "bitstream cache snapshot not flushed"
+
+echo "serve_smoke: OK ($RESPONSES responses, drained clean)"
