@@ -1,0 +1,202 @@
+// Ablation: online scheduling policies on the event-driven runtime.
+//
+// Drives the src/sched runtime over a mixed 7-PRM bursty workload (fir,
+// mips, sdram, aes, crc32, uart, matmul) and compares FCFS, priority, and
+// prefetch-aware FCFS on throughput, deadline-miss rate, and effective
+// reconfiguration overhead (reconfiguration seconds charged per task).
+// Prefetch stages a hot PRM's partial bitstream from cold flash into DDR
+// when its EWMA arrival-rate estimate crosses the threshold, so later
+// reconfigurations fetch at warm-media speed.
+//
+// Built-in checks (any failure exits 1):
+//   - same-seed determinism: every configuration is run twice and the two
+//     reports must match bit-for-bit, per task;
+//   - prefetch effectiveness: the prefetch-aware run must strictly lower
+//     the effective reconfiguration overhead vs plain FCFS.
+//
+// Reports JSON on stdout and writes it to --out (default
+// BENCH_online_scheduling.json, "-" disables the file).
+//
+//   ablation_online_scheduling [--tasks 280] [--seed 42]
+//                              [--out BENCH_online_scheduling.json]
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "api/requests.hpp"
+#include "bench/bench_util.hpp"
+#include "cost/prr_search.hpp"
+#include "device/device_db.hpp"
+#include "sched/generators.hpp"
+#include "sched/scheduler.hpp"
+#include "synth/synthesizer.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using namespace prcost;
+
+/// One configuration under comparison.
+struct Variant {
+  const char* name;
+  sched::Policy policy;
+  double prefetch_rate_hz;
+};
+
+bool reports_identical(const sched::Report& a, const sched::Report& b) {
+  if (a.makespan_s != b.makespan_s || a.completed != b.completed ||
+      a.reconfig_count != b.reconfig_count ||
+      a.total_reconfig_s != b.total_reconfig_s ||
+      a.reuse_hits != b.reuse_hits ||
+      a.deadline_misses != b.deadline_misses ||
+      a.cpu_fallbacks != b.cpu_fallbacks ||
+      a.prefetches_issued != b.prefetches_issued ||
+      a.prefetched_reconfigs != b.prefetched_reconfigs ||
+      a.tasks.size() != b.tasks.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.tasks.size(); ++i) {
+    const sched::TaskOutcome& x = a.tasks[i];
+    const sched::TaskOutcome& y = b.tasks[i];
+    if (x.slot != y.slot || x.cpu_fallback != y.cpu_fallback ||
+        x.reconfigured != y.reconfigured || x.prefetched != y.prefetched ||
+        x.start_s != y.start_s || x.finish_s != y.finish_s) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_online_scheduling.json";
+  u32 task_count = 280;
+  u64 seed = 42;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    const std::string flag = argv[i];
+    const std::string value = argv[i + 1];
+    if (flag == "--out") {
+      out_path = value;
+    } else if (flag == "--tasks") {
+      task_count = narrow<u32>(parse_u64(value));
+    } else if (flag == "--seed") {
+      seed = parse_u64(value);
+    } else {
+      std::cerr << "unknown flag " << flag << "\n";
+      return 2;
+    }
+  }
+
+  const Device& device = DeviceDb::instance().get("xc7k325t");
+  const Family family = device.fabric.family();
+  std::vector<PrmInfo> prms;
+  for (const char* name :
+       {"fir", "mips", "sdram", "aes", "crc32", "uart", "matmul"}) {
+    const SynthesisResult synth =
+        synthesize(api::make_builtin_prm(name), SynthOptions{family});
+    const PrmRequirements req =
+        PrmRequirements::from_report(synth.report);
+    const auto plan = find_prr(req, device.fabric);
+    if (!plan) {
+      std::cerr << "error: no PRR for " << name << "\n";
+      return 1;
+    }
+    prms.push_back(PrmInfo{name, req, plan->bitstream.total_bytes});
+  }
+
+  sched::ArrivalParams params;
+  params.count = task_count;
+  params.prm_count = narrow<u32>(prms.size());
+  params.deadline_factor = 12.0;  // tight enough that policies differ
+  params.seed = seed;
+  const std::vector<sched::Task> tasks = sched::make_bursty(params);
+
+  const Variant variants[] = {
+      {"fcfs", sched::Policy::kFcfs, 0.0},
+      {"priority", sched::Policy::kPriority, 0.0},
+      {"prefetch", sched::Policy::kFcfs, 5.0},
+  };
+
+  TextTable table{{"variant", "makespan (ms)", "throughput (/s)",
+                   "reconfigs", "warm", "reconfig/task (us)",
+                   "miss rate", "cpu fallbacks"}};
+  Json runs = Json::array();
+  bool deterministic = true;
+  double fcfs_overhead = 0;
+  double prefetch_overhead = 0;
+  for (const Variant& variant : variants) {
+    sched::SchedulerConfig config;
+    config.slot_count = 3;
+    config.policy = variant.policy;
+    config.prefetch_rate_hz = variant.prefetch_rate_hz;
+    const sched::Report report = sched::run(prms, tasks, config);
+    // Same-seed determinism: an identical rerun must be bit-identical.
+    if (!reports_identical(report, sched::run(prms, tasks, config))) {
+      std::cerr << "DETERMINISM FAILURE: variant " << variant.name
+                << " diverged on an identical rerun\n";
+      deterministic = false;
+    }
+    const double miss_rate =
+        static_cast<double>(report.deadline_misses) /
+        static_cast<double>(report.completed);
+    if (std::string{variant.name} == "fcfs") {
+      fcfs_overhead = report.reconfig_seconds_per_task;
+    } else if (std::string{variant.name} == "prefetch") {
+      prefetch_overhead = report.reconfig_seconds_per_task;
+    }
+    table.add_row({variant.name, format_fixed(report.makespan_s * 1e3, 2),
+                   format_fixed(report.throughput_per_s, 1),
+                   std::to_string(report.reconfig_count),
+                   std::to_string(report.prefetched_reconfigs),
+                   format_fixed(report.reconfig_seconds_per_task * 1e6, 1),
+                   format_fixed(miss_rate, 3),
+                   std::to_string(report.cpu_fallbacks)});
+    Json run = Json::object();
+    run.set("variant", variant.name)
+        .set("makespan_s", report.makespan_s)
+        .set("throughput_per_sec", report.throughput_per_s)
+        .set("reconfig_count", report.reconfig_count)
+        .set("reuse_hits", report.reuse_hits)
+        .set("reconfig_seconds_per_task", report.reconfig_seconds_per_task)
+        .set("prefetches_issued", report.prefetches_issued)
+        .set("prefetched_reconfigs", report.prefetched_reconfigs)
+        .set("deadline_miss_rate", miss_rate)
+        .set("cpu_fallbacks", report.cpu_fallbacks)
+        .set("mean_wait_s", report.mean_wait_s);
+    runs.push_back(std::move(run));
+  }
+  bench::print_table(
+      "Ablation: online scheduling policies (7 PRMs, bursty arrivals, "
+      "3 PRR slots)",
+      table);
+
+  Json doc = Json::object();
+  doc.set("bench", "ablation_online_scheduling")
+      .set("device", device.name)
+      .set("tasks", static_cast<u64>(task_count))
+      .set("seed", seed)
+      .set("deterministic", deterministic)
+      .set("runs", std::move(runs));
+  const std::string json = doc.dump();
+  std::cout << json << '\n';
+  if (out_path != "-") {
+    std::ofstream out{out_path};
+    out << json << '\n';
+    if (!out) {
+      std::cerr << "error: cannot write " << out_path << "\n";
+      return 1;
+    }
+  }
+  if (!deterministic) return 1;
+  if (prefetch_overhead >= fcfs_overhead) {
+    std::cerr << "PREFETCH FAILURE: prefetch-aware effective "
+                 "reconfiguration overhead ("
+              << prefetch_overhead * 1e6
+              << " us/task) is not strictly below FCFS ("
+              << fcfs_overhead * 1e6 << " us/task)\n";
+    return 1;
+  }
+  return 0;
+}

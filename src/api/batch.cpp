@@ -65,6 +65,9 @@ Json dispatch_by_op(const Engine& engine, const Json& request) {
   if (name == "optimize") {
     return to_json(engine.optimize(optimize_request_from_json(request)));
   }
+  if (name == "schedule") {
+    return to_json(engine.schedule(schedule_request_from_json(request)));
+  }
   if (name == "ping") {
     // Health probe: answers without touching the evaluation path, so a
     // serve health check stays cheap even under load.
@@ -81,7 +84,7 @@ Json dispatch_by_op(const Engine& engine, const Json& request) {
   }
   throw NotFoundError{"unknown op '" + name +
                       "' (known: devices synth plan bitstream explore rank "
-                      "faults optimize ping metrics)"};
+                      "faults optimize schedule ping metrics)"};
 }
 
 /// Arm the request's "deadline_ms" budget (anchored at `arrival`) for the

@@ -1,5 +1,6 @@
 #include "api/engine.hpp"
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <mutex>
@@ -12,10 +13,13 @@
 #include "api/deadline.hpp"
 #include "bitstream/bitstream_cache.hpp"
 #include "bitstream/generator.hpp"
+#include "cost/floorplan.hpp"
 #include "cost/plan_cache.hpp"
 #include "cost/shaped_prr.hpp"
 #include "multitask/simulator.hpp"
 #include "multitask/workload.hpp"
+#include "sched/generators.hpp"
+#include "sched/scheduler.hpp"
 #include "netlist/serialize.hpp"
 #include "opt/optimizer.hpp"
 #include "par/par.hpp"
@@ -437,6 +441,152 @@ FaultsResponse Engine::faults(const FaultsRequest& request) const {
   if (request.strict && sim.dropped_tasks > 0) {
     throw FaultError{"faults: " + std::to_string(sim.dropped_tasks) +
                      " task(s) dropped after exhausted retries"};
+  }
+  response.stats = scope.finish();
+  return response;
+}
+
+ScheduleResponse Engine::schedule(const ScheduleRequest& request) const {
+  const obs::RequestScope scope{options_.collect_stats};
+  if (request.prms.empty()) {
+    throw UsageError{"schedule needs at least one PRM"};
+  }
+  if (request.slots == 0) {
+    throw UsageError{"schedule needs at least one slot"};
+  }
+  const Device& device = resolve_device(request.device);
+  const Family family = device.fabric.family();
+  std::vector<PrmInfo> prms = synthesize_prms(request.prms, family);
+
+  // Per-PRM plans: the Eq. 18-23 bitstream size prices every candidate
+  // reconfiguration, and the prefetch hook generates exactly these plans
+  // into the process-wide bitstream cache.
+  std::vector<PrrPlan> plans;
+  plans.reserve(prms.size());
+  for (PrmInfo& prm : prms) {
+    const auto plan = find_prr(prm.req, device.fabric);
+    if (!plan) {
+      throw InfeasibleError{"no feasible PRR for '" + prm.name + "' on " +
+                            device.name};
+    }
+    prm.bitstream_bytes = plan->bitstream.total_bytes;
+    plans.push_back(*plan);
+  }
+
+  // Pluggable slots: every slot must host any PRM, so each is sized by
+  // the element-wise maximum requirement (the paper's shared-PRR rule)
+  // and placed by the occupancy-aware floorplanner until the fabric runs
+  // out of room.
+  std::vector<PrmRequirements> reqs;
+  reqs.reserve(prms.size());
+  for (const PrmInfo& prm : prms) reqs.push_back(prm.req);
+  if (!find_shared_prr(reqs, device.fabric)) {
+    throw InfeasibleError{"no shared PRR slot fits every PRM on " +
+                          device.name};
+  }
+  PrmRequirements merged;
+  for (const PrmRequirements& req : reqs) {
+    merged.lut_ff_pairs = std::max(merged.lut_ff_pairs, req.lut_ff_pairs);
+    merged.luts = std::max(merged.luts, req.luts);
+    merged.ffs = std::max(merged.ffs, req.ffs);
+    merged.dsps = std::max(merged.dsps, req.dsps);
+    merged.brams = std::max(merged.brams, req.brams);
+  }
+  Floorplanner floorplanner{device.fabric};
+  u32 placed = 0;
+  for (u32 s = 0; s < request.slots; ++s) {
+    if (!floorplanner.place("slot" + std::to_string(s), merged)) break;
+    ++placed;
+  }
+  if (placed == 0) {
+    throw InfeasibleError{"no PRR slot placeable on " + device.name};
+  }
+  check_deadline("schedule.plan");
+
+  std::vector<sched::Task> tasks;
+  if (request.workload == "trace") {
+    if (request.trace.empty()) {
+      throw UsageError{"schedule workload 'trace' needs trace text"};
+    }
+    tasks = sched::parse_trace(request.trace);
+    for (const sched::Task& task : tasks) {
+      if (task.prm >= prms.size()) {
+        throw UsageError{"trace task '" + task.name +
+                         "' references unknown PRM index " +
+                         std::to_string(task.prm)};
+      }
+    }
+  } else if (request.workload == "poisson" || request.workload == "bursty") {
+    sched::ArrivalParams params;
+    params.count = request.tasks;
+    params.prm_count = narrow<u32>(prms.size());
+    params.mean_interarrival_s = request.mean_interarrival_s;
+    params.mean_exec_s = request.mean_exec_s;
+    params.deadline_factor = request.deadline_factor;
+    params.seed = request.seed;
+    tasks = request.workload == "poisson" ? sched::make_poisson(params)
+                                          : sched::make_bursty(params);
+  } else {
+    throw UsageError{"unknown workload '" + request.workload +
+                     "' (known: poisson bursty trace)"};
+  }
+
+  sched::SchedulerConfig config;
+  config.slot_count = placed;
+  config.policy = sched::parse_policy(request.policy);
+  config.cold_media = parse_media(request.media);
+  config.warm_media = parse_media(request.warm_media);
+  config.fault_rate = request.fault_rate.value_or(options_.fault_rate);
+  config.retry.max_retries =
+      request.max_retries.value_or(options_.max_retries);
+  config.prefetch_rate_hz = request.prefetch_rate_hz;
+  config.cpu_workers = request.cpu_workers;
+  config.cpu_slowdown = request.cpu_slowdown;
+  if (bitstream_cache_enabled()) {
+    config.prefetch_hook = [&plans, family](u32 prm) {
+      generate_bitstream_cached(plans[prm], family);
+    };
+  }
+  const sched::Report report = sched::run(prms, tasks, config);
+  check_deadline("schedule.run");
+
+  ScheduleResponse response;
+  response.device = device.name;
+  response.policy = std::string{sched::policy_name(config.policy)};
+  response.slot_count = placed;
+  response.prm_count = narrow<u32>(prms.size());
+  response.task_count = tasks.size();
+  response.fault_rate = config.fault_rate;
+  response.makespan_s = report.makespan_s;
+  response.throughput_per_s = report.throughput_per_s;
+  response.reuse_hits = report.reuse_hits;
+  response.reconfig_count = report.reconfig_count;
+  response.total_reconfig_s = report.total_reconfig_s;
+  response.reconfig_seconds_per_task = report.reconfig_seconds_per_task;
+  response.deadline_misses = report.deadline_misses;
+  response.cpu_fallbacks = report.cpu_fallbacks;
+  response.prefetches_issued = report.prefetches_issued;
+  response.prefetched_reconfigs = report.prefetched_reconfigs;
+  response.mean_wait_s = report.mean_wait_s;
+  response.mean_turnaround_s = report.mean_turnaround_s;
+  if (request.detail) {
+    response.task_outcomes.reserve(report.tasks.size());
+    for (std::size_t i = 0; i < report.tasks.size(); ++i) {
+      const sched::TaskOutcome& outcome = report.tasks[i];
+      ScheduleTaskOutcome wire;
+      wire.name = tasks[i].name;
+      wire.prm = tasks[i].prm;
+      wire.slot = outcome.slot;
+      wire.cpu_fallback = outcome.cpu_fallback;
+      wire.reconfigured = outcome.reconfigured;
+      wire.prefetched = outcome.prefetched;
+      wire.deadline_miss = outcome.deadline_miss;
+      wire.reconfig_s = outcome.reconfig_s;
+      wire.start_s = outcome.start_s;
+      wire.finish_s = outcome.finish_s;
+      wire.wait_s = outcome.wait_s;
+      response.task_outcomes.push_back(std::move(wire));
+    }
   }
   response.stats = scope.finish();
   return response;

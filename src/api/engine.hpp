@@ -93,6 +93,15 @@ class Engine {
   /// `prm_count` describes a fleet.
   OptimizeResponse optimize(const OptimizeRequest& request) const;
 
+  /// Online event-driven scheduling (src/sched): place the requested PRR
+  /// slots with the floorplanner, then run the priority ready-queue
+  /// runtime over a synthetic or replayed arrival stream, pricing every
+  /// reconfiguration through the controller + fault-retry models, with
+  /// arrival-rate-triggered bitstream prefetch into the process-wide
+  /// bitstream cache and CPU fallback for deadline-infeasible placements.
+  /// Throws InfeasibleError when no slot fits on the fabric.
+  ScheduleResponse schedule(const ScheduleRequest& request) const;
+
   /// The catalog, summarized row-per-device.
   DevicesResponse list_devices() const;
 

@@ -251,6 +251,35 @@ OptimizeRequest optimize_request_from_json(const Json& j) {
   return request;
 }
 
+ScheduleRequest schedule_request_from_json(const Json& j) {
+  ScheduleRequest request;
+  request.device = get_string(j, "device");
+  request.prms = prms_from_json(j);
+  request.slots = narrow<u32>(get_u64(j, "slots", 2));
+  request.policy = get_string(j, "policy", "fcfs");
+  request.workload = get_string(j, "workload", "poisson");
+  request.trace = get_string(j, "trace", "");
+  request.tasks = narrow<u32>(get_u64(j, "tasks", 100));
+  request.seed = get_u64(j, "seed", 42);
+  request.mean_interarrival_s =
+      get_double(j, "mean_interarrival_s", 2.0e-3);
+  request.mean_exec_s = get_double(j, "mean_exec_s", 5.0e-3);
+  request.deadline_factor = get_double(j, "deadline_factor", 0.0);
+  request.media = get_string(j, "media", "flash");
+  request.warm_media = get_string(j, "warm_media", "ddr");
+  request.prefetch_rate_hz = get_double(j, "prefetch_rate_hz", 0.0);
+  if (j.find("fault_rate")) {
+    request.fault_rate = get_double(j, "fault_rate", 0.0);
+  }
+  if (j.find("max_retries")) {
+    request.max_retries = narrow<u32>(get_u64(j, "max_retries", 0));
+  }
+  request.cpu_workers = narrow<u32>(get_u64(j, "cpu_workers", 2));
+  request.cpu_slowdown = get_double(j, "cpu_slowdown", 8.0);
+  request.detail = get_bool(j, "detail", false);
+  return request;
+}
+
 Json to_json(const obs::RequestStatsSummary& s) {
   const auto ms = [](u64 ns) { return static_cast<double>(ns) / 1e6; };
   Json j = Json::object();
@@ -520,6 +549,49 @@ Json to_json(const OptimizeResponse& r) {
   return j;
 }
 
+Json to_json(const ScheduleResponse& r) {
+  Json j = Json::object();
+  j.set("device", r.device)
+      .set("policy", r.policy)
+      .set("slot_count", r.slot_count)
+      .set("prm_count", r.prm_count)
+      .set("task_count", r.task_count)
+      .set("fault_rate", r.fault_rate)
+      .set("makespan_s", r.makespan_s)
+      .set("throughput_per_s", r.throughput_per_s)
+      .set("reuse_hits", r.reuse_hits)
+      .set("reconfig_count", r.reconfig_count)
+      .set("total_reconfig_s", r.total_reconfig_s)
+      .set("reconfig_seconds_per_task", r.reconfig_seconds_per_task)
+      .set("deadline_misses", r.deadline_misses)
+      .set("cpu_fallbacks", r.cpu_fallbacks)
+      .set("prefetches_issued", r.prefetches_issued)
+      .set("prefetched_reconfigs", r.prefetched_reconfigs)
+      .set("mean_wait_s", r.mean_wait_s)
+      .set("mean_turnaround_s", r.mean_turnaround_s);
+  if (!r.task_outcomes.empty()) {
+    Json tasks = Json::array();
+    for (const ScheduleTaskOutcome& t : r.task_outcomes) {
+      Json o = Json::object();
+      o.set("name", t.name)
+          .set("prm", t.prm)
+          .set("slot", t.slot)
+          .set("cpu_fallback", t.cpu_fallback)
+          .set("reconfigured", t.reconfigured)
+          .set("prefetched", t.prefetched)
+          .set("deadline_miss", t.deadline_miss)
+          .set("reconfig_s", t.reconfig_s)
+          .set("start_s", t.start_s)
+          .set("finish_s", t.finish_s)
+          .set("wait_s", t.wait_s);
+      tasks.push_back(std::move(o));
+    }
+    j.set("tasks", std::move(tasks));
+  }
+  set_stats(j, r.stats);
+  return j;
+}
+
 Json to_json(const FaultsRequest& r) {
   Json j = Json::object();
   j.set("op", "faults")
@@ -549,6 +621,31 @@ Json to_json(const OptimizeRequest& r) {
   if (r.fault_rate) j.set("fault_rate", *r.fault_rate);
   if (r.max_retries) j.set("max_retries", static_cast<u64>(*r.max_retries));
   if (r.workers != 0) j.set("workers", static_cast<u64>(r.workers));
+  return j;
+}
+
+Json to_json(const ScheduleRequest& r) {
+  Json j = Json::object();
+  j.set("op", "schedule")
+      .set("device", r.device)
+      .set("prms", prms_to_json(r.prms))
+      .set("slots", r.slots)
+      .set("policy", r.policy)
+      .set("workload", r.workload);
+  if (!r.trace.empty()) j.set("trace", r.trace);
+  j.set("tasks", r.tasks)
+      .set("seed", r.seed)
+      .set("mean_interarrival_s", r.mean_interarrival_s)
+      .set("mean_exec_s", r.mean_exec_s)
+      .set("deadline_factor", r.deadline_factor)
+      .set("media", r.media)
+      .set("warm_media", r.warm_media)
+      .set("prefetch_rate_hz", r.prefetch_rate_hz);
+  if (r.fault_rate) j.set("fault_rate", *r.fault_rate);
+  if (r.max_retries) j.set("max_retries", static_cast<u64>(*r.max_retries));
+  j.set("cpu_workers", r.cpu_workers)
+      .set("cpu_slowdown", r.cpu_slowdown)
+      .set("detail", r.detail);
   return j;
 }
 

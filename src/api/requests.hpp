@@ -266,6 +266,77 @@ struct OptimizeResponse {
   std::optional<obs::RequestStatsSummary> stats;  ///< see SynthResponse
 };
 
+// ------------------------------------------------------------- schedule --
+
+/// Online-scheduler run (src/sched): place `slots` shared PRR slots with
+/// the floorplanner, then drive the event-driven runtime over a synthetic
+/// arrival process or a replayed JSONL trace, pricing every placement
+/// through the controller + fault-retry models. Optional fields fall back
+/// to Engine::Options.
+struct ScheduleRequest {
+  std::string device;
+  std::vector<std::string> prms;  ///< built-in PRM names (>= 1)
+  u32 slots = 2;                  ///< PRR slots (floorplanner-placed)
+  std::string policy = "fcfs";    ///< "fcfs" | "priority" | "edf"
+  /// Arrival source: "poisson" | "bursty" | "trace" (replay `trace`).
+  std::string workload = "poisson";
+  std::string trace;              ///< JSONL trace text (workload "trace")
+  u32 tasks = 100;                ///< synthetic workload size
+  u64 seed = 42;                  ///< synthetic workload seed
+  double mean_interarrival_s = 2.0e-3;
+  double mean_exec_s = 5.0e-3;
+  /// Relative deadline factor for synthetic tasks (0 = no deadlines).
+  double deadline_factor = 0.0;
+  std::string media = "flash";    ///< cold media (bitstream store)
+  std::string warm_media = "ddr"; ///< media after a prefetch staged it
+  /// Prefetch when a PRM's EWMA arrival-rate estimate reaches this (Hz);
+  /// 0 disables prefetch.
+  double prefetch_rate_hz = 0.0;
+  std::optional<double> fault_rate;  ///< unset = engine default
+  std::optional<u32> max_retries;    ///< unset = engine default
+  u32 cpu_workers = 2;            ///< CPU-fallback pool (0 = no fallback)
+  double cpu_slowdown = 8.0;      ///< software/hardware exec-time ratio
+  bool detail = false;            ///< include per-task outcomes
+};
+
+/// Per-task outcome on the wire (ScheduleRequest::detail).
+struct ScheduleTaskOutcome {
+  std::string name;
+  u32 prm = 0;
+  u32 slot = 0;
+  bool cpu_fallback = false;
+  bool reconfigured = false;
+  bool prefetched = false;
+  bool deadline_miss = false;
+  double reconfig_s = 0;
+  double start_s = 0;
+  double finish_s = 0;
+  double wait_s = 0;
+};
+
+struct ScheduleResponse {
+  std::string device;
+  std::string policy;
+  u32 slot_count = 0;        ///< slots actually placed on the fabric
+  u32 prm_count = 0;
+  u64 task_count = 0;
+  double fault_rate = 0;     ///< effective (post-default) rate
+  double makespan_s = 0;
+  double throughput_per_s = 0;
+  u64 reuse_hits = 0;
+  u64 reconfig_count = 0;
+  double total_reconfig_s = 0;
+  double reconfig_seconds_per_task = 0;
+  u64 deadline_misses = 0;
+  u64 cpu_fallbacks = 0;
+  u64 prefetches_issued = 0;
+  u64 prefetched_reconfigs = 0;
+  double mean_wait_s = 0;
+  double mean_turnaround_s = 0;
+  std::vector<ScheduleTaskOutcome> task_outcomes;  ///< only when detail
+  std::optional<obs::RequestStatsSummary> stats;  ///< see SynthResponse
+};
+
 // -------------------------------------------------------------- devices --
 
 struct DeviceSummary {
@@ -294,6 +365,7 @@ ExploreRequest explore_request_from_json(const Json& j);
 RankRequest rank_request_from_json(const Json& j);
 FaultsRequest faults_request_from_json(const Json& j);
 OptimizeRequest optimize_request_from_json(const Json& j);
+ScheduleRequest schedule_request_from_json(const Json& j);
 
 /// Stats block serialization (the "stats" member on every response):
 /// {"wall_ms":..,"cache":{"plan_hits":..,"plan_misses":..,
@@ -310,6 +382,7 @@ Json to_json(const RankResponse& r);
 Json to_json(const DevicesResponse& r);
 Json to_json(const FaultsResponse& r);
 Json to_json(const OptimizeResponse& r);
+Json to_json(const ScheduleResponse& r);
 
 Json to_json(const SynthRequest& r);
 Json to_json(const PlanRequest& r);
@@ -318,5 +391,6 @@ Json to_json(const ExploreRequest& r);
 Json to_json(const RankRequest& r);
 Json to_json(const FaultsRequest& r);
 Json to_json(const OptimizeRequest& r);
+Json to_json(const ScheduleRequest& r);
 
 }  // namespace prcost::api

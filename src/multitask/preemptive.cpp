@@ -53,10 +53,7 @@ PreemptiveResult simulate_preemptive(const std::vector<PrmInfo>& prms,
           ? config.controller
           : std::make_shared<DmaIcapController>(default_icap(Family::kVirtex5));
 
-  std::stable_sort(tasks.begin(), tasks.end(),
-                   [](const HwTask& a, const HwTask& b) {
-                     return a.arrival_s < b.arrival_s;
-                   });
+  sort_by_arrival(tasks);
 
   PreemptiveResult result;
   result.tasks.resize(tasks.size());

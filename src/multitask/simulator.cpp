@@ -78,10 +78,7 @@ SimResult simulate(const std::vector<PrmInfo>& prms, std::vector<HwTask> tasks,
   }
   auto controller = config.controller ? config.controller : default_controller();
 
-  std::stable_sort(tasks.begin(), tasks.end(),
-                   [](const HwTask& a, const HwTask& b) {
-                     return a.arrival_s < b.arrival_s;
-                   });
+  sort_by_arrival(tasks);
 
   SimResult result;
   result.tasks.resize(tasks.size());
@@ -271,10 +268,7 @@ SimResult simulate_full_reconfig(
   }
   if (!controller) controller = default_controller();
 
-  std::stable_sort(tasks.begin(), tasks.end(),
-                   [](const HwTask& a, const HwTask& b) {
-                     return a.arrival_s < b.arrival_s;
-                   });
+  sort_by_arrival(tasks);
 
   SimResult result;
   result.tasks.resize(tasks.size());

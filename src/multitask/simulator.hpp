@@ -73,7 +73,10 @@ struct TaskOutcome {
   u32 reconfig_attempts = 0;  ///< verified-transfer attempts (fault runs)
   double start_s = 0;         ///< execution start (post-reconfig)
   double finish_s = 0;        ///< dropped tasks: instant the ICAP gave up
-  double wait_s = 0;          ///< finish - arrival - exec - reconfig
+  /// Time not spent executing: finish - arrival - exec, i.e. queueing
+  /// delay plus the task's own reconfiguration (and retry) delay. For
+  /// dropped tasks: give-up instant - arrival.
+  double wait_s = 0;
 };
 
 /// Aggregate results.
@@ -98,8 +101,9 @@ struct SimResult {
 };
 
 /// Simulate `tasks` over `prms` with `config`. Tasks may arrive in any
-/// order; the simulator sorts by arrival. All PRRs are assumed large
-/// enough for every PRM (size the pool with find_shared_prr first).
+/// order; the simulator sorts by (arrival, input order). All PRRs are
+/// assumed large enough for every PRM (size the pool with find_shared_prr
+/// first).
 SimResult simulate(const std::vector<PrmInfo>& prms,
                    std::vector<HwTask> tasks, const SimConfig& config);
 

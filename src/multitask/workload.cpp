@@ -1,5 +1,7 @@
 #include "multitask/workload.hpp"
 
+#include <algorithm>
+
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
@@ -24,6 +26,24 @@ std::vector<HwTask> make_workload(const WorkloadParams& params) {
     tasks.push_back(std::move(task));
   }
   return tasks;
+}
+
+void sort_by_arrival(std::vector<HwTask>& tasks) {
+  // Sort an index permutation, not the tasks: the original position is
+  // the tie-break key, and it must be captured before anything moves.
+  std::vector<std::size_t> order(tasks.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&tasks](std::size_t a, std::size_t b) {
+              if (tasks[a].arrival_s != tasks[b].arrival_s) {
+                return tasks[a].arrival_s < tasks[b].arrival_s;
+              }
+              return a < b;
+            });
+  std::vector<HwTask> sorted;
+  sorted.reserve(tasks.size());
+  for (const std::size_t i : order) sorted.push_back(std::move(tasks[i]));
+  tasks = std::move(sorted);
 }
 
 }  // namespace prcost

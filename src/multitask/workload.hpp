@@ -38,4 +38,11 @@ struct WorkloadParams {
 };
 std::vector<HwTask> make_workload(const WorkloadParams& params);
 
+/// Canonical dispatch order shared by every simulator and the online
+/// scheduler: sort by (arrival_s, original position). The explicit
+/// positional tie-break pins equal-arrival ordering to the input order,
+/// independent of the standard library's sort implementation, so
+/// same-seed runs are reproducible everywhere.
+void sort_by_arrival(std::vector<HwTask>& tasks);
+
 }  // namespace prcost

@@ -67,6 +67,48 @@ void close_fd(int& fd) noexcept {
   }
 }
 
+/// True when `line` carries a valid "deadline_ms" whose budget, anchored
+/// at `arrival`, is already spent at `now`. The substring probe keeps
+/// deadline-free traffic from paying a JSON parse here; malformed or
+/// invalid lines return false and take the normal dispatch path (which
+/// reports the parse/usage error).
+bool deadline_already_expired(const std::string& line,
+                              Clock::time_point arrival,
+                              Clock::time_point now) {
+  if (line.find("\"deadline_ms\"") == std::string::npos) return false;
+  try {
+    const Json request = Json::parse(line);
+    if (!request.is_object()) return false;
+    const Json* dl = request.find("deadline_ms");
+    if (dl == nullptr || !dl->is_number() || dl->as_double() < 0) {
+      return false;
+    }
+    const double elapsed_ms =
+        std::chrono::duration<double, std::milli>{now - arrival}.count();
+    return elapsed_ms >= dl->as_double();
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+/// Deadline answer for the no-dispatch fast paths, echoing op/id like
+/// dispatch_line_at would. Only called on lines deadline_already_expired
+/// accepted, so the parse cannot throw.
+std::string expired_envelope(const std::string& line) {
+  const Json request = Json::parse(line);
+  Json envelope = Json::object();
+  if (const Json* op = request.find("op")) {
+    if (op->is_string()) envelope.set("op", *op);
+  }
+  if (const Json* id = request.find("id")) envelope.set("id", *id);
+  Json error = Json::object();
+  error.set("code", std::string{error_code_name(ErrorCode::kDeadline)})
+      .set("message",
+           "deadline exceeded at phase 'admission' (expired while queued)");
+  envelope.set("error", std::move(error));
+  return envelope.dump();
+}
+
 }  // namespace
 
 /// Per-connection state; owned exclusively by the event-loop thread.
@@ -214,6 +256,7 @@ Server::Counters Server::counters() const noexcept {
   totals.requests = stat_requests_.load(std::memory_order_relaxed);
   totals.responses = stat_responses_.load(std::memory_order_relaxed);
   totals.shed = stat_shed_.load(std::memory_order_relaxed);
+  totals.expired = stat_expired_.load(std::memory_order_relaxed);
   totals.protocol_errors =
       stat_protocol_errors_.load(std::memory_order_relaxed);
   return totals;
@@ -257,15 +300,31 @@ void Server::dispatch_loop() {
     }
     queued_.fetch_sub(batch.size(), std::memory_order_relaxed);
 
+    // Requests whose deadline expired while they sat in the admission
+    // queue are answered here with the stable "deadline" code instead of
+    // occupying pool workers on work nobody is waiting for.
+    results.assign(batch.size(), {});
+    std::vector<std::size_t> live;
+    live.reserve(batch.size());
+    const auto now = Clock::now();
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (deadline_already_expired(batch[i].line, batch[i].arrival, now)) {
+        stat_expired_.fetch_add(1, std::memory_order_relaxed);
+        PRCOST_COUNT("serve.deadline_expired");
+        results[i] = expired_envelope(batch[i].line);
+      } else {
+        live.push_back(i);
+      }
+    }
+
     // One pool fan-out per batch: with N closed-loop clients the queue
     // holds ~N requests, so the wakeup/notify cost amortizes N ways.
-    results.assign(batch.size(), {});
-    if (batch.size() == 1) {
-      results[0] = handle(batch[0]);
-    } else {
+    if (live.size() == 1) {
+      results[live[0]] = handle(batch[live[0]]);
+    } else if (!live.empty()) {
       parallel_for(
-          batch.size(),
-          [&](std::size_t i) { results[i] = handle(batch[i]); },
+          live.size(),
+          [&](std::size_t i) { results[live[i]] = handle(batch[live[i]]); },
           options_.workers != 0 ? options_.workers
                                 : engine_->options().workers);
     }
@@ -310,8 +369,17 @@ void Server::submit_line(Conn& conn, std::string line) {
   stat_requests_.fetch_add(1, std::memory_order_relaxed);
   PRCOST_COUNT("serve.requests");
   if (queued_.load(std::memory_order_relaxed) >= options_.max_queue) {
-    // Load-shedding: answer immediately, in order, without parsing. The
-    // event loop never blocks on a full queue.
+    // A request that is already past its own deadline is a deadline miss,
+    // not an overload artifact: answer the stable "deadline" code so
+    // clients can tell the two apart. Everything else is shed without
+    // parsing; the event loop never blocks on a full queue.
+    const auto now = Clock::now();
+    if (deadline_already_expired(line, now, now)) {
+      stat_expired_.fetch_add(1, std::memory_order_relaxed);
+      PRCOST_COUNT("serve.deadline_expired");
+      conn.ready.emplace(seq, expired_envelope(line));
+      return;
+    }
     stat_shed_.fetch_add(1, std::memory_order_relaxed);
     PRCOST_COUNT("serve.shed");
     conn.ready.emplace(seq, overloaded_envelope());

@@ -93,6 +93,7 @@ class Server {
     u64 requests = 0;       ///< request lines read off sockets
     u64 responses = 0;      ///< response lines queued to write buffers
     u64 shed = 0;           ///< requests rejected with "overloaded"
+    u64 expired = 0;        ///< answered "deadline" without dispatch
     u64 protocol_errors = 0;  ///< oversized-line connection closures
   };
 
@@ -180,6 +181,7 @@ class Server {
   std::atomic<u64> stat_requests_{0};
   std::atomic<u64> stat_responses_{0};
   std::atomic<u64> stat_shed_{0};
+  std::atomic<u64> stat_expired_{0};
   std::atomic<u64> stat_protocol_errors_{0};
 };
 

@@ -295,6 +295,57 @@ TEST(SimulatorFaults, RescheduleRetriesBeforeDropping) {
   }
 }
 
+// kReschedule accounting audit (property test): every permanent transfer
+// failure is either one re-queue event or one drop, the re-queue count is
+// bounded by the per-task budget, and reconfiguration time is never
+// double-charged into wait_s — for tasks that ran, wait is exactly
+// start - arrival and finish is exactly start + exec; for dropped tasks,
+// start == finish == the give-up instant.
+TEST(SimulatorFaults, RescheduleAccountingInvariants) {
+  const auto prms = two_prms();
+  const auto tasks = small_workload(60);
+  for (const double fault_rate : {0.3, 0.6, 1.0}) {
+    FaultInjector injector{rate(fault_rate, 99)};
+    SimConfig config;
+    config.prr_count = 2;
+    config.faults = &injector;
+    config.recovery = FaultRecovery::kReschedule;
+    config.max_reschedules = 3;
+    const SimResult r = simulate(prms, tasks, config);
+    EXPECT_EQ(r.failed_reconfigs, r.rescheduled_tasks + r.dropped_tasks);
+    EXPECT_LE(r.rescheduled_tasks,
+              static_cast<u64>(config.max_reschedules) * tasks.size());
+    // make_workload arrivals are strictly increasing, so the simulator's
+    // (arrival, input order) sort leaves input order intact and
+    // r.tasks[i] corresponds to tasks[i].
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      const TaskOutcome& t = r.tasks[i];
+      ASSERT_EQ(t.task_index, i);
+      if (t.dropped) {
+        EXPECT_EQ(t.start_s, t.finish_s);
+        EXPECT_EQ(t.wait_s, t.finish_s - tasks[i].arrival_s);
+      } else {
+        EXPECT_EQ(t.wait_s, t.start_s - tasks[i].arrival_s);
+        EXPECT_EQ(t.finish_s, t.start_s + tasks[i].exec_s);
+        EXPECT_GE(t.wait_s, 0.0);
+      }
+    }
+  }
+  // Rate 1.0 exactness: with N tasks and budget R every task drops after
+  // R re-queues, so the event count is N*R, not N.
+  FaultInjector certain{rate(1.0)};
+  SimConfig config;
+  config.prr_count = 2;
+  config.faults = &certain;
+  config.recovery = FaultRecovery::kReschedule;
+  config.max_reschedules = 3;
+  const SimResult r = simulate(prms, tasks, config);
+  EXPECT_EQ(r.rescheduled_tasks, 3 * tasks.size());
+  EXPECT_EQ(r.dropped_tasks, tasks.size());
+  EXPECT_EQ(r.failed_reconfigs, 4 * tasks.size());
+  EXPECT_EQ(r.reconfig_count, 0u);
+}
+
 TEST(SimulatorFaults, FixedSeedIsBitReproducible) {
   const auto prms = two_prms();
   const auto tasks = small_workload(40);

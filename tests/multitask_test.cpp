@@ -52,6 +52,20 @@ TEST(Workload, PrmIndicesInRange) {
   EXPECT_THROW(make_workload(params), ContractError);
 }
 
+TEST(Workload, SortByArrivalBreaksTiesByInputOrder) {
+  std::vector<HwTask> tasks{
+      HwTask{"late", 2, 1.0, 0.1, 0},
+      HwTask{"a", 0, 0.5, 0.1, 0},
+      HwTask{"b", 1, 0.5, 0.1, 7},
+      HwTask{"c", 0, 0.5, 0.1, 3},
+  };
+  sort_by_arrival(tasks);
+  EXPECT_EQ(tasks[0].name, "a");
+  EXPECT_EQ(tasks[1].name, "b");
+  EXPECT_EQ(tasks[2].name, "c");
+  EXPECT_EQ(tasks[3].name, "late");
+}
+
 // -------------------------------------------------------------- simulator ---
 
 TEST(Simulator, SingleTaskTimingExact) {
@@ -92,6 +106,43 @@ TEST(Simulator, AllTasksComplete) {
   for (const TaskOutcome& outcome : result.tasks) {
     EXPECT_GT(outcome.finish_s, 0.0);
     EXPECT_GE(outcome.wait_s, 0.0);
+  }
+}
+
+TEST(Simulator, DuplicateArrivalsDispatchInInputOrder) {
+  const auto prms = three_prms();
+  // Twelve tasks sharing three arrival instants: with the explicit
+  // (arrival, input order) tie-break, two runs must agree task-for-task
+  // and the makespan must be bit-identical.
+  std::vector<HwTask> tasks;
+  for (int i = 0; i < 12; ++i) {
+    tasks.push_back(HwTask{"t" + std::to_string(i), static_cast<u32>(i % 3),
+                           1e-3 * static_cast<double>(i / 4), 2e-3,
+                           static_cast<u32>(i % 5)});
+  }
+  SimConfig config;
+  config.prr_count = 2;
+  const SimResult a = simulate(prms, tasks, config);
+  const SimResult b = simulate(prms, tasks, config);
+  ASSERT_EQ(a.tasks.size(), b.tasks.size());
+  for (std::size_t i = 0; i < a.tasks.size(); ++i) {
+    EXPECT_EQ(a.tasks[i].task_index, b.tasks[i].task_index);
+    EXPECT_EQ(a.tasks[i].prr, b.tasks[i].prr);
+    EXPECT_EQ(a.tasks[i].start_s, b.tasks[i].start_s);
+    EXPECT_EQ(a.tasks[i].finish_s, b.tasks[i].finish_s);
+  }
+  EXPECT_EQ(a.makespan_s, b.makespan_s);
+  // FCFS on one PRR with every task arriving at t=0: execution order is
+  // exactly input order, so starts are non-decreasing in input index.
+  std::vector<HwTask> burst;
+  for (int i = 0; i < 6; ++i) {
+    burst.push_back(HwTask{"b" + std::to_string(i), 0, 0.0, 1e-3, 0});
+  }
+  SimConfig serial;
+  serial.prr_count = 1;
+  const SimResult r = simulate(prms, burst, serial);
+  for (std::size_t i = 1; i < r.tasks.size(); ++i) {
+    EXPECT_GT(r.tasks[i].start_s, r.tasks[i - 1].start_s);
   }
 }
 

@@ -42,6 +42,35 @@ TEST(Preemptive, NoPreemptionRunsEverything) {
   }
 }
 
+TEST(Preemptive, DuplicateArrivalsAreDeterministic) {
+  // Equal-arrival tasks: the explicit (arrival, input order) tie-break
+  // makes repeated runs bit-identical even with every mode's preemption
+  // churn in play.
+  std::vector<HwTask> tasks;
+  for (int i = 0; i < 10; ++i) {
+    tasks.push_back(HwTask{"t" + std::to_string(i), static_cast<u32>(i % 2),
+                           1e-3 * static_cast<double>(i / 5), 2e-3,
+                           static_cast<u32>(i % 3)});
+  }
+  for (const PreemptMode mode :
+       {PreemptMode::kNoPreemption, PreemptMode::kRestart,
+        PreemptMode::kSaveRestore}) {
+    PreemptiveConfig config;
+    config.prr_count = 2;
+    config.mode = mode;
+    const PreemptiveResult a = simulate_preemptive(two_prms(), tasks, config);
+    const PreemptiveResult b = simulate_preemptive(two_prms(), tasks, config);
+    EXPECT_EQ(a.makespan_s, b.makespan_s);
+    EXPECT_EQ(a.preemptions, b.preemptions);
+    ASSERT_EQ(a.tasks.size(), b.tasks.size());
+    for (std::size_t i = 0; i < a.tasks.size(); ++i) {
+      EXPECT_EQ(a.tasks[i].start_s, b.tasks[i].start_s);
+      EXPECT_EQ(a.tasks[i].finish_s, b.tasks[i].finish_s);
+      EXPECT_EQ(a.tasks[i].prr, b.tasks[i].prr);
+    }
+  }
+}
+
 TEST(Preemptive, UrgentTaskPreemptsLongRunner) {
   // A long low-priority task occupies the single PRR; an urgent short one
   // arrives mid-flight. With preemption the urgent task finishes well

@@ -156,6 +156,36 @@ TEST(Serve, ExpiredDeadlineAnswersDeadlineCode) {
   EXPECT_EQ(error_code_of(client.request(
                 R"({"op":"ping","deadline_ms":60000})")),
             "");
+  // Expired requests are answered before the pool fan-out: they count as
+  // expired, never as shed, and op/id are echoed like any dispatch.
+  EXPECT_GE(harness.server().counters().expired, 1u);
+  EXPECT_EQ(harness.server().counters().shed, 0u);
+  const Json envelope = Json::parse(client.request(
+      R"({"op":"ping","id":42,"deadline_ms":0})"));
+  EXPECT_EQ(envelope.find("error")->find("code")->as_string(), "deadline");
+  EXPECT_EQ(envelope.find("op")->as_string(), "ping");
+  EXPECT_EQ(envelope.find("id")->as_double(), 42.0);
+}
+
+TEST(Serve, ExpiredDeadlineUnderOverloadIsDeadlineNotOverloaded) {
+  serve::ServerOptions options = unix_options();
+  options.max_queue = 0;  // every request hits the shed path
+  ServeHarness harness{options};
+  serve::Client client = harness.connect();
+
+  // Already past its own deadline when it arrives at a full queue: the
+  // client must see the stable "deadline" code, not "overloaded".
+  EXPECT_EQ(error_code_of(client.request(
+                R"({"op":"ping","deadline_ms":0})")),
+            "deadline");
+  // With budget remaining, overload still sheds with "overloaded".
+  EXPECT_EQ(error_code_of(client.request(
+                R"({"op":"ping","deadline_ms":60000})")),
+            "overloaded");
+  // Deadline-free requests shed as before.
+  EXPECT_EQ(error_code_of(client.request(R"({"op":"ping"})")), "overloaded");
+  EXPECT_EQ(harness.server().counters().expired, 1u);
+  EXPECT_EQ(harness.server().counters().shed, 2u);
 }
 
 TEST(Serve, ClientDisconnectMidRequestLeavesServerServing) {

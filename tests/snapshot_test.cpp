@@ -31,7 +31,12 @@ namespace fs = std::filesystem;
 class SnapshotTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = fs::path{::testing::TempDir()} / "prcost_snapshot_test";
+    // Per-test-case directory: ctest runs each case as its own process
+    // in parallel, so a shared fixed path would let two cases remove
+    // each other's files mid-test.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = fs::path{::testing::TempDir()} /
+           (std::string{"prcost_snapshot_test_"} + info->name());
     fs::remove_all(dir_);
     fs::create_directories(dir_);
     plan_cache_clear();

@@ -31,6 +31,7 @@
 #include "bitstream/parser.hpp"
 #include "netlist/serialize.hpp"
 #include "obs/obs.hpp"
+#include "sched/generators.hpp"
 #include "serve/client.hpp"
 #include "serve/server.hpp"
 #include "util/error.hpp"
@@ -68,6 +69,18 @@ void print_usage(std::ostream& out) {
       "               greedy baseline vs simulated annealing over\n"
       "               swap/relocate/resize/compact moves, costed through\n"
       "               the bitstream + reconfiguration + fault models)\n"
+      "  prcost schedule <prm> [...] --device <name> [--slots N]\n"
+      "              [--policy fcfs|priority|edf]\n"
+      "              [--workload poisson|bursty | --trace FILE]\n"
+      "              [--tasks N] [--seed N] [--deadline-factor X]\n"
+      "              [--media cf|flash|ddr|bram] [--warm-media ...]\n"
+      "              [--prefetch-rate HZ] [--cpu-workers N]\n"
+      "              [--cpu-slowdown X] [--dump-trace FILE]\n"
+      "              (online event-driven scheduler over floorplanned PRR\n"
+      "               slots: reconfiguration-aware placement priced through\n"
+      "               the controller + fault-retry models, arrival-rate-\n"
+      "               triggered bitstream prefetch, CPU fallback for\n"
+      "               deadline-infeasible placements)\n"
       "  prcost batch [requests.jsonl] [--workers N] [-o responses.jsonl]\n"
       "              (JSONL requests from the file or stdin, streamed in\n"
       "               bounded windows; exactly one JSON response per line -\n"
@@ -487,6 +500,92 @@ int cmd_optimize(const Engine& engine, const Args& args) {
   return response.cost_verified && response.bitstream_verified ? 0 : 1;
 }
 
+int cmd_schedule(const Engine& engine, const Args& args) {
+  if (!args.has("device")) throw UsageError{"schedule needs --device"};
+  if (args.positional.empty()) {
+    throw UsageError{"schedule needs at least one PRM"};
+  }
+  api::ScheduleRequest request;
+  request.device = args.get("device", "");
+  request.prms = args.positional;
+  request.slots = narrow<u32>(u64_flag(args, "slots", 2));
+  request.policy = args.get("policy", "fcfs");
+  request.workload = args.get("workload", "poisson");
+  if (args.has("trace")) {
+    const std::string path = args.get("trace", "");
+    std::ifstream in{path};
+    if (!in) throw IoError{"cannot open trace file '" + path + "'"};
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    request.trace = buffer.str();
+    request.workload = "trace";
+  }
+  request.tasks = narrow<u32>(u64_flag(args, "tasks", 100));
+  request.seed = u64_flag(args, "seed", 42);
+  request.mean_interarrival_s = double_flag(args, "interarrival", 2.0e-3);
+  request.mean_exec_s = double_flag(args, "exec", 5.0e-3);
+  request.deadline_factor = double_flag(args, "deadline-factor", 0.0);
+  request.media = args.get("media", "flash");
+  request.warm_media = args.get("warm-media", "ddr");
+  request.prefetch_rate_hz = double_flag(args, "prefetch-rate", 0.0);
+  request.cpu_workers = narrow<u32>(u64_flag(args, "cpu-workers", 2));
+  request.cpu_slowdown = double_flag(args, "cpu-slowdown", 8.0);
+  // The fault environment (--fault-rate, --max-retries) is global and
+  // already folded into the engine defaults; the optionals stay unset.
+
+  if (args.has("dump-trace")) {
+    // Record the arrival stream (before running it) as a replayable JSONL
+    // trace: generate the same synthetic workload the run will use.
+    sched::ArrivalParams params;
+    params.count = request.tasks;
+    params.prm_count = narrow<u32>(request.prms.size());
+    params.mean_interarrival_s = request.mean_interarrival_s;
+    params.mean_exec_s = request.mean_exec_s;
+    params.deadline_factor = request.deadline_factor;
+    params.seed = request.seed;
+    const std::vector<sched::Task> tasks =
+        request.workload == "trace"    ? sched::parse_trace(request.trace)
+        : request.workload == "bursty" ? sched::make_bursty(params)
+                                       : sched::make_poisson(params);
+    const std::string path = args.get("dump-trace", "");
+    std::ofstream out{path};
+    if (!out) throw IoError{"cannot write trace file '" + path + "'"};
+    out << sched::dump_trace(tasks);
+    std::cout << "wrote " << tasks.size() << " tasks to " << path << '\n';
+  }
+
+  const api::ScheduleResponse response = engine.schedule(request);
+
+  TextTable table{{"quantity", "value"}};
+  table.add_row({"policy", response.policy});
+  table.add_row({"PRR slots", std::to_string(response.slot_count)});
+  table.add_row({"tasks", std::to_string(response.task_count)});
+  table.add_row({"makespan", format_fixed(response.makespan_s * 1e3, 2) +
+                                 " ms"});
+  table.add_row({"throughput",
+                 format_fixed(response.throughput_per_s, 1) + " tasks/s"});
+  table.add_row({"reconfigurations",
+                 std::to_string(response.reconfig_count)});
+  table.add_row({"slot reuse hits", std::to_string(response.reuse_hits)});
+  table.add_row({"reconfig time / task",
+                 format_fixed(response.reconfig_seconds_per_task * 1e3, 3) +
+                     " ms"});
+  table.add_row({"prefetches issued",
+                 std::to_string(response.prefetches_issued)});
+  table.add_row({"warm (prefetched) reconfigs",
+                 std::to_string(response.prefetched_reconfigs)});
+  table.add_row({"deadline misses",
+                 std::to_string(response.deadline_misses)});
+  table.add_row({"CPU fallbacks", std::to_string(response.cpu_fallbacks)});
+  table.add_row({"mean wait",
+                 format_fixed(response.mean_wait_s * 1e3, 3) + " ms"});
+  table.add_row({"mean turnaround",
+                 format_fixed(response.mean_turnaround_s * 1e3, 3) + " ms"});
+  std::cout << table.to_ascii();
+  print_request_stats(response.stats);
+  return 0;
+}
+
 int cmd_netlist(const Args& args) {
   if (args.positional.empty()) throw UsageError{"netlist needs a PRM"};
   const std::string text =
@@ -804,6 +903,8 @@ int main(int argc, char** argv) {
       rc = cmd_faults(engine, args);
     } else if (command == "optimize") {
       rc = cmd_optimize(engine, args);
+    } else if (command == "schedule") {
+      rc = cmd_schedule(engine, args);
     } else if (command == "batch") {
       rc = cmd_batch(engine, args);
     } else if (command == "serve") {
